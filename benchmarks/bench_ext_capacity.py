@@ -1,0 +1,30 @@
+"""Extension: max trainable batch size per policy (Section I's framing).
+
+"Because a single GPU can only accommodate a batch size of 64 for
+VGG-16, training with batch 256 requires parallelization across multiple
+GPUs" — the capacity planner recovers that limit and shows vDNN raising
+it past 256 on one card.
+"""
+
+from repro.core import capacity_report
+from repro.hw import PAPER_SYSTEM
+from repro.reporting import format_table
+from repro.zoo import build
+
+
+def test_ext_capacity_planner(benchmark, capsys):
+    network = build("vgg16", 64)
+    report = benchmark.pedantic(
+        capacity_report, args=(network, PAPER_SYSTEM),
+        kwargs={"upper_limit": 512}, rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["policy", "max trainable batch"],
+            [[k, v] for k, v in report.max_batch.items()],
+            title=f"Extension: batch capacity of {network.name} on "
+                  f"{report.gpu_name}",
+        ) + "\n")
+    assert report.max_batch["base(p)"] < 128       # paper: ~64
+    assert report.max_batch["all(m)"] >= 256       # vDNN unlocks batch 256
+    assert report.max_batch["dyn"] >= 256

@@ -1,0 +1,47 @@
+"""Extension: 1 GPU + vDNN vs N GPUs + baseline (Section I's trade).
+
+Simonyan & Zisserman trained VGG-16 (256) by splitting it over four
+GPUs, each holding a batch-64 replica.  vDNN's pitch is doing it on
+*one* card.  This bench puts both options on one table: hardware cost,
+trainability, and images/second.
+"""
+
+from repro.core import evaluate, simulate_data_parallel
+from repro.hw import PAPER_SYSTEM
+from repro.reporting import format_table
+from repro.zoo import build
+
+
+def comparison():
+    network = build("vgg16", 256)
+    rows = []
+    for num_gpus in (1, 2, 4):
+        report = simulate_data_parallel(network, num_gpus, PAPER_SYSTEM)
+        rows.append([
+            f"{num_gpus} GPU(s), baseline",
+            report.per_gpu_batch,
+            "yes" if report.per_gpu_trainable else "NO",
+            f"{report.images_per_second:,.0f}",
+        ])
+    dyn = evaluate(network, policy="dyn")
+    ips = network.batch_size / dyn.total_time if dyn.total_time else 0
+    rows.append(["1 GPU, vDNN_dyn", network.batch_size,
+                 "yes" if dyn.trainable else "NO", f"{ips:,.0f}"])
+    return rows
+
+
+def test_ext_data_parallel_vs_vdnn(benchmark, capsys):
+    rows = benchmark.pedantic(comparison, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["configuration", "per-GPU batch", "trainable", "images/s"],
+            rows,
+            title="Extension: VGG-16 (256) — multi-GPU baseline vs 1-GPU vDNN",
+        ) + "\n")
+    assert rows[0][2] == "NO"    # 1 GPU baseline cannot
+    assert rows[2][2] == "yes"   # 4 GPUs can (the paper's reference point)
+    assert rows[3][2] == "yes"   # 1 GPU + vDNN can too
+    # One vDNN GPU delivers (nearly) a 4-GPU cluster's per-card rate:
+    four_gpu_ips = float(rows[2][3].replace(",", ""))
+    vdnn_ips = float(rows[3][3].replace(",", ""))
+    assert vdnn_ips > four_gpu_ips / 4 * 0.85

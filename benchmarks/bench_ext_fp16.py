@@ -1,0 +1,45 @@
+"""Extension: reduced precision vs virtualization (related work, §VI).
+
+The paper's related-work section notes that quantization/precision
+approaches "provide only limited opportunity for memory capacity
+savings".  With dtype threading in the graph we can test that claim:
+fp16 halves every allocation, but VGG-16 (256) still does not fit in
+12 GB — precision and virtualization are complementary, not rivals.
+"""
+
+from repro.core import evaluate
+from repro.reporting import format_table, gb_str
+from repro.zoo import build
+
+
+def precision_profile():
+    rows = []
+    for name, batch in [("vgg16", 256), ("vgg216", 32)]:
+        fp32 = build(name, batch)
+        fp16 = fp32.with_dtype_bytes(2)
+        r32 = evaluate(fp32, policy="base", algo="p")
+        r16 = evaluate(fp16, policy="base", algo="p")
+        v16 = evaluate(fp16, policy="all", algo="m")
+        rows.append([fp32.name,
+                     gb_str(r32.max_usage_bytes),
+                     gb_str(r16.max_usage_bytes),
+                     "yes" if r16.trainable else "NO",
+                     "yes" if v16.trainable else "NO"])
+    return rows
+
+
+def test_ext_fp16_alone_insufficient(benchmark, capsys):
+    rows = benchmark.pedantic(precision_profile, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["network", "fp32 baseline", "fp16 baseline",
+             "fp16 base fits?", "fp16 + vDNN_all fits?"],
+            rows,
+            title="Extension: fp16 halves memory but still needs vDNN",
+        ) + "\n")
+    for row in rows:
+        fp32 = float(row[1].replace(" GB", "").replace(",", ""))
+        fp16 = float(row[2].replace(" GB", "").replace(",", ""))
+        assert fp16 < fp32 * 0.55
+        assert row[3] == "NO"    # halving is not enough
+        assert row[4] == "yes"   # virtualization still required and works

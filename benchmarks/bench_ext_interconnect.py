@@ -1,0 +1,42 @@
+"""Extension: interconnect sweep (Section III-A mentions PCIe, NVLINK).
+
+Static vDNN's entire overhead is transfer latency that outlives its
+overlapped kernel.  Sweeping the CPU<->GPU link from PCIe gen3 to
+NVLink 2.0 shows the overhead melting away — on NVLink even vDNN_all(m)
+approaches the memory-optimal baseline's speed.
+"""
+
+from repro.core import AlgoConfig, TransferPolicy, simulate_baseline, simulate_vdnn
+from repro.hw import interconnect_sweep
+from repro.reporting import format_table, ms_str, pct_str
+from repro.zoo import build
+
+
+def interconnect_profile(network):
+    algos = AlgoConfig.memory_optimal(network)
+    rows = []
+    for label, system in interconnect_sweep():
+        base = simulate_baseline(network, system.with_oracular_gpu(), algos)
+        vdnn = simulate_vdnn(network, system, TransferPolicy.vdnn_all(), algos)
+        overhead = vdnn.total_time / base.total_time - 1.0
+        rows.append((label, system.pcie.dma_bandwidth, vdnn, overhead))
+    return rows
+
+
+def test_ext_interconnect_sweep(benchmark, capsys):
+    network = build("vgg16", 64)
+    rows = benchmark.pedantic(interconnect_profile, args=(network,),
+                              rounds=1, iterations=1)
+    table = [[label, f"{bw / 1e9:.1f} GB/s",
+              ms_str(r.compute_stall_seconds), pct_str(overhead)]
+             for label, bw, r, overhead in rows]
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["interconnect", "DMA bandwidth", "compute stalls",
+             "vDNN_all(m) overhead vs base(m)"],
+            table,
+            title=f"Extension: interconnect sweep, {network.name}",
+        ) + "\n")
+    overheads = [overhead for *_, overhead in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[-1] < overheads[0] / 2  # NVLink 2 >2x better than gen3

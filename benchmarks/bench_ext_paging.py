@@ -1,0 +1,39 @@
+"""Extension: quantify the Section II-C page-migration strawman.
+
+Trains the memory-oversubscribed networks under (modeled) OS demand
+paging and compares the slowdown against vDNN_dyn.  The paper argues
+paging is a non-starter from bandwidth arithmetic; this bench runs the
+whole pipeline and puts numbers on it.
+"""
+
+from repro.core import paging_vs_vdnn
+from repro.hw import PAPER_SYSTEM
+from repro.reporting import format_table, gb_str
+from repro.zoo import build
+
+
+def paging_profile():
+    rows = []
+    for name, batch in [("vgg16", 128), ("vgg16", 256), ("vgg116", 32)]:
+        rows.append(paging_vs_vdnn(build(name, batch), PAPER_SYSTEM))
+    return rows
+
+
+def test_ext_paging_vs_vdnn(benchmark, capsys):
+    rows = benchmark.pedantic(paging_profile, rounds=1, iterations=1)
+    table = [[r["network"], gb_str(r["oversubscribed_bytes"]),
+              f"{r['paging_slowdown']:.1f}x",
+              f"{r['paging_dma_slowdown']:.2f}x",
+              f"{r['vdnn_dyn_slowdown']:.2f}x"]
+             for r in rows]
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["network", "oversubscribed", "page-migration",
+             "paging @ DMA speed", "vDNN_dyn"],
+            table,
+            title="Extension: demand paging vs vDNN (iteration slowdown)",
+        ) + "\n")
+    for r in rows:
+        assert r["paging_slowdown"] > 10
+        assert r["vdnn_dyn_slowdown"] < r["paging_dma_slowdown"]
+        assert r["vdnn_dyn_slowdown"] < 1.3

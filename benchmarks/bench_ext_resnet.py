@@ -1,0 +1,50 @@
+"""Extension: vDNN on residual networks (the paper's reference [15]).
+
+The paper motivates with ">100 convolutional layers" — ResNet — but
+evaluates only linear/inception topologies.  This bench runs the full
+policy sweep on ResNet-34 (batch 128): residual fan-outs exercise the
+refcount gate on every block boundary and BatchNorm backward re-reads X,
+making BN layers genuine offload candidates.  The paper's qualitative
+results must carry over: big average-memory savings, dyn ≈ baseline.
+"""
+
+from repro.core import compare_policies, oracular_baseline
+from repro.reporting import format_table, gb_str, pct_str
+from repro.zoo import build
+
+
+def resnet_sweep():
+    network = build("resnet34", 128)
+    return network, compare_policies(network), oracular_baseline(network)
+
+
+def test_ext_resnet_policy_sweep(benchmark, capsys):
+    network, sweep, oracle = benchmark.pedantic(resnet_sweep,
+                                                rounds=1, iterations=1)
+    rows = []
+    for key in ("all(m)", "conv(m)", "dyn", "base(m)", "base(p)"):
+        r = sweep[key]
+        rows.append([
+            key + ("" if r.trainable else "*"),
+            gb_str(r.avg_usage_bytes),
+            gb_str(r.max_usage_bytes),
+            f"{oracle.feature_extraction_time / r.feature_extraction_time:.2f}",
+        ])
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["config", "avg mem", "max mem", "perf vs oracle"],
+            rows,
+            title=f"Extension: {network.name} policy sweep (residual topology)",
+        ) + "\n")
+
+    base = sweep["base(p)"]
+    all_m = sweep["all(m)"]
+    savings = 1 - all_m.managed_avg_bytes / base.max_usage_bytes
+    assert savings > 0.8, f"only {savings:.0%} savings on ResNet-34"
+    assert sweep["dyn"].trainable
+    dyn_perf = (oracle.feature_extraction_time
+                / sweep["dyn"].feature_extraction_time)
+    assert dyn_perf > 0.9
+    # No demand fetches even with residual fan-out refcounts.
+    demand = [e for e in all_m.timeline.events if "(demand)" in e.label]
+    assert demand == []

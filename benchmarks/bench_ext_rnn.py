@@ -1,0 +1,62 @@
+"""Extension: vDNN for recurrent networks (sequence length as depth).
+
+Section II-A claims vDNN's intuitions carry to "recurrent neural
+networks for natural language processing".  With an Elman RNN unrolled
+over T timesteps (weight-tied FC recurrence, BPTT), sequence length
+plays the role of layer depth: per-timestep activations camp in GPU
+memory through the whole forward pass and are revisited in reverse by
+backpropagation-through-time — the same reuse-gap structure as
+Figure 15, reproduced here as a T-sweep.
+"""
+
+from repro.core import evaluate
+from repro.reporting import format_table, mb_str, pct_str
+from repro.zoo import build_unrolled_rnn
+
+
+def sequence_sweep():
+    rows = []
+    for timesteps in (8, 32, 128):
+        network = build_unrolled_rnn(
+            timesteps=timesteps, input_dim=128, hidden_dim=1024,
+            num_classes=10, batch_size=64,
+        )
+        base = evaluate(network, policy="none", algo="m")
+        vdnn = evaluate(network, policy="all", algo="m")
+        rows.append((timesteps, base, vdnn))
+    return rows
+
+
+def test_ext_rnn_sequence_scaling(benchmark, capsys):
+    rows = benchmark.pedantic(sequence_sweep, rounds=1, iterations=1)
+    table = []
+    for timesteps, base, vdnn in rows:
+        savings = 1 - vdnn.avg_usage_bytes / base.avg_usage_bytes
+        table.append([
+            f"T={timesteps}",
+            mb_str(base.managed_max_bytes),
+            mb_str(vdnn.avg_usage_bytes),
+            mb_str(vdnn.offload_bytes),
+            pct_str(savings),
+        ])
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["sequence length", "resident peak (no offload)",
+             "vDNN_all avg", "offloaded / step", "avg savings"],
+            table,
+            title="Extension: unrolled RNN (BPTT) under vDNN_all",
+        ) + "\n")
+
+    # Resident footprint grows with T (toward linear once activations
+    # dominate the fixed weight/input overhead)...
+    peaks = [base.managed_max_bytes for _, base, _ in rows]
+    assert peaks[2] > peaks[0] * 3
+    # ...and the savings of offloading grow monotonically with sequence
+    # length, exactly as depth drives them in Figure 15.
+    savings = [1 - v.avg_usage_bytes / b.avg_usage_bytes
+               for _, b, v in rows]
+    assert savings[0] < savings[1] < savings[2]
+    assert savings[-1] > 0.2
+    # Offload traffic scales with T.
+    traffic = [v.offload_bytes for *_, v in rows]
+    assert traffic[0] < traffic[1] < traffic[2]

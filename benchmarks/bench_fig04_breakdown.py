@@ -1,0 +1,19 @@
+"""Figure 4: GPU memory breakdown by functionality.
+
+Splits each network's baseline allocation into weights, feature maps,
+gradient maps and convolution workspace.  The paper's point: feature
+maps dominate and their share grows with depth, which is why vDNN
+targets them.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig04_breakdown
+
+
+def test_fig04_breakdown(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, fig04_breakdown)
+    assert len(result.rows) == 6
+    # Feature-map share of VGG-16 exceeds AlexNet's (depth effect).
+    alexnet_share = float(result.rows[0][-1].rstrip("%"))
+    vgg_share = float(result.rows[-1][-1].rstrip("%"))
+    assert vgg_share > alexnet_share

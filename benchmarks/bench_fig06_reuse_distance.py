@@ -1,0 +1,25 @@
+"""Figure 6: per-layer latency and feature-map reuse distance, VGG-16.
+
+The reuse distance — time between a layer's forward completion and its
+own backward start — is the slack vDNN hides its PCIe transfers in.
+The paper quotes >1200 ms for VGG-16 (64)'s first layer; the profile
+must be monotonically decreasing toward the classifier.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig06_reuse_distance
+from repro.zoo import build
+
+
+def _ms(cell):
+    return float(cell.replace(" ms", "").replace(",", ""))
+
+
+def test_fig06_reuse_distance_vgg16_64(benchmark, capsys):
+    network = build("vgg16", 64)
+    result = run_and_print(benchmark, capsys, fig06_reuse_distance, network)
+    distances = [_ms(r[3]) for r in result.rows]
+    # Monotonically non-increasing from the first layer inward.
+    assert all(a >= b for a, b in zip(distances, distances[1:]))
+    # First-layer reuse distance on the order of a second (paper: >1.2 s).
+    assert distances[0] > 400

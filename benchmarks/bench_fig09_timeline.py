@@ -1,0 +1,30 @@
+"""Figure 9: offload/prefetch overlap on the two CUDA streams.
+
+Reconstructs the paper's execution-timeline cartoon on a real simulated
+run of a small linear network: offloads overlap their own layer's
+forward kernel, prefetches overlap backward kernels, and the compute
+stream stalls only where a transfer outlives its overlapped kernel.
+"""
+
+from conftest import run_and_print
+from repro.graph import NetworkBuilder
+from repro.reporting import fig09_timeline
+from repro.sim import EventKind, MEMORY_STREAM
+
+
+def linear_network():
+    return (
+        NetworkBuilder("fig9-linear", (32, 64, 56, 56))
+        .conv(64, kernel=3, pad=1, name="conv_1")
+        .conv(64, kernel=3, pad=1, name="conv_2")
+        .conv(64, kernel=3, pad=1, name="conv_3")
+        .fc(10).softmax().build()
+    )
+
+
+def test_fig09_two_stream_timeline(benchmark, capsys):
+    network = linear_network()
+    result = run_and_print(benchmark, capsys, fig09_timeline, network)
+    assert any(MEMORY_STREAM in str(row[0]) for row in result.rows)
+    # The ASCII timeline itself is in the notes.
+    assert "OFF" in result.notes[0] and "PRE" in result.notes[0]

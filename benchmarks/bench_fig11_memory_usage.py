@@ -1,0 +1,43 @@
+"""Figure 11: average and maximum GPU memory usage across all policies.
+
+The paper's central memory result: for each of the six conventional
+networks, sweep vDNN_all / vDNN_conv / vDNN_dyn / baseline under
+memory-optimal and performance-optimal algorithms.  Asserted shape:
+
+* vDNN_all(m) has the smallest average usage of every configuration;
+* baseline cannot train VGG-16 (128) with performance-optimal
+  algorithms nor VGG-16 (256) at all, while vDNN_dyn trains everything;
+* average savings of vDNN_all(m) fall in the paper's 73%-98% band.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig11_memory_usage
+
+
+def _mb(cell):
+    return float(cell.replace(" MB", "").replace(",", ""))
+
+
+def test_fig11_memory_usage(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, fig11_memory_usage)
+    by_net = {}
+    for network, config, avg, mx, savings, trainable in result.rows:
+        by_net.setdefault(network, {})[config.rstrip("*")] = {
+            "avg": _mb(avg), "max": _mb(mx), "trainable": trainable == "yes",
+            "savings": None if savings == "-" else float(savings.rstrip("%")),
+        }
+
+    for network, configs in by_net.items():
+        assert configs["all(m)"]["avg"] == min(c["avg"] for c in configs.values())
+        assert configs["dyn"]["trainable"], f"{network}: dyn must train"
+
+    assert not by_net["VGG-16(128)"]["base(p)"]["trainable"]
+    assert not by_net["VGG-16(256)"]["base(m)"]["trainable"]
+    assert not by_net["VGG-16(256)"]["base(p)"]["trainable"]
+    assert by_net["VGG-16(256)"]["all(m)"]["trainable"]
+
+    # Savings band (paper: 73%-98% average usage reduction; the savings
+    # column measures the vDNN-managed pool, like the paper's prototype).
+    for network, configs in by_net.items():
+        saving = configs["all(m)"]["savings"]
+        assert saving > 70.0, f"{network}: all(m) saving {saving}% too small"

@@ -1,0 +1,21 @@
+"""Figure 12: feature-map bytes offloaded to pinned host memory.
+
+vDNN_all offloads every feature-extraction layer's input X, vDNN_conv
+only the CONV layers' — so all >= conv everywhere, and the VGG-16 (256)
+offload traffic reaches the paper's "up to 16 GB" scale.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig12_offload_size
+
+
+def _mb(cell):
+    return float(cell.replace(" MB", "").replace(",", ""))
+
+
+def test_fig12_offload_size(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, fig12_offload_size)
+    for row in result.rows:
+        assert _mb(row[1]) >= _mb(row[2]), f"{row[0]}: all < conv?"
+    vgg256 = next(r for r in result.rows if "VGG-16(256)" in r[0])
+    assert _mb(vgg256[1]) > 10_000  # >10 GB of offload traffic

@@ -1,0 +1,21 @@
+"""Figure 13: per-layer DRAM bandwidth utilization of VGG-16 (256).
+
+The feature-extraction kernels never saturate the Titan X's 336 GB/s,
+leaving ample headroom for vDNN's PCIe-bounded offload/prefetch traffic;
+the worst-case interference bound is 16/336 = 4.7% (Section V-B).
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig13_dram_bandwidth
+from repro.zoo import build
+
+
+def test_fig13_dram_bandwidth_vgg16(benchmark, capsys):
+    network = build("vgg16", 256)
+    result = run_and_print(benchmark, capsys, fig13_dram_bandwidth, network)
+    assert len(result.rows) == 19
+    for row in result.rows:
+        fwd_util = float(row[3].rstrip("%"))
+        bwd_util = float(row[4].rstrip("%"))
+        assert fwd_util <= 100.0 and bwd_util <= 100.0
+    assert "4.7%" in result.notes[0]

@@ -1,0 +1,30 @@
+"""Figure 14: training throughput normalized to the oracular baseline.
+
+Asserted shape, per the paper:
+
+* static vDNN with memory-optimal algorithms loses heavily (paper:
+  55-58% average loss) — ours must lose at least 30% on average;
+* vDNN_dyn stays close to the baseline (paper: 97% average, 82% worst
+  case) — ours must average above 90%;
+* performance-optimal configurations beat their memory-optimal twins.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig14_performance
+
+
+def test_fig14_performance(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, fig14_performance)
+    by_net = {}
+    for network, config, _, normalized in result.rows:
+        by_net.setdefault(network, {})[config.rstrip("*")] = float(normalized)
+
+    all_m = [c["all(m)"] for c in by_net.values()]
+    dyn = [c["dyn"] for c in by_net.values()]
+    assert sum(all_m) / len(all_m) < 0.7, "all(m) should lose heavily"
+    assert sum(dyn) / len(dyn) > 0.9, "dyn should track the baseline"
+    for network, configs in by_net.items():
+        assert configs["all(p)"] >= configs["all(m)"], network
+        assert configs["conv(p)"] >= configs["conv(m)"], network
+        # conv hides transfers under longer kernels than all does.
+        assert configs["conv(m)"] >= configs["all(m)"] * 0.95, network

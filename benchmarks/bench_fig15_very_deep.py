@@ -1,0 +1,32 @@
+"""Figure 15: very deep networks (VGG-116/216/316/416, batch 32).
+
+The paper's scalability case study: baseline memory grows ~14x from
+VGG-16 to VGG-416 (4.9 GB -> 67.1 GB) while vDNN_dyn keeps the GPU-side
+footprint within the card and parks 81-92% of allocations in host DRAM.
+"""
+
+from conftest import run_and_print
+from repro.reporting import fig15_very_deep
+
+
+def _gb(cell):
+    return float(cell.replace(" GB", "").replace(",", ""))
+
+
+def test_fig15_very_deep(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, fig15_very_deep)
+    assert len(result.rows) == 4
+
+    baselines = [_gb(r[1]) for r in result.rows]
+    gpu_side = [_gb(r[3]) for r in result.rows]
+    cpu_share = [float(r[5].rstrip("%")) for r in result.rows]
+
+    # Baseline demand explodes with depth; none of them trains.
+    assert baselines == sorted(baselines)
+    assert baselines[-1] > 60  # VGG-416 ~67 GB
+    assert all(r[2] == "NO" for r in result.rows)
+
+    # vDNN_dyn keeps the GPU side within the 12 GB card...
+    assert all(g <= 12.0 for g in gpu_side)
+    # ...with the bulk of allocations on the CPU side (paper: 81-92%).
+    assert all(share > 70 for share in cpu_share)

@@ -1,0 +1,28 @@
+"""The abstract's headline claims, recomputed end to end.
+
+AlexNet -89% / OverFeat -91% / GoogLeNet -95% average GPU memory;
+VGG-16 (256) — a 28 GB workload — trainable on a 12 GB Titan X under
+vDNN at a bounded performance cost vs. an oracular GPU.
+"""
+
+from conftest import run_and_print
+from repro.reporting import headline
+
+
+def test_headline_claims(benchmark, capsys):
+    result = run_and_print(benchmark, capsys, headline)
+    rows = {r[0]: r for r in result.rows}
+
+    for name in ("AlexNet(128)", "OverFeat(128)", "GoogLeNet(128)"):
+        measured = float(rows[f"{name} avg memory reduction"][2].rstrip("%"))
+        assert measured > 80.0, f"{name}: only {measured}% savings"
+
+    assert rows["VGG-16 (256) trainable on 12 GB under vDNN"][2] == "yes"
+
+    needs = rows["VGG-16 (256) baseline needs"][2]
+    assert 25.0 <= float(needs.replace(" GB", "")) <= 35.0
+
+    perf_loss = float(
+        rows["VGG-16 (256) perf loss vs oracular baseline"][2].rstrip("%")
+    )
+    assert perf_loss <= 25.0  # paper: 18%

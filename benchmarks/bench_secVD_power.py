@@ -1,0 +1,31 @@
+"""Section V-D: GPU power consumption of vDNN_dyn vs. baseline.
+
+The paper measures (with nvprof) that vDNN_dyn raises the *maximum*
+power by only 1-7% — the extra instantaneous draw of offload/prefetch
+DMA — while the *average* power is essentially unchanged.  The
+activity-based model must reproduce that envelope.
+"""
+
+from conftest import run_and_print
+from repro.reporting import power_section
+from repro.zoo import build
+
+
+def test_power_overhead_envelope(benchmark, capsys):
+    # The paper evaluates the five baseline-trainable configurations
+    # (VGG-16 (256) is excluded as baseline cannot run it at all).
+    networks = [build("alexnet", 128), build("overfeat", 128),
+                build("googlenet", 128), build("vgg16", 64),
+                build("vgg16", 128)]
+    result = run_and_print(benchmark, capsys, power_section, networks)
+    for row in result.rows:
+        base_avg, base_max = float(row[1]), float(row[2])
+        dyn_avg, dyn_max = float(row[3]), float(row[4])
+        conv_overhead = float(row[6].rstrip("%"))
+        # Max-power overhead small and bounded (paper: 1%-7%).
+        assert dyn_max <= base_max * 1.10, row[0]
+        # Average power essentially unchanged.
+        assert abs(dyn_avg - base_avg) / base_avg < 0.10, row[0]
+        # An always-offloading configuration raises max power, but only
+        # within the paper's single-digit envelope.
+        assert 0.0 <= conv_overhead <= 10.0, row[0]

@@ -1,0 +1,18 @@
+"""Benchmark-suite helpers.
+
+Every benchmark computes one paper figure/table through the functions in
+``repro.reporting.figures``, times it with pytest-benchmark, and prints
+the paper-style table so the run doubles as the reproduction log
+recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def run_and_print(benchmark, capsys, fn, *args, **kwargs):
+    """Benchmark ``fn`` once and print its FigureResult text."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + result.text + "\n")
+    return result

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""End-to-end learning demo: accuracy actually improves under vDNN.
+
+The other examples prove *mechanism* (bit-identical losses, memory
+savings); this one closes the loop on *purpose*: a small CNN learns a
+real (synthetic) vision task — classify which sector of the image holds
+a bright blob — while the vDNN memory manager offloads and prefetches
+its activations through a constrained device heap the whole time.
+
+Run:  python examples/learn_blobs_under_vdnn.py
+"""
+
+from repro.core import TransferPolicy
+from repro.graph import NetworkBuilder
+from repro.numerics import TrainingRuntime, accuracy, blob_batch
+
+
+def build_cnn(batch: int, image_size: int, num_classes: int):
+    return (
+        NetworkBuilder("blob-cnn", (batch, 3, image_size, image_size))
+        .conv(16, kernel=3, pad=1).relu()
+        .conv(16, kernel=3, pad=1).relu().pool()
+        .conv(32, kernel=3, pad=1).relu().pool()
+        .fc(64).relu()
+        .fc(num_classes).softmax()
+        .build()
+    )
+
+
+def main() -> None:
+    batch, image_size, num_classes = 32, 16, 4
+    network = build_cnn(batch, image_size, num_classes)
+
+    # Probe the vDNN peak, then clamp the device heap just above it —
+    # training must proceed entirely through offload/prefetch.
+    probe = TrainingRuntime(network, TransferPolicy.vdnn_all(), seed=3)
+    probe.train_step(*blob_batch(batch, image_size, num_classes, seed=999))
+    budget = int(probe.device.peak_bytes * 1.02)
+
+    runtime = TrainingRuntime(
+        build_cnn(batch, image_size, num_classes),
+        TransferPolicy.vdnn_all(),
+        device_budget_bytes=budget,
+        seed=3,
+        learning_rate=0.05,
+    )
+    print(f"Device budget: {budget / (1 << 20):.2f} MiB "
+          f"(vDNN_all peak + 2%)\n")
+
+    holdout = blob_batch(batch, image_size, num_classes, seed=777_777)
+    for step in range(60):
+        images, labels = blob_batch(batch, image_size, num_classes, seed=step)
+        result = runtime.train_step(images, labels)
+        if step % 10 == 0 or step == 59:
+            probs = runtime.predict(holdout[0])
+            acc = accuracy(probs, holdout[1])
+            print(f"step {step:3d}  loss {result.loss:6.3f}  "
+                  f"holdout accuracy {acc:5.1%}  "
+                  f"(offloads so far: {result.offload_count})")
+
+    probs = runtime.predict(holdout[0])
+    final = accuracy(probs, holdout[1])
+    print(f"\nFinal holdout accuracy: {final:.1%} "
+          f"(chance: {1 / num_classes:.0%}) — learned through "
+          f"{runtime.host.offload_count} offloads and "
+          f"{runtime.host.prefetch_count} prefetches.")
+    assert final > 0.6, "the CNN should learn this task comfortably"
+
+
+if __name__ == "__main__":
+    main()

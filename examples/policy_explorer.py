@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Explore the memory/performance trade-off space of one network.
+
+Sweeps every memory-manager configuration the paper evaluates —
+vDNN_all / vDNN_conv / vDNN_dyn / baseline, each with memory-optimal (m)
+and performance-optimal (p) convolution algorithms — over a network of
+your choice, and prints a Figure-11/14-style table plus the Figure-9
+two-stream timeline showing offload/prefetch overlap.
+
+Run:  python examples/policy_explorer.py [network] [batch]
+e.g.  python examples/policy_explorer.py googlenet 128
+"""
+
+import sys
+
+from repro.core import compare_policies, oracular_baseline
+from repro.graph import NetworkBuilder
+from repro.hw import PAPER_SYSTEM
+from repro.reporting import format_table, gb_str, ms_str, pct_str
+from repro.zoo import build
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "vgg16"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    network = build(name, batch)
+    print(f"Sweeping policies for {network.name} on {PAPER_SYSTEM.gpu.name}\n")
+
+    sweep = compare_policies(network)
+    oracle = oracular_baseline(network)
+    rows = []
+    for key in ("all(m)", "all(p)", "conv(m)", "conv(p)", "dyn",
+                "base(m)", "base(p)"):
+        r = sweep[key]
+        star = "" if r.trainable else "*"
+        rows.append([
+            key + star,
+            gb_str(r.avg_usage_bytes),
+            gb_str(r.max_usage_bytes),
+            gb_str(r.offload_bytes),
+            ms_str(r.feature_extraction_time),
+            f"{oracle.feature_extraction_time / r.feature_extraction_time:.2f}",
+            pct_str(r.compute_stall_seconds / r.total_time if r.total_time else 0),
+        ])
+    print(format_table(
+        ["config", "avg mem", "max mem", "offloaded", "fe time",
+         "perf vs oracle", "stalled"],
+        rows,
+        title=f"{network.name}: memory vs performance "
+              f"(* = exceeds {gb_str(PAPER_SYSTEM.gpu.memory_bytes)})",
+    ))
+
+    # Figure 9: the two-stream overlap on a small linear network, where
+    # the ASCII timeline is actually readable.
+    tiny = (
+        NetworkBuilder("fig9-linear", (32, 64, 56, 56))
+        .conv(64, kernel=3, pad=1, name="conv_1")
+        .conv(64, kernel=3, pad=1, name="conv_2")
+        .conv(64, kernel=3, pad=1, name="conv_3")
+        .fc(10).softmax().build()
+    )
+    from repro.core import evaluate
+    result = evaluate(tiny, policy="all", algo="m")
+    print("\nFigure 9 — offload (OFF) overlapped with forward (FWD), "
+          "prefetch (PRE) with backward (BWD):\n")
+    print(result.timeline.render_ascii(width=100))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Memory allocators: device pool (cnmem-style), pinned host, usage stats."""
+
+from .pinned import PinnedBuffer, PinnedHostAllocator, PinnedMemoryError
+from .pool import ALIGNMENT, Allocation, OutOfMemoryError, PoolAllocator
+from .stats import UsageSample, UsageTracker
+
+__all__ = [
+    "ALIGNMENT",
+    "Allocation",
+    "OutOfMemoryError",
+    "PinnedBuffer",
+    "PinnedHostAllocator",
+    "PinnedMemoryError",
+    "PoolAllocator",
+    "UsageSample",
+    "UsageTracker",
+]

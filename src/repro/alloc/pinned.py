@@ -1,0 +1,81 @@
+"""Pinned (page-locked) host memory accounting.
+
+Offloaded feature maps land in host buffers allocated with
+``cudaMallocHost`` (Section III-B).  Pinned memory cannot be swapped, so
+runtimes bound how much of host DRAM they lock down; exceeding the bound
+is a hard failure just like device OOM.  Figure 12 reports exactly this
+allocator's high-water mark per network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+class PinnedMemoryError(MemoryError):
+    """Raised when the pinned-memory budget is exhausted."""
+
+
+@dataclass
+class PinnedBuffer:
+    """One host-side staging buffer for an offloaded tensor."""
+
+    buffer_id: int
+    size: int
+    tag: str = ""
+
+
+class PinnedHostAllocator:
+    """Tracks cudaMallocHost-style pinned allocations against a budget."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("pinned capacity must be positive")
+        self.capacity = capacity
+        self._next_id = 0
+        self._live: Dict[int, PinnedBuffer] = {}
+        self._live_bytes = 0
+        self._peak_bytes = 0
+        self._total_allocated = 0
+
+    def alloc(self, nbytes: int, tag: str = "") -> PinnedBuffer:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self._live_bytes + nbytes > self.capacity:
+            raise PinnedMemoryError(
+                f"pinned-memory budget exceeded: {self._live_bytes} + {nbytes} "
+                f"> {self.capacity} bytes"
+                + (f" (allocating {tag!r})" if tag else "")
+            )
+        buffer = PinnedBuffer(self._next_id, nbytes, tag)
+        self._next_id += 1
+        self._live[buffer.buffer_id] = buffer
+        self._live_bytes += nbytes
+        self._peak_bytes = max(self._peak_bytes, self._live_bytes)
+        self._total_allocated += nbytes
+        return buffer
+
+    def free(self, buffer: PinnedBuffer) -> None:
+        if buffer.buffer_id not in self._live:
+            raise ValueError(f"pinned buffer {buffer.buffer_id} is not live")
+        del self._live[buffer.buffer_id]
+        self._live_bytes -= buffer.size
+
+    def free_all(self) -> None:
+        self._live.clear()
+        self._live_bytes = 0
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark — Figure 12's "offload size"."""
+        return self._peak_bytes
+
+    @property
+    def total_allocated(self) -> int:
+        """Cumulative bytes ever pinned (traffic, not residency)."""
+        return self._total_allocated

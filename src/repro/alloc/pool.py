@@ -1,0 +1,213 @@
+"""cnmem-style device memory pool.
+
+vDNN "employs the open-source asynchronous memory allocation/release API
+library distributed by NVIDIA [cnmem]": a pool sized to the physical GPU
+memory is reserved once, and all tensor (de)allocations are served from
+it without touching ``cudaMalloc``/``cudaFree`` (Section III-B).
+
+:class:`PoolAllocator` reproduces that allocator faithfully enough to
+measure what the paper measures: best-fit allocation with block
+splitting, free-block coalescing, 256-byte alignment (CUDA's allocation
+granularity), an out-of-memory signal that defines *trainability*, and
+live/peak byte accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: CUDA device allocations are 256-byte aligned.
+ALIGNMENT = 256
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when an allocation cannot be satisfied from the pool.
+
+    Carries enough context for the dynamic policy to report why a
+    configuration is untrainable.
+    """
+
+    def __init__(self, requested: int, live: int, capacity: int, tag: str = ""):
+        self.requested = requested
+        self.live = live
+        self.capacity = capacity
+        self.tag = tag
+        super().__init__(
+            f"pool OOM allocating {requested} bytes"
+            + (f" for {tag!r}" if tag else "")
+            + f": {live}/{capacity} bytes live"
+        )
+
+
+@dataclass
+class Allocation:
+    """A live block handed out by the pool."""
+
+    offset: int
+    size: int          # aligned size actually reserved
+    requested: int     # caller-visible size
+    tag: str = ""
+    freed: bool = field(default=False, compare=False)
+
+
+def _align(nbytes: int) -> int:
+    return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+#: Placement strategies: cnmem uses best-fit; first-fit is provided for
+#: the fragmentation ablation.
+STRATEGIES = ("best_fit", "first_fit")
+
+
+class PoolAllocator:
+    """Pool allocator with splitting, coalescing and pluggable placement."""
+
+    def __init__(self, capacity: int, strategy: str = "best_fit"):
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        self.capacity = capacity
+        self.strategy = strategy
+        # Free blocks as {offset: size}, kept coalesced and disjoint.
+        self._free: Dict[int, int] = {0: capacity}
+        self._live: Dict[int, Allocation] = {}
+        self._live_bytes = 0
+        self._peak_bytes = 0
+        self._alloc_count = 0
+        self._free_count = 0
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+    def _place(self, size: int) -> Optional[int]:
+        if self.strategy == "first_fit":
+            candidates = [o for o, s in self._free.items() if s >= size]
+            return min(candidates) if candidates else None
+        best_offset: Optional[int] = None
+        best_size = 0
+        for offset, free_size in self._free.items():
+            if free_size >= size and (best_offset is None or free_size < best_size):
+                best_offset, best_size = offset, free_size
+        return best_offset
+
+    def alloc(self, nbytes: int, tag: str = "") -> Allocation:
+        """Reserve ``nbytes`` (rounded up to the alignment granule)."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        size = max(_align(nbytes), ALIGNMENT)
+
+        best_offset = self._place(size)
+        if best_offset is None:
+            raise OutOfMemoryError(size, self._live_bytes, self.capacity, tag)
+        best_size = self._free[best_offset]
+
+        del self._free[best_offset]
+        if best_size > size:
+            self._free[best_offset + size] = best_size - size
+
+        allocation = Allocation(offset=best_offset, size=size, requested=nbytes, tag=tag)
+        self._live[best_offset] = allocation
+        self._live_bytes += size
+        self._peak_bytes = max(self._peak_bytes, self._live_bytes)
+        self._alloc_count += 1
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Return a block to the pool, coalescing with free neighbours."""
+        if allocation.freed:
+            raise ValueError(f"double free of block at offset {allocation.offset}")
+        stored = self._live.pop(allocation.offset, None)
+        if stored is not allocation:
+            raise ValueError(
+                f"block at offset {allocation.offset} is not live in this pool"
+            )
+        allocation.freed = True
+        self._live_bytes -= allocation.size
+        self._free_count += 1
+
+        offset, size = allocation.offset, allocation.size
+        # Coalesce with the block immediately after.
+        following = self._free.pop(offset + size, None)
+        if following is not None:
+            size += following
+        # Coalesce with the block immediately before.
+        for prev_offset, prev_size in self._free.items():
+            if prev_offset + prev_size == offset:
+                del self._free[prev_offset]
+                offset, size = prev_offset, prev_size + size
+                break
+        self._free[offset] = size
+
+    def free_all(self) -> None:
+        """Release every live block (end-of-iteration reset)."""
+        for allocation in list(self._live.values()):
+            self.free(allocation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently reserved."""
+        return self._live_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of reserved bytes since construction."""
+        return self._peak_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._live_bytes
+
+    @property
+    def live_allocations(self) -> List[Allocation]:
+        return list(self._live.values())
+
+    @property
+    def fragmentation(self) -> float:
+        """1 - (largest free block / total free bytes); 0 when empty/full."""
+        if not self._free:
+            return 0.0
+        total_free = sum(self._free.values())
+        if total_free == 0:
+            return 0.0
+        return 1.0 - max(self._free.values()) / total_free
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "live_bytes": self._live_bytes,
+            "peak_bytes": self._peak_bytes,
+            "allocs": self._alloc_count,
+            "frees": self._free_count,
+        }
+
+    def check_invariants(self) -> None:
+        """Verify the free list and live set tile the pool exactly once.
+
+        Used by tests and by paranoid callers; O(n log n).
+        """
+        spans = [(o, s, "free") for o, s in self._free.items()]
+        spans += [(a.offset, a.size, "live") for a in self._live.values()]
+        spans.sort()
+        cursor = 0
+        previous_kind = None
+        for offset, size, kind in spans:
+            if offset != cursor:
+                raise AssertionError(
+                    f"pool corruption: gap/overlap at offset {cursor}..{offset}"
+                )
+            if kind == "free" and previous_kind == "free":
+                raise AssertionError("adjacent free blocks were not coalesced")
+            cursor = offset + size
+            previous_kind = kind
+        if cursor != self.capacity:
+            raise AssertionError(
+                f"pool corruption: blocks cover {cursor} of {self.capacity} bytes"
+            )

@@ -1,0 +1,73 @@
+"""Memory-usage tracking over (simulated) time.
+
+Figure 11 reports two statistics per configuration:
+
+* **maximum** memory usage — the largest amount allocated at any instant,
+  which "decides whether the target DNN application can be trained at
+  all", and
+* **average** memory usage — time-weighted mean of the live-byte curve,
+  which measures how much memory the policy keeps free for other uses
+  (bigger workspaces, fewer offloads).
+
+:class:`UsageTracker` consumes (timestamp, live_bytes) samples emitted by
+the executor every time the pool's occupancy changes and produces both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class UsageSample:
+    time: float
+    live_bytes: int
+
+
+class UsageTracker:
+    """Collects a step function of live bytes over simulated time."""
+
+    def __init__(self) -> None:
+        self._samples: List[UsageSample] = []
+
+    def record(self, time: float, live_bytes: int) -> None:
+        """Append one sample; timestamps must be non-decreasing."""
+        if live_bytes < 0:
+            raise ValueError("live_bytes cannot be negative")
+        if self._samples and time < self._samples[-1].time:
+            raise ValueError(
+                f"time went backwards: {time} after {self._samples[-1].time}"
+            )
+        self._samples.append(UsageSample(time, live_bytes))
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> List[UsageSample]:
+        return list(self._samples)
+
+    @property
+    def max_bytes(self) -> int:
+        """Peak of the recorded curve (0 when empty)."""
+        return max((s.live_bytes for s in self._samples), default=0)
+
+    @property
+    def average_bytes(self) -> float:
+        """Time-weighted average of the live-byte step function.
+
+        Falls back to the arithmetic mean of the samples when all
+        samples share one timestamp (e.g. analytic, zero-duration runs).
+        """
+        if not self._samples:
+            return 0.0
+        duration = self._samples[-1].time - self._samples[0].time
+        if duration <= 0:
+            return sum(s.live_bytes for s in self._samples) / len(self._samples)
+        weighted = 0.0
+        for current, following in zip(self._samples, self._samples[1:]):
+            weighted += current.live_bytes * (following.time - current.time)
+        return weighted / duration
+
+    def curve(self) -> List[Tuple[float, int]]:
+        """The raw (time, live_bytes) step function."""
+        return [(s.time, s.live_bytes) for s in self._samples]

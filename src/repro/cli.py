@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``networks`` — list the zoo and each configuration's baseline footprint;
+* ``evaluate`` — simulate one network under one policy/algorithm;
+* ``sweep`` — the full Figure-11/14 policy sweep for one network;
+* ``capacity`` — max trainable batch per policy;
+* ``figures`` — regenerate one or all paper figures;
+* ``train-demo`` — run real numpy training under a memory budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    capacity_report,
+    compare_policies,
+    evaluate,
+    oracular_baseline,
+)
+from .graph import gb
+from .hw import PAPER_SYSTEM
+from .reporting import format_table, gb_str, ms_str, pct_str
+from .zoo import available, build
+
+
+def _cmd_networks(_args) -> int:
+    rows = []
+    for name in available():
+        network = build(name)
+        base = evaluate(network, policy="base", algo="p")
+        rows.append([
+            name, network.name, len(network), len(network.conv_layers),
+            gb_str(base.max_usage_bytes),
+            "yes" if base.trainable else "NO",
+        ])
+    print(format_table(
+        ["key", "configuration", "layers", "convs", "baseline footprint",
+         "fits 12 GB"],
+        rows, title="Network zoo (paper defaults)",
+    ))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    network = build(args.network, args.batch)
+    result = evaluate(network, policy=args.policy, algo=args.algo)
+    oracle = oracular_baseline(network)
+    rows = [
+        ["trainable", "yes" if result.trainable else
+         f"NO ({result.failure})"],
+        ["max memory", gb_str(result.max_usage_bytes)],
+        ["avg memory", gb_str(result.avg_usage_bytes)],
+        ["offloaded / iteration", gb_str(result.offload_bytes)],
+        ["iteration time", ms_str(result.total_time)],
+        ["compute stalls", ms_str(result.compute_stall_seconds)],
+        ["perf vs oracular baseline",
+         f"{oracle.feature_extraction_time / result.feature_extraction_time:.2f}"
+         if result.feature_extraction_time else "-"],
+    ]
+    print(format_table(
+        ["metric", "value"], rows,
+        title=f"{network.name} under {result.label}",
+    ))
+    return 0 if result.trainable else 1
+
+
+def _cmd_sweep(args) -> int:
+    network = build(args.network, args.batch)
+    sweep = compare_policies(network)
+    oracle = oracular_baseline(network)
+    rows = []
+    for key in ("all(m)", "all(p)", "conv(m)", "conv(p)", "dyn",
+                "base(m)", "base(p)"):
+        r = sweep[key]
+        star = "" if r.trainable else "*"
+        rows.append([
+            key + star,
+            gb_str(r.avg_usage_bytes), gb_str(r.max_usage_bytes),
+            ms_str(r.feature_extraction_time),
+            f"{oracle.feature_extraction_time / r.feature_extraction_time:.2f}",
+        ])
+    print(format_table(
+        ["config", "avg mem", "max mem", "fe time", "perf vs oracle"],
+        rows, title=f"{network.name}: policy sweep (* = exceeds GPU memory)",
+    ))
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    network = build(args.network, args.batch)
+    report = capacity_report(network, PAPER_SYSTEM, upper_limit=args.limit)
+    print(format_table(
+        ["policy", "max trainable batch"],
+        [[k, v] for k, v in report.max_batch.items()],
+        title=f"Batch capacity of {network.name.split('(')[0]} on "
+              f"{report.gpu_name}",
+    ))
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from .core import plan_training_run
+
+    network = build(args.network, args.batch)
+    plan = plan_training_run(network, PAPER_SYSTEM,
+                             dataset_size=args.dataset_size,
+                             epochs=args.epochs)
+    print(format_table(
+        ["metric", "value"], plan.summary_rows(),
+        title=f"Training-run plan: {network.name}, "
+              f"{args.epochs} epochs over {args.dataset_size:,} images",
+    ))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from .reporting import figures as fig_mod
+
+    drivers = {
+        "fig01": lambda: fig_mod.fig01_baseline_usage(),
+        "fig04": lambda: fig_mod.fig04_breakdown(),
+        "fig05": lambda: fig_mod.fig05_per_layer(build("vgg16", 256)),
+        "fig06": lambda: fig_mod.fig06_reuse_distance(build("vgg16", 64)),
+        "fig11": lambda: fig_mod.fig11_memory_usage(),
+        "fig12": lambda: fig_mod.fig12_offload_size(),
+        "fig13": lambda: fig_mod.fig13_dram_bandwidth(build("vgg16", 256)),
+        "fig14": lambda: fig_mod.fig14_performance(),
+        "fig15": lambda: fig_mod.fig15_very_deep(),
+        "headline": lambda: fig_mod.headline(),
+    }
+    wanted = drivers if args.figure == "all" else {args.figure: drivers[args.figure]}
+    for name, driver in wanted.items():
+        text = driver().text
+        if args.out:
+            import os
+
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"{name}.txt")
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {path}")
+        else:
+            print(text)
+            print()
+    return 0
+
+
+def _cmd_train_demo(args) -> int:
+    import numpy as np
+
+    from .core import TransferPolicy
+    from .graph import NetworkBuilder
+    from .numerics import TrainingRuntime, make_batch
+
+    builder = NetworkBuilder("demo-cnn", (args.batch, 3, 32, 32))
+    for _ in range(4):
+        builder.conv(32, kernel=3, pad=1).relu()
+    builder.pool()
+    network = builder.fc(10).softmax().build()
+
+    policy = {"none": TransferPolicy.none,
+              "all": TransferPolicy.vdnn_all,
+              "conv": TransferPolicy.vdnn_conv}[args.policy]()
+    runtime = TrainingRuntime(network, policy, seed=0, learning_rate=0.02)
+    for step in range(args.steps):
+        images, labels = make_batch((args.batch, 3, 32, 32), 10, seed=step)
+        result = runtime.train_step(images, labels)
+        print(f"step {step:2d}  loss {result.loss:7.4f}  "
+              f"device peak {result.device_peak_bytes / (1 << 20):6.1f} MiB  "
+              f"offloads {result.offload_count}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vDNN (MICRO 2016) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("networks", help="list the network zoo")
+
+    p_eval = sub.add_parser("evaluate", help="simulate one configuration")
+    p_eval.add_argument("network", choices=available())
+    p_eval.add_argument("--batch", type=int, default=None)
+    p_eval.add_argument("--policy", default="dyn",
+                        choices=["all", "conv", "none", "base", "dyn"])
+    p_eval.add_argument("--algo", default="p", choices=["m", "p"])
+
+    p_sweep = sub.add_parser("sweep", help="full policy sweep")
+    p_sweep.add_argument("network", choices=available())
+    p_sweep.add_argument("--batch", type=int, default=None)
+
+    p_cap = sub.add_parser("capacity", help="max trainable batch per policy")
+    p_cap.add_argument("network", choices=available())
+    p_cap.add_argument("--batch", type=int, default=None)
+    p_cap.add_argument("--limit", type=int, default=512)
+
+    p_plan = sub.add_parser("plan", help="project a full training run")
+    p_plan.add_argument("network", choices=available())
+    p_plan.add_argument("--batch", type=int, default=None)
+    p_plan.add_argument("--dataset-size", type=int, default=1_281_167)
+    p_plan.add_argument("--epochs", type=int, default=74)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("figure", nargs="?", default="all",
+                       choices=["all", "fig01", "fig04", "fig05", "fig06",
+                                "fig11", "fig12", "fig13", "fig14", "fig15",
+                                "headline"])
+    p_fig.add_argument("--out", default=None,
+                       help="directory to write <figure>.txt files into")
+
+    p_demo = sub.add_parser("train-demo",
+                            help="real numpy training under a policy")
+    p_demo.add_argument("--policy", default="all",
+                        choices=["none", "all", "conv"])
+    p_demo.add_argument("--steps", type=int, default=5)
+    p_demo.add_argument("--batch", type=int, default=8)
+
+    return parser
+
+
+_COMMANDS = {
+    "networks": _cmd_networks,
+    "evaluate": _cmd_evaluate,
+    "sweep": _cmd_sweep,
+    "capacity": _cmd_capacity,
+    "plan": _cmd_plan,
+    "figures": _cmd_figures,
+    "train-demo": _cmd_train_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

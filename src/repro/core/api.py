@@ -1,0 +1,93 @@
+"""High-level public API: evaluate networks under memory-manager policies.
+
+Typical use::
+
+    from repro import zoo
+    from repro.core import evaluate, compare_policies
+
+    net = zoo.build("vgg16", 256)
+    result = evaluate(net, policy="dyn")
+    print(result.trainable, result.max_usage_bytes, result.total_time)
+
+``policy`` accepts ``"base"``, ``"all"``, ``"conv"``, ``"none"`` or
+``"dyn"``; ``algo`` accepts ``"m"`` (memory-optimal) or ``"p"``
+(performance-optimal).  ``compare_policies`` reproduces one network's
+column group of the paper's Figures 11/14.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..graph.network import Network
+from ..hw.config import PAPER_SYSTEM, SystemConfig
+from .algo_config import AlgoConfig
+from .dynamic import simulate_dynamic
+from .executor import IterationResult, simulate_baseline, simulate_vdnn
+from .policy import TransferPolicy
+
+_POLICIES = ("all", "conv", "dyn", "base", "none")
+_ALGOS = ("m", "p")
+
+
+def _algo_config(network: Network, algo: str) -> AlgoConfig:
+    if algo == "m":
+        return AlgoConfig.memory_optimal(network)
+    if algo == "p":
+        return AlgoConfig.performance_optimal(network)
+    raise ValueError(f"algo must be one of {_ALGOS}, got {algo!r}")
+
+
+def evaluate(
+    network: Network,
+    system: Optional[SystemConfig] = None,
+    policy: str = "dyn",
+    algo: str = "p",
+) -> IterationResult:
+    """Simulate one training iteration of ``network`` under a policy."""
+    system = system or PAPER_SYSTEM
+    if policy not in _POLICIES:
+        raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+    if policy == "dyn":
+        return simulate_dynamic(network, system)
+    algos = _algo_config(network, algo)
+    if policy == "base":
+        return simulate_baseline(network, system, algos)
+    transfer = {
+        "all": TransferPolicy.vdnn_all,
+        "conv": TransferPolicy.vdnn_conv,
+        "none": TransferPolicy.none,
+    }[policy]()
+    return simulate_vdnn(network, system, transfer, algos)
+
+
+def oracular_baseline(
+    network: Network, system: Optional[SystemConfig] = None
+) -> IterationResult:
+    """The paper's oracle: baseline(p) on a capacity-unlimited GPU."""
+    system = (system or PAPER_SYSTEM).with_oracular_gpu()
+    return simulate_baseline(
+        network, system, AlgoConfig.performance_optimal(network)
+    )
+
+
+def compare_policies(
+    network: Network,
+    system: Optional[SystemConfig] = None,
+    include_dynamic: bool = True,
+) -> Dict[str, IterationResult]:
+    """One network's full policy x algorithm sweep (Figures 11/14).
+
+    Keys follow the paper's column labels: ``all(m)``, ``all(p)``,
+    ``conv(m)``, ``conv(p)``, ``dyn``, ``base(m)``, ``base(p)``.
+    """
+    system = system or PAPER_SYSTEM
+    results: Dict[str, IterationResult] = {}
+    for policy in ("all", "conv"):
+        for algo in _ALGOS:
+            results[f"{policy}({algo})"] = evaluate(network, system, policy, algo)
+    if include_dynamic:
+        results["dyn"] = evaluate(network, system, "dyn")
+    for algo in _ALGOS:
+        results[f"base({algo})"] = evaluate(network, system, "base", algo)
+    return results

@@ -1,0 +1,180 @@
+"""vDNN_dyn: the dynamic memory-transfer / algorithm selection policy.
+
+Section III-C: because training repeats one identical iteration millions
+of times, vDNN can afford a short profiling stage that *tries*
+configurations in decreasing order of performance and adopts the first
+one that is trainable:
+
+1. ``vDNN_all`` with memory-optimal algorithms — the feasibility probe.
+   If even this does not fit, the network is untrainable, full stop.
+2. No offloading + performance-optimal algorithms (the best possible
+   configuration).  If it fits, use it for the whole training run.
+   Otherwise try the same fastest algorithms with ``vDNN_conv`` and then
+   ``vDNN_all`` offloading.
+3. A greedy pass that starts from the fastest algorithms and locally
+   downgrades individual layers to less workspace-hungry algorithms
+   until the configuration fits, tried first with ``vDNN_conv`` then
+   with ``vDNN_all``.
+4. Fallback: ``vDNN_all`` with memory-optimal algorithms (known to fit
+   from step 1).
+
+Each probe here is one run of the iteration simulator — the analogue of
+the paper's single profiled training pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from .algo_config import AlgoConfig
+from .executor import IterationResult, simulate_vdnn
+from .policy import TransferPolicy
+
+
+class UntrainableError(RuntimeError):
+    """Even vDNN_all with memory-optimal algorithms does not fit."""
+
+
+@dataclass
+class ProfilingPass:
+    """Record of one configuration probe."""
+
+    description: str
+    policy: TransferPolicy
+    algo_label: str
+    trainable: bool
+    max_usage_bytes: int
+    feature_extraction_time: float
+
+
+@dataclass
+class DynamicPlan:
+    """The configuration vDNN_dyn settles on, plus its probe history."""
+
+    policy: TransferPolicy
+    algos: AlgoConfig
+    result: IterationResult
+    passes: List[ProfilingPass] = field(default_factory=list)
+
+    @property
+    def description(self) -> str:
+        return f"{self.policy.describe()} + algos[{self.algos.label}]"
+
+
+def _probe(
+    network: Network,
+    system: SystemConfig,
+    policy: TransferPolicy,
+    algos: AlgoConfig,
+    description: str,
+    passes: List[ProfilingPass],
+) -> IterationResult:
+    result = simulate_vdnn(network, system, policy, algos)
+    passes.append(ProfilingPass(
+        description=description,
+        policy=policy,
+        algo_label=algos.label,
+        trainable=result.trainable,
+        max_usage_bytes=result.max_usage_bytes,
+        feature_extraction_time=result.feature_extraction_time,
+    ))
+    return result
+
+
+def _greedy_downgrade(
+    network: Network,
+    system: SystemConfig,
+    policy: TransferPolicy,
+    passes: List[ProfilingPass],
+    max_probes: int = 64,
+) -> Optional[Tuple[AlgoConfig, IterationResult]]:
+    """Pass-3 greedy: shrink the most workspace-hungry layers until fit.
+
+    The paper walks layers in order and downgrades any whose fastest
+    algorithm would overflow the budget; with a simulator per probe we
+    can be slightly smarter and always downgrade the layer contributing
+    the largest live workspace, which reaches the same fixed points.
+    """
+    algos = AlgoConfig.performance_optimal(network)
+    algos.label = "dyn"
+    for probe_index in range(max_probes):
+        result = _probe(
+            network, system, policy, algos,
+            f"greedy[{policy.describe()}] probe {probe_index}", passes,
+        )
+        if result.trainable:
+            return algos, result
+        # Downgrade the layer with the largest current workspace.
+        candidates = sorted(
+            algos.profiles.items(),
+            key=lambda item: item[1].workspace_bytes,
+            reverse=True,
+        )
+        downgraded = False
+        for layer_index, profile in candidates:
+            if profile.workspace_bytes == 0:
+                break
+            if algos.downgrade(network, layer_index):
+                downgraded = True
+                break
+        if not downgraded:
+            return None  # everything is already at implicit GEMM
+    return None
+
+
+def plan_dynamic(network: Network, system: SystemConfig) -> DynamicPlan:
+    """Run the vDNN_dyn profiling passes and return the adopted plan."""
+    passes: List[ProfilingPass] = []
+    memory_optimal = AlgoConfig.memory_optimal(network)
+    performance_optimal = AlgoConfig.performance_optimal(network)
+
+    # Pass 1: trainability probe — vDNN_all, memory-optimal.
+    feasibility = _probe(
+        network, system, TransferPolicy.vdnn_all(), memory_optimal,
+        "pass1: vDNN_all(m) feasibility", passes,
+    )
+    if not feasibility.trainable:
+        raise UntrainableError(
+            f"{network.name}: even vDNN_all with memory-optimal algorithms "
+            f"needs {feasibility.max_usage_bytes} bytes "
+            f"(> {system.gpu.memory_bytes})"
+        )
+
+    # Pass 2: fastest algorithms, no offloading at all.
+    best = _probe(
+        network, system, TransferPolicy.none(), performance_optimal,
+        "pass2: no-offload(p)", passes,
+    )
+    if best.trainable:
+        return DynamicPlan(TransferPolicy.none(), performance_optimal, best, passes)
+
+    # Pass 2b: fastest algorithms with static offloading.
+    for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
+        result = _probe(
+            network, system, policy, performance_optimal,
+            f"pass2b: {policy.describe()}(p)", passes,
+        )
+        if result.trainable:
+            return DynamicPlan(policy, performance_optimal, result, passes)
+
+    # Pass 3: greedy per-layer algorithm downgrades.
+    for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
+        greedy = _greedy_downgrade(network, system, policy, passes)
+        if greedy is not None:
+            algos, result = greedy
+            return DynamicPlan(policy, algos, result, passes)
+
+    # Fallback: the known-feasible configuration from pass 1.
+    return DynamicPlan(TransferPolicy.vdnn_all(), memory_optimal, feasibility, passes)
+
+
+def simulate_dynamic(network: Network, system: SystemConfig) -> IterationResult:
+    """Convenience: run vDNN_dyn and relabel the adopted result."""
+    plan = plan_dynamic(network, system)
+    result = plan.result
+    result.policy_label = "vDNN_dyn"
+    result.algo_label = plan.algos.label
+    return result

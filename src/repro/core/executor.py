@@ -1,0 +1,537 @@
+"""Event-driven execution of one training iteration under a memory manager.
+
+Two entry points:
+
+* :func:`simulate_baseline` — the Torch-style network-wide allocation
+  policy of Section IV-A: everything (all feature maps, weights, the two
+  reused dY/dX ping-pong buffers, one shared maximum-size workspace) is
+  allocated up front, so maximum usage equals average usage, and the
+  network is trainable iff that total fits the GPU.
+* :func:`simulate_vdnn` — the vDNN manager of Section III: layer-wise
+  allocation from a cnmem-style pool, offload of input feature maps on
+  ``stream_memory`` overlapped with the owning layer's forward kernel,
+  end-of-layer synchronization, release at the refcount-gated last
+  consumer, and Figure-10 prefetching overlapped with backward kernels.
+
+Both run the same roofline kernel latencies on the same simulated CUDA
+streams, so their timelines are directly comparable (Figure 14).  The
+simulation allocates from an *unbounded* pool and judges trainability by
+comparing the peak live bytes against the GPU's physical capacity — with
+no thrashing in the model this is exact, and it lets untrainable
+configurations still report the memory they would have needed (the
+``(*)``-marked bars of Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..alloc.pinned import PinnedHostAllocator, PinnedMemoryError
+from ..alloc.pool import Allocation, PoolAllocator
+from ..alloc.stats import UsageTracker
+from ..graph.layer import LayerKind
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from ..kernels.latency import LatencyModel
+from ..sim.stream import SimStream, make_stream_pair
+from ..sim.timeline import EventKind, Timeline
+from .algo_config import AlgoConfig
+from .liveness import LivenessAnalysis, StorageInfo
+from .policy import TransferPolicy
+from .prefetcher import PrefetchState, find_prefetch_layer
+
+#: Pool capacity used for simulation runs; trainability is decided by
+#: comparing peak usage to the *real* GPU capacity afterwards.
+_UNBOUNDED = 1 << 50
+
+
+@dataclass
+class IterationResult:
+    """Everything one simulated training iteration produces.
+
+    Memory is reported at two scopes, mirroring the paper's prototype
+    (Section IV-A): the **managed** scope is the vDNN/cnmem pool holding
+    feature maps, gradient maps, workspaces and feature-extraction
+    weights — what Figure 11's usage bars measure — while classifier
+    (FC) weights "remain unchanged and use the same cuBLAS routines used
+    in Torch", i.e. live outside the pool (``external_bytes``).  The
+    trainability check uses the sum of both scopes.
+    """
+
+    network_name: str
+    policy_label: str
+    algo_label: str
+    trainable: bool
+    failure: Optional[str]
+    timeline: Timeline
+    usage: UsageTracker
+    managed_max_bytes: int
+    managed_avg_bytes: float
+    external_bytes: int
+    persistent_bytes: int
+    total_time: float
+    feature_extraction_time: float
+    offload_bytes: int
+    prefetch_bytes: int
+    pinned_peak_bytes: int
+    compute_stall_seconds: float
+    offloaded_layers: List[int] = field(default_factory=list)
+
+    @property
+    def max_usage_bytes(self) -> int:
+        """Peak device-memory footprint including unmanaged allocations."""
+        return self.managed_max_bytes + self.external_bytes
+
+    @property
+    def avg_usage_bytes(self) -> float:
+        """Average device-memory footprint including unmanaged allocations."""
+        return self.managed_avg_bytes + self.external_bytes
+
+    @property
+    def label(self) -> str:
+        return f"{self.policy_label}({self.algo_label})"
+
+
+def _feature_extraction_time(network: Network, timeline: Timeline) -> float:
+    """Wall time minus the classifier window (Section V-C's metric)."""
+    classifier = {n.index for n in network.classifier_nodes}
+    events = [e for e in timeline.events if e.layer_index in classifier]
+    if not events:
+        return timeline.span
+    window = max(e.end for e in events) - min(e.start for e in events)
+    return max(timeline.span - window, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Baseline manager
+# ----------------------------------------------------------------------
+def baseline_allocation_bytes(
+    network: Network, algos: AlgoConfig, liveness: Optional[LivenessAnalysis] = None
+) -> Dict[str, int]:
+    """Network-wide allocation breakdown of the baseline policy.
+
+    Returns a dict with keys ``weights``, ``weight_gradients``,
+    ``feature_maps``, ``gradient_maps``, ``workspace`` and ``total`` —
+    the functional breakdown of the paper's Figure 4.
+    """
+    liveness = liveness or LivenessAnalysis(network)
+    weights = network.total_weight_bytes()
+    feature_maps = liveness.total_feature_map_bytes()
+    # Two reused dY/dX buffers, each sized to the maximum gradient map
+    # (Section IV-A's improved baseline, after [38, 39]).
+    gradient_maps = 2 * liveness.max_gradient_bytes()
+    workspace = algos.max_workspace_bytes()
+    return {
+        "weights": weights,
+        "weight_gradients": weights,
+        "feature_maps": feature_maps,
+        "gradient_maps": gradient_maps,
+        "workspace": workspace,
+        "total": weights * 2 + feature_maps + gradient_maps + workspace,
+    }
+
+
+def simulate_baseline(
+    network: Network,
+    system: SystemConfig,
+    algos: AlgoConfig,
+) -> IterationResult:
+    """One iteration under the network-wide allocation policy."""
+    latency = LatencyModel(system.gpu)
+    compute, _memory, timeline = make_stream_pair()
+    liveness = LivenessAnalysis(network)
+    breakdown = baseline_allocation_bytes(network, algos, liveness)
+    total = breakdown["total"]
+
+    usage = UsageTracker()
+    usage.record(0.0, total)
+
+    for index in network.forward_schedule():
+        node = network[index]
+        if node.kind is LayerKind.INPUT:
+            continue
+        timing = latency.forward(network, node, algos.profile(node))
+        compute.enqueue(EventKind.FORWARD, node.name, timing.seconds,
+                        nbytes=int(timing.dram_bytes), layer_index=index)
+    for index in network.backward_schedule():
+        node = network[index]
+        timing = latency.backward(network, node, algos.profile(node))
+        compute.enqueue(EventKind.BACKWARD, node.name, timing.seconds,
+                        nbytes=int(timing.dram_bytes), layer_index=index)
+
+    usage.record(timeline.end_time, total)
+    trainable = total <= system.gpu.memory_bytes
+    return IterationResult(
+        network_name=network.name,
+        policy_label="base",
+        algo_label=algos.label,
+        trainable=trainable,
+        failure=None if trainable else (
+            f"network-wide allocation of {total} bytes exceeds GPU "
+            f"capacity of {system.gpu.memory_bytes} bytes"
+        ),
+        timeline=timeline,
+        usage=usage,
+        managed_max_bytes=total,
+        managed_avg_bytes=float(total),
+        external_bytes=0,
+        persistent_bytes=breakdown["weights"] * 2,
+        total_time=timeline.span,
+        feature_extraction_time=_feature_extraction_time(network, timeline),
+        offload_bytes=0,
+        prefetch_bytes=0,
+        pinned_peak_bytes=0,
+        compute_stall_seconds=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# vDNN manager
+# ----------------------------------------------------------------------
+class _VDNNSimulation:
+    """Stateful walk of one iteration under the vDNN manager."""
+
+    def __init__(
+        self,
+        network: Network,
+        system: SystemConfig,
+        policy: TransferPolicy,
+        algos: AlgoConfig,
+        bounded_prefetch_window: bool = True,
+        sync_after_offload: bool = True,
+    ):
+        self.network = network
+        self.system = system
+        self.policy = policy
+        self.algos = algos
+        self.bounded_prefetch_window = bounded_prefetch_window
+        self.sync_after_offload = sync_after_offload
+
+        self.latency = LatencyModel(system.gpu)
+        self.liveness = LivenessAnalysis(network)
+        self.pool = PoolAllocator(_UNBOUNDED)
+        self.pinned = PinnedHostAllocator(system.host.max_pinned_bytes)
+        self.compute, self.memory, self.timeline = make_stream_pair()
+        self.usage = UsageTracker()
+        self.state = PrefetchState.for_network(network)
+
+        # storage owner -> live device Allocation
+        self.device: Dict[int, Allocation] = {}
+        # storage owner -> live gradient Allocation
+        self.gradients: Dict[int, Allocation] = {}
+        # trigger layer -> storages it offloaded
+        self.offloaded_at: Dict[int, List[StorageInfo]] = {}
+        # storage owner -> pinned host buffer
+        self.host_buffers: Dict[int, object] = {}
+        # storage owner -> True once restored by a prefetch
+        self.restored: Dict[int, bool] = {}
+
+        self.stall_seconds = 0.0
+        self.offload_bytes = 0
+        self.prefetch_bytes = 0
+        self.external_bytes = 0
+        self.offloaded_layers: List[int] = []
+
+    # -- bookkeeping helpers -------------------------------------------
+    def _sample(self) -> None:
+        self.usage.record(self.compute.ready_time, self.pool.live_bytes)
+
+    def _alloc(self, owner: int, nbytes: int, tag: str) -> Allocation:
+        allocation = self.pool.alloc(nbytes, tag)
+        self._sample()
+        return allocation
+
+    def _free(self, allocation: Allocation) -> None:
+        self.pool.free(allocation)
+        self._sample()
+
+    def _stall(self, label: str, layer_index: int) -> None:
+        """Synchronize compute behind memory, logging any wasted time."""
+        before = self.compute.ready_time
+        stall = self.compute.wait_for(self.memory)
+        if stall > 0:
+            self.stall_seconds += stall
+            self.timeline.record(
+                self.compute.name, EventKind.STALL, label,
+                before, before + stall, layer_index=layer_index,
+            )
+
+    # -- persistent allocations ----------------------------------------
+    def allocate_persistent(self) -> int:
+        """Weights and weight gradients.
+
+        Feature-extraction weights live in the vDNN pool; classifier
+        weights are Torch/cuBLAS allocations outside it (Section IV-A)
+        and are accounted in :attr:`external_bytes`.
+        """
+        persistent = 0
+        self.external_bytes = 0
+        for node in self.network:
+            if not node.weight_bytes:
+                continue
+            if node.is_feature_extraction:
+                self._alloc(node.index, node.weight_bytes, f"W[{node.name}]")
+                self._alloc(node.index, node.weight_bytes, f"dW[{node.name}]")
+            else:
+                self.external_bytes += 2 * node.weight_bytes
+            persistent += 2 * node.weight_bytes
+        return persistent
+
+    # -- forward pass ----------------------------------------------------
+    def run_forward(self) -> None:
+        for index in self.network.forward_schedule():
+            self._forward_layer(index)
+
+    def _forward_layer(self, index: int) -> None:
+        node = self.network[index]
+
+        # Layer-wise allocation: this layer's output (unless in-place)
+        # and its transient convolution workspace.
+        if not node.in_place:
+            storage = self.liveness.storage_of(index)
+            self.device[storage.owner] = self._alloc(
+                storage.owner, storage.nbytes, f"Y[{node.name}]"
+            )
+
+        if node.kind is LayerKind.INPUT:
+            return
+
+        workspace: Optional[Allocation] = None
+        ws_bytes = self.algos.workspace_bytes(node)
+        if ws_bytes:
+            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]")
+
+        timing = self.latency.forward(self.network, node, self.algos.profile(node))
+        fwd = self.compute.enqueue(
+            EventKind.FORWARD, node.name, timing.seconds,
+            nbytes=int(timing.dram_bytes), layer_index=index,
+        )
+
+        # Offload/release any input storage whose last consumer we are
+        # (the refcount gate of Figure 3).
+        offloads: List[StorageInfo] = []
+        for storage in self.liveness.input_storages(index):
+            if storage.forward_release_at != index:
+                continue
+            if storage.needed_backward:
+                if self.policy.wants_offload(node):
+                    offloads.append(storage)
+            else:
+                # Dead after forward: release without any transfer
+                # (the black-X arrows of Figure 7).
+                self._free(self.device.pop(storage.owner))
+
+        if offloads:
+            for storage in offloads:
+                buffer = self.pinned.alloc(storage.nbytes, f"host[{storage.owner}]")
+                self.host_buffers[storage.owner] = buffer
+                self.memory.enqueue(
+                    EventKind.OFFLOAD,
+                    self.network[storage.owner].name,
+                    self.system.pcie.dma_time(storage.nbytes),
+                    earliest_start=fwd.start,
+                    nbytes=storage.nbytes,
+                    layer_index=index,
+                )
+                self.offload_bytes += storage.nbytes
+            self.offloaded_at[index] = offloads
+            self.state.mark_offloaded(index)
+            self.offloaded_layers.append(index)
+
+            if self.sync_after_offload:
+                self._stall(f"offload-sync {node.name}", index)
+            for storage in offloads:
+                self._free(self.device.pop(storage.owner))
+
+        if workspace is not None:
+            self._free(workspace)
+
+    # -- backward pass ---------------------------------------------------
+    def run_backward(self) -> None:
+        for index in self.network.backward_schedule():
+            self._backward_layer(index)
+        self._release_remaining()
+
+    def _required_storages(self, index: int) -> List[StorageInfo]:
+        node = self.network[index]
+        required: Dict[int, StorageInfo] = {}
+        if node.layer.backward_needs_x:
+            for storage in self.liveness.input_storages(index):
+                required[storage.owner] = storage
+        if node.layer.backward_needs_y:
+            storage = self.liveness.storage_of(index)
+            required[storage.owner] = storage
+        return list(required.values())
+
+    def _restore_on_demand(self, storage: StorageInfo, index: int) -> None:
+        """Blocking prefetch for data the scheduler failed to stage."""
+        self.device[storage.owner] = self._alloc(
+            storage.owner, storage.nbytes, f"X[{storage.owner}](demand)"
+        )
+        self.memory.enqueue(
+            EventKind.PREFETCH,
+            self.network[storage.owner].name + "(demand)",
+            self.system.pcie.dma_time(storage.nbytes),
+            earliest_start=self.compute.ready_time,
+            nbytes=storage.nbytes,
+            layer_index=index,
+        )
+        self.prefetch_bytes += storage.nbytes
+        self._stall(f"demand-fetch {storage.owner}", index)
+        self.pinned.free(self.host_buffers.pop(storage.owner))
+        self.restored[storage.owner] = True
+
+    def _backward_layer(self, index: int) -> None:
+        node = self.network[index]
+
+        # Safety net: anything this kernel reads must be on-device.
+        for storage in self._required_storages(index):
+            if storage.owner not in self.device:
+                self._restore_on_demand(storage, index)
+
+        # Gradient twins born at this backward step.
+        for storage in self.liveness.all_storages():
+            if storage.needs_gradient and storage.gradient_alloc_at == index \
+                    and storage.owner not in self.gradients:
+                self.gradients[storage.owner] = self._alloc(
+                    storage.owner, storage.nbytes, f"dY[{storage.owner}]"
+                )
+
+        workspace: Optional[Allocation] = None
+        ws_bytes = self.algos.workspace_bytes(node)
+        if ws_bytes:
+            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]")
+
+        # Figure 10: launch (at most) one prefetch overlapped with this
+        # backward kernel.
+        prefetch_target = find_prefetch_layer(
+            self.network, self.state, index,
+            bounded_window=self.bounded_prefetch_window,
+        )
+        launched_prefetch = False
+        kernel_start = max(self.compute.ready_time, 0.0)
+        if prefetch_target is not None:
+            for storage in self.offloaded_at.get(prefetch_target, []):
+                if self.restored.get(storage.owner):
+                    continue
+                self.device[storage.owner] = self._alloc(
+                    storage.owner, storage.nbytes, f"X[{storage.owner}](pre)"
+                )
+                self.memory.enqueue(
+                    EventKind.PREFETCH,
+                    self.network[storage.owner].name,
+                    self.system.pcie.dma_time(storage.nbytes),
+                    earliest_start=kernel_start,
+                    nbytes=storage.nbytes,
+                    layer_index=index,
+                )
+                self.prefetch_bytes += storage.nbytes
+                self.pinned.free(self.host_buffers.pop(storage.owner))
+                self.restored[storage.owner] = True
+                launched_prefetch = True
+
+        timing = self.latency.backward(self.network, node, self.algos.profile(node))
+        self.compute.enqueue(
+            EventKind.BACKWARD, node.name, timing.seconds,
+            nbytes=int(timing.dram_bytes), layer_index=index,
+        )
+
+        # "Any prefetch operation launched during layer(n)'s backward
+        # computation is guaranteed to be ready before layer(n-1)'s."
+        if launched_prefetch:
+            self._stall(f"prefetch-sync {node.name}", index)
+
+        # Release whatever this backward step finished with (Figure 8).
+        for storage in self.liveness.all_storages():
+            if storage.needed_backward and storage.backward_release_after == index:
+                allocation = self.device.pop(storage.owner, None)
+                if allocation is not None:
+                    self._free(allocation)
+            if storage.needs_gradient and storage.gradient_release_after == index:
+                allocation = self.gradients.pop(storage.owner, None)
+                if allocation is not None:
+                    self._free(allocation)
+
+        if workspace is not None:
+            self._free(workspace)
+
+    def _release_remaining(self) -> None:
+        """Free anything still live (e.g. the input batch's storage)."""
+        for allocation in list(self.device.values()):
+            self._free(allocation)
+        self.device.clear()
+        for allocation in list(self.gradients.values()):
+            self._free(allocation)
+        self.gradients.clear()
+
+
+def simulate_vdnn(
+    network: Network,
+    system: SystemConfig,
+    policy: TransferPolicy,
+    algos: AlgoConfig,
+    bounded_prefetch_window: bool = True,
+    sync_after_offload: bool = True,
+) -> IterationResult:
+    """One training iteration under the vDNN memory manager.
+
+    Args:
+        network: the DNN to train.
+        system: GPU + host + PCIe models.
+        policy: which layers offload their input feature maps.
+        algos: per-CONV-layer algorithm (and workspace) choices.
+        bounded_prefetch_window: disable for the DESIGN.md ablation of
+            Figure 10's CONV-bounded search window.
+        sync_after_offload: disable for the end-of-layer-sync ablation
+            (release then happens at the same point but compute no
+            longer waits — an *unsafe* configuration kept for study).
+
+    Returns:
+        The :class:`IterationResult`; ``trainable`` reflects whether the
+        peak pool usage fits the physical GPU.
+    """
+    sim = _VDNNSimulation(
+        network, system, policy, algos,
+        bounded_prefetch_window=bounded_prefetch_window,
+        sync_after_offload=sync_after_offload,
+    )
+    failure: Optional[str] = None
+    persistent = sim.allocate_persistent()
+    try:
+        sim.run_forward()
+        sim.run_backward()
+    except PinnedMemoryError as error:
+        # Host DRAM cannot stage this policy's offload traffic; the
+        # configuration is untrainable on this node (partial stats kept).
+        failure = f"host pinned memory exhausted: {error}"
+    sim.usage.record(sim.timeline.end_time, sim.pool.live_bytes)
+
+    peak = sim.usage.max_bytes
+    total_peak = peak + sim.external_bytes
+    if failure is None and total_peak > system.gpu.memory_bytes:
+        failure = (
+            f"peak usage {total_peak} bytes exceeds GPU capacity "
+            f"{system.gpu.memory_bytes} bytes"
+        )
+    trainable = failure is None
+    return IterationResult(
+        network_name=network.name,
+        policy_label=policy.describe(),
+        algo_label=algos.label,
+        trainable=trainable,
+        failure=failure,
+        timeline=sim.timeline,
+        usage=sim.usage,
+        managed_max_bytes=peak,
+        managed_avg_bytes=sim.usage.average_bytes,
+        external_bytes=sim.external_bytes,
+        persistent_bytes=persistent,
+        total_time=sim.timeline.span,
+        feature_extraction_time=_feature_extraction_time(network, sim.timeline),
+        offload_bytes=sim.offload_bytes,
+        prefetch_bytes=sim.prefetch_bytes,
+        pinned_peak_bytes=sim.pinned.peak_bytes,
+        compute_stall_seconds=sim.stall_seconds,
+        offloaded_layers=sim.offloaded_layers,
+    )

@@ -1,0 +1,109 @@
+"""The page-migration strawman (Section II-C), as an executable model.
+
+The paper's argument for explicit offload/prefetch is that OS-style,
+demand-paged GPU virtualization moves data at page-fault speed: each
+4 KB page costs 20-50 us of interrupts, page-table and TLB maintenance
+— 80-200 MB/s against DMA's 12.8 GB/s.  This module models training a
+memory-oversubscribed network under such a system, to quantify the gap
+vDNN's design sidesteps.
+
+Model: when the network-wide footprint exceeds physical GPU memory by B
+bytes, each training iteration must (at least) page B bytes out during
+forward propagation and page the same B bytes back in during backward
+propagation, and page faults block the faulting kernel (no overlap —
+the faulting thread *is* the computation).  This is deliberately
+charitable to paging: perfect (oracular) page placement, no thrashing,
+every byte moved exactly twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from ..hw.pcie import TransferMode
+from .algo_config import AlgoConfig
+from .executor import IterationResult, simulate_baseline
+
+
+@dataclass(frozen=True)
+class PagingReport:
+    """Cost of training one iteration under demand paging."""
+
+    network_name: str
+    footprint_bytes: int
+    oversubscribed_bytes: int
+    compute_seconds: float
+    paging_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.paging_seconds
+
+    @property
+    def slowdown(self) -> float:
+        """Iteration-time multiplier vs. a big-enough GPU."""
+        if self.compute_seconds == 0:
+            return 1.0
+        return self.total_seconds / self.compute_seconds
+
+    @property
+    def fits(self) -> bool:
+        return self.oversubscribed_bytes == 0
+
+
+def simulate_page_migration(
+    network: Network,
+    system: SystemConfig,
+    algos: AlgoConfig,
+    mode: TransferMode = TransferMode.PAGE_MIGRATION,
+) -> PagingReport:
+    """One training iteration under page-migration virtualization.
+
+    Args:
+        mode: pass :attr:`TransferMode.DMA` to model a hypothetical
+            paging system that somehow moved pages at DMA speed — the
+            upper bound on what smarter paging hardware could achieve
+            (still unable to overlap, unlike vDNN).
+    """
+    oracle = simulate_baseline(network, system.with_oracular_gpu(), algos)
+    footprint = oracle.max_usage_bytes
+    over = max(0, footprint - system.gpu.memory_bytes)
+    paging_seconds = 2 * system.pcie.transfer_time(over, mode)
+    return PagingReport(
+        network_name=network.name,
+        footprint_bytes=footprint,
+        oversubscribed_bytes=over,
+        compute_seconds=oracle.total_time,
+        paging_seconds=paging_seconds,
+    )
+
+
+def paging_vs_vdnn(
+    network: Network, system: SystemConfig
+) -> dict:
+    """Head-to-head: demand paging vs. vDNN_dyn on one network.
+
+    Returns a dict with the paging slowdown, the DMA-speed-paging
+    slowdown, and vDNN_dyn's slowdown — the three points of the
+    Section II-C argument.
+    """
+    from .dynamic import simulate_dynamic
+
+    algos = AlgoConfig.performance_optimal(network)
+    paging = simulate_page_migration(network, system, algos)
+    paging_dma = simulate_page_migration(
+        network, system, algos, mode=TransferMode.DMA
+    )
+    dyn = simulate_dynamic(network, system)
+    oracle = simulate_baseline(network, system.with_oracular_gpu(), algos)
+    vdnn_slowdown = (dyn.total_time / oracle.total_time
+                     if oracle.total_time else 1.0)
+    return {
+        "network": network.name,
+        "oversubscribed_bytes": paging.oversubscribed_bytes,
+        "paging_slowdown": paging.slowdown,
+        "paging_dma_slowdown": paging_dma.slowdown,
+        "vdnn_dyn_slowdown": vdnn_slowdown,
+    }

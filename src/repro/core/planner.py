@@ -1,0 +1,111 @@
+"""Training-run planning: from one simulated iteration to a full run.
+
+The paper's pitch to practitioners is about whole training runs —
+"millions to billions of iterations" (Section II-B) over "days to weeks"
+(Section III-C).  :func:`plan_training_run` extends the one-iteration
+simulation to that scale: given a dataset size and epoch count, it picks
+the vDNN_dyn configuration, then reports end-to-end time, energy (from
+the Section V-D power model), and total PCIe traffic — the numbers a
+user needs before committing a GPU-month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from ..sim.power import PowerReport, analyze_power
+from .dynamic import DynamicPlan, plan_dynamic
+from .executor import IterationResult
+
+
+@dataclass(frozen=True)
+class TrainingRunPlan:
+    """Projected cost of one full training run under vDNN_dyn."""
+
+    network_name: str
+    configuration: str
+    dataset_size: int
+    epochs: int
+    batch_size: int
+    iterations: int
+    iteration_seconds: float
+    gpu_peak_bytes: int
+    host_peak_bytes: int
+    pcie_bytes_per_iteration: int
+    average_watts: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.iterations * self.iteration_seconds
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_seconds / 3600.0
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.average_watts * self.total_seconds / 3.6e6
+
+    @property
+    def total_pcie_bytes(self) -> int:
+        return self.pcie_bytes_per_iteration * self.iterations
+
+    @property
+    def images_per_second(self) -> float:
+        if self.iteration_seconds == 0:
+            return 0.0
+        return self.batch_size / self.iteration_seconds
+
+    def summary_rows(self) -> List[List[str]]:
+        """Rows for the CLI/reporting table."""
+        from ..reporting.tables import gb_str, ms_str
+
+        return [
+            ["configuration", self.configuration],
+            ["iterations", f"{self.iterations:,}"],
+            ["iteration time", ms_str(self.iteration_seconds)],
+            ["throughput", f"{self.images_per_second:,.0f} images/s"],
+            ["total wall time", f"{self.total_hours:,.1f} h"],
+            ["GPU peak memory", gb_str(self.gpu_peak_bytes)],
+            ["host pinned peak", gb_str(self.host_peak_bytes)],
+            ["PCIe traffic / run", gb_str(self.total_pcie_bytes)],
+            ["average power", f"{self.average_watts:,.0f} W"],
+            ["energy", f"{self.energy_kwh:,.1f} kWh"],
+        ]
+
+
+def plan_training_run(
+    network: Network,
+    system: SystemConfig,
+    dataset_size: int = 1_281_167,   # ImageNet-1k train split
+    epochs: int = 74,                # VGG's published schedule
+    plan: Optional[DynamicPlan] = None,
+) -> TrainingRunPlan:
+    """Project a full training run under the vDNN_dyn configuration.
+
+    Raises :class:`~repro.core.dynamic.UntrainableError` when no vDNN
+    configuration fits the GPU at all.
+    """
+    if dataset_size <= 0 or epochs <= 0:
+        raise ValueError("dataset_size and epochs must be positive")
+    plan = plan or plan_dynamic(network, system)
+    result: IterationResult = plan.result
+    batch = network.batch_size
+    iterations_per_epoch = -(-dataset_size // batch)
+    power: PowerReport = analyze_power(result.timeline, system.gpu)
+    return TrainingRunPlan(
+        network_name=network.name,
+        configuration=plan.description,
+        dataset_size=dataset_size,
+        epochs=epochs,
+        batch_size=batch,
+        iterations=iterations_per_epoch * epochs,
+        iteration_seconds=result.total_time,
+        gpu_peak_bytes=result.max_usage_bytes,
+        host_peak_bytes=result.pinned_peak_bytes,
+        pcie_bytes_per_iteration=result.offload_bytes + result.prefetch_bytes,
+        average_watts=power.average_watts,
+    )

@@ -1,0 +1,93 @@
+"""vDNN memory-transfer policies (Section III-C).
+
+A policy answers one question per layer: *should this layer offload its
+input feature maps to host memory during its forward computation?*  The
+paper evaluates two static answers plus a dynamic one:
+
+* ``vDNN_all``  — every feature-extraction layer offloads its X: the most
+  memory-efficient choice;
+* ``vDNN_conv`` — only CONV layers offload (their long forward latency
+  hides the transfer);
+* ``vDNN_none`` — nothing offloads (used by the dynamic policy's "fits
+  entirely in GPU memory" configuration);
+* custom offload sets, which the dynamic policy (and ablations) build.
+
+Mechanism-level eligibility (refcounts, in-place ACTV exclusion,
+classifier exclusion) is enforced by the executor, not here — a policy
+only expresses intent, like the paper's per-layer ``offloaded`` flag.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..graph.layer import LayerKind
+from ..graph.network import Network, NetworkNode
+
+
+class PolicyKind(enum.Enum):
+    ALL = "all"
+    CONV = "conv"
+    NONE = "none"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class TransferPolicy:
+    """Which layers offload their input feature maps.
+
+    Use the factory classmethods; ``CUSTOM`` policies carry an explicit
+    set of layer indices allowed to offload.
+    """
+
+    kind: PolicyKind
+    offload_layers: FrozenSet[int] = field(default_factory=frozenset)
+
+    # -- factories ------------------------------------------------------
+    @classmethod
+    def vdnn_all(cls) -> "TransferPolicy":
+        return cls(PolicyKind.ALL)
+
+    @classmethod
+    def vdnn_conv(cls) -> "TransferPolicy":
+        return cls(PolicyKind.CONV)
+
+    @classmethod
+    def none(cls) -> "TransferPolicy":
+        return cls(PolicyKind.NONE)
+
+    @classmethod
+    def custom(cls, offload_layers) -> "TransferPolicy":
+        return cls(PolicyKind.CUSTOM, frozenset(offload_layers))
+
+    # -- queries --------------------------------------------------------
+    def wants_offload(self, node: NetworkNode) -> bool:
+        """Policy intent for one layer's input X.
+
+        ACTV (and DROPOUT) layers never offload: they are refactored
+        in-place and their backward uses only Y and dY, "obviating the
+        need for memory offloading" (Section III-B).  Classifier layers
+        are outside vDNN's scope (Section III).
+        """
+        if not node.is_feature_extraction:
+            return False
+        if node.kind in (LayerKind.ACTV, LayerKind.DROPOUT, LayerKind.INPUT):
+            return False
+        if self.kind is PolicyKind.ALL:
+            return True
+        if self.kind is PolicyKind.CONV:
+            return node.kind is LayerKind.CONV
+        if self.kind is PolicyKind.NONE:
+            return False
+        return node.index in self.offload_layers
+
+    def offload_set(self, network: Network) -> FrozenSet[int]:
+        """All layer indices this policy would like to offload."""
+        return frozenset(n.index for n in network if self.wants_offload(n))
+
+    def describe(self) -> str:
+        if self.kind is PolicyKind.CUSTOM:
+            return f"custom({len(self.offload_layers)} layers)"
+        return f"vDNN_{self.kind.value}"

@@ -1,0 +1,80 @@
+"""The vDNN prefetch-candidate search (paper Figure 10, verbatim).
+
+Before ``stream_compute`` starts a layer's backward computation, vDNN
+searches the *preceding* layers (lower indices) for the closest one that
+offloaded its input feature maps and has not been prefetched yet.  The
+search window is deliberately bounded: it stops at the first CONV layer
+that does not itself need prefetching, "guaranteeing that the prefetched
+X will not end up being used too far away in the future".
+
+The per-layer ``offloaded`` / ``prefetched`` flags live in
+:class:`PrefetchState`; the executor sets ``offloaded`` during forward
+propagation and calls :func:`find_prefetch_layer` before every backward
+kernel, exactly as the pseudo code prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..graph.layer import LayerKind
+from ..graph.network import Network
+
+
+@dataclass
+class PrefetchState:
+    """The ``layers[n]->offloaded`` / ``->prefetched`` flags of Fig. 10."""
+
+    offloaded: Dict[int, bool] = field(default_factory=dict)
+    prefetched: Dict[int, bool] = field(default_factory=dict)
+
+    @classmethod
+    def for_network(cls, network: Network) -> "PrefetchState":
+        return cls(
+            offloaded={n.index: False for n in network},
+            prefetched={n.index: False for n in network},
+        )
+
+    def mark_offloaded(self, layer_index: int) -> None:
+        self.offloaded[layer_index] = True
+
+    def pending(self) -> List[int]:
+        """Layers offloaded but not yet prefetched, ascending."""
+        return [
+            i for i, off in sorted(self.offloaded.items())
+            if off and not self.prefetched[i]
+        ]
+
+
+def find_prefetch_layer(
+    network: Network,
+    state: PrefetchState,
+    current_layer_id: int,
+    bounded_window: bool = True,
+) -> Optional[int]:
+    """Pick the layer whose offloaded X should be prefetched now.
+
+    Transcription of the paper's ``Network::findPrefetchLayer``: walk
+    layer ids downward from ``current_layer_id - 1``; the first layer
+    that is offloaded-and-not-prefetched is claimed (its ``prefetched``
+    flag is set, so each layer is prefetched exactly once) and returned.
+    Hitting a CONV layer that does not need prefetching ends the search
+    window (line 14 of Fig. 10).
+
+    Args:
+        bounded_window: set False to disable the CONV-layer bound — the
+            ablation of DESIGN.md §5.2 (prefetch as early as possible,
+            trading memory savings for scheduling slack).
+
+    Returns:
+        The layer id to prefetch, or None when nothing (suitable) is
+        pending.
+    """
+    for layer_id in range(current_layer_id - 1, -1, -1):
+        if state.offloaded[layer_id] and not state.prefetched[layer_id]:
+            state.prefetched[layer_id] = True
+            return layer_id
+        if bounded_window and network[layer_id].kind is LayerKind.CONV:
+            return None
+    return None

@@ -1,0 +1,53 @@
+"""DNN dataflow graph: tensors, layers, shape inference, networks."""
+
+from .builder import NetworkBuilder
+from .layer import (
+    Activation,
+    ActivationKind,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dropout,
+    EltwiseAdd,
+    EltwiseMul,
+    FullyConnected,
+    Input,
+    Layer,
+    LayerKind,
+    LRN,
+    Pool2D,
+    PoolMode,
+    Slice,
+    Softmax,
+)
+from .network import GraphError, Network, NetworkNode
+from .tensor import FP32_BYTES, TensorRole, TensorSpec, gb, mb
+
+__all__ = [
+    "Activation",
+    "ActivationKind",
+    "BatchNorm",
+    "Concat",
+    "Conv2D",
+    "Dropout",
+    "EltwiseAdd",
+    "EltwiseMul",
+    "FP32_BYTES",
+    "FullyConnected",
+    "GraphError",
+    "Input",
+    "LRN",
+    "Layer",
+    "LayerKind",
+    "Network",
+    "NetworkBuilder",
+    "NetworkNode",
+    "Pool2D",
+    "PoolMode",
+    "Slice",
+    "Softmax",
+    "TensorRole",
+    "TensorSpec",
+    "gb",
+    "mb",
+]

@@ -1,0 +1,516 @@
+"""Layer taxonomy for the feedforward CNNs the paper studies.
+
+The paper groups layers into CONV / ACTV / POOL / FC (Section II-A) with a
+few auxiliaries needed by the actual ImageNet-winning models: local response
+normalization (AlexNet, GoogLeNet), dropout (classifier blocks), concat
+(GoogLeNet inception joins) and the terminal softmax.  Each layer knows
+
+* how to infer its output :class:`~repro.graph.tensor.TensorSpec` from its
+  input specs,
+* the size of its weights (if any),
+* whether it runs **in-place** (ACTV layers share storage with their input,
+  footnote 1 of the paper), and
+* which of its tensors the **backward** pass reads — this is what decides
+  whether its input X must be kept (and is therefore worth offloading).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .shapes import conv_out_dim, pool_out_dim
+from .tensor import TensorSpec
+
+
+class LayerKind(enum.Enum):
+    """Coarse layer category used by the memory-transfer policies."""
+
+    INPUT = "INPUT"
+    CONV = "CONV"
+    ACTV = "ACTV"
+    POOL = "POOL"
+    LRN = "LRN"
+    FC = "FC"
+    DROPOUT = "DROPOUT"
+    CONCAT = "CONCAT"
+    ADD = "ADD"
+    MUL = "MUL"
+    BN = "BN"
+    SLICE = "SLICE"
+    SOFTMAX = "SOFTMAX"
+
+
+class PoolMode(enum.Enum):
+    MAX = "max"
+    AVG = "avg"
+
+
+class ActivationKind(enum.Enum):
+    RELU = "relu"
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+
+
+@dataclass
+class Layer:
+    """Base class: a named node with a single output feature map."""
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+
+    #: Set by subclasses.
+    kind: LayerKind = field(default=LayerKind.INPUT, init=False)
+
+    # ------------------------------------------------------------------
+    # Interface expected by Network / managers / numerics
+    # ------------------------------------------------------------------
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        """Output feature-map spec given the producer layers' outputs."""
+        raise NotImplementedError
+
+    def weight_spec(self, input_specs: Sequence[TensorSpec]) -> Optional[TensorSpec]:
+        """Spec of this layer's weights (None for weight-less layers)."""
+        return None
+
+    def bias_spec(self, input_specs: Sequence[TensorSpec]) -> Optional[TensorSpec]:
+        """Spec of this layer's bias vector (None when there is none)."""
+        return None
+
+    @property
+    def in_place(self) -> bool:
+        """True when the layer writes its output over its input storage."""
+        return False
+
+    @property
+    def backward_needs_x(self) -> bool:
+        """True when the backward pass reads the input feature map X."""
+        return True
+
+    @property
+    def backward_needs_y(self) -> bool:
+        """True when the backward pass reads the output feature map Y."""
+        return False
+
+    @property
+    def has_weights(self) -> bool:
+        return self.kind in (LayerKind.CONV, LayerKind.FC)
+
+    def _expect_inputs(self, input_specs: Sequence[TensorSpec], n: int) -> None:
+        if len(input_specs) != n:
+            raise ValueError(
+                f"layer {self.name!r} ({self.kind.value}) expects {n} "
+                f"input(s), got {len(input_specs)}"
+            )
+
+
+@dataclass
+class Input(Layer):
+    """Source node holding one image batch (N, C, H, W).
+
+    ``dtype_bytes`` here sets the precision of the *whole network*:
+    every layer derives its output/weight dtype from its input, so fp16
+    (2) flows from this one knob (the paper's related work discusses
+    reduced precision as a complementary memory saver).
+    """
+
+    shape: Tuple[int, int, int, int] = (1, 3, 224, 224)
+    dtype_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.INPUT
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 0)
+        return TensorSpec(self.shape, self.dtype_bytes)
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False
+
+
+@dataclass
+class Conv2D(Layer):
+    """2-D convolution (the paper's CONV layer).
+
+    ``tied_to`` names another layer whose parameters this layer shares
+    (weight tying, as in unrolled recurrent networks): the tied layer
+    allocates no parameters of its own and its weight gradients
+    accumulate into the root layer's.
+    """
+
+    out_channels: int = 1
+    kernel: int = 3
+    stride: int = 1
+    pad: int = 0
+    bias: bool = True
+    tied_to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.CONV
+        if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"invalid Conv2D geometry for layer {self.name!r}")
+        if self.pad < 0:
+            raise ValueError(f"negative padding on layer {self.name!r}")
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        n, _, h, w = input_specs[0].shape
+        oh = conv_out_dim(h, self.kernel, self.stride, self.pad)
+        ow = conv_out_dim(w, self.kernel, self.stride, self.pad)
+        return TensorSpec((n, self.out_channels, oh, ow),
+                          input_specs[0].dtype_bytes)
+
+    def weight_spec(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        in_channels = input_specs[0].shape[1]
+        return TensorSpec(
+            (self.out_channels, in_channels, self.kernel, self.kernel),
+            input_specs[0].dtype_bytes,
+        )
+
+    def bias_spec(self, input_specs: Sequence[TensorSpec]) -> Optional[TensorSpec]:
+        if not self.bias:
+            return None
+        return TensorSpec((self.out_channels,), input_specs[0].dtype_bytes)
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return True  # dW = X * dY; the whole point of offloading
+
+
+@dataclass
+class Activation(Layer):
+    """Element-wise activation, refactored in-place (paper footnote 1).
+
+    Backward uses only (Y, dY); cuDNN's ReLU/sigmoid/tanh backward can be
+    computed from the output alone, which is what makes the in-place
+    optimization legal and removes any need to offload ACTV inputs.
+    """
+
+    activation: ActivationKind = ActivationKind.RELU
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.ACTV
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return input_specs[0]
+
+    @property
+    def in_place(self) -> bool:
+        return True
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False
+
+    @property
+    def backward_needs_y(self) -> bool:
+        return True
+
+
+@dataclass
+class Pool2D(Layer):
+    """Spatial pooling.  Max pooling's backward reads both X and Y."""
+
+    mode: PoolMode = PoolMode.MAX
+    kernel: int = 2
+    stride: int = 2
+    pad: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.POOL
+        if self.kernel <= 0 or self.stride <= 0 or self.pad < 0:
+            raise ValueError(f"invalid Pool2D geometry for layer {self.name!r}")
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        n, c, h, w = input_specs[0].shape
+        oh = pool_out_dim(h, self.kernel, self.stride, self.pad)
+        ow = pool_out_dim(w, self.kernel, self.stride, self.pad)
+        return TensorSpec((n, c, oh, ow), input_specs[0].dtype_bytes)
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return self.mode is PoolMode.MAX
+
+    @property
+    def backward_needs_y(self) -> bool:
+        return self.mode is PoolMode.MAX
+
+
+@dataclass
+class LRN(Layer):
+    """Local response normalization (AlexNet / GoogLeNet).
+
+    cuDNN's LRN backward reads X, Y and dY, so like CONV its X must
+    survive until backward propagation.
+    """
+
+    local_size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.LRN
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return input_specs[0]
+
+    @property
+    def backward_needs_y(self) -> bool:
+        return True
+
+
+@dataclass
+class FullyConnected(Layer):
+    """Fully-connected (classifier) layer; flattens 4-D inputs.
+
+    ``tied_to`` shares parameters with another FC layer (see
+    :class:`Conv2D`).
+    """
+
+    out_features: int = 1000
+    bias: bool = True
+    tied_to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.FC
+        if self.out_features <= 0:
+            raise ValueError(f"invalid FC width on layer {self.name!r}")
+
+    @staticmethod
+    def _in_features(spec: TensorSpec) -> int:
+        return spec.count // spec.batch
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return TensorSpec((input_specs[0].batch, self.out_features),
+                          input_specs[0].dtype_bytes)
+
+    def weight_spec(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return TensorSpec(
+            (self.out_features, self._in_features(input_specs[0])),
+            input_specs[0].dtype_bytes,
+        )
+
+    def bias_spec(self, input_specs: Sequence[TensorSpec]) -> Optional[TensorSpec]:
+        if not self.bias:
+            return None
+        return TensorSpec((self.out_features,), input_specs[0].dtype_bytes)
+
+
+@dataclass
+class Dropout(Layer):
+    """Classifier-block dropout; in-place like ACTV, keeps a mask."""
+
+    rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.DROPOUT
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1): {self.rate}")
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return input_specs[0]
+
+    @property
+    def in_place(self) -> bool:
+        return True
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False
+
+
+@dataclass
+class Concat(Layer):
+    """Channel-wise concatenation (GoogLeNet inception join)."""
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.CONCAT
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        if len(input_specs) < 2:
+            raise ValueError(f"concat layer {self.name!r} needs >= 2 inputs")
+        n, _, h, w = input_specs[0].shape
+        for spec in input_specs[1:]:
+            if spec.shape[0] != n or spec.shape[2:] != (h, w):
+                raise ValueError(
+                    f"concat layer {self.name!r}: incompatible shapes "
+                    f"{[s.shape for s in input_specs]}"
+                )
+        channels = sum(spec.shape[1] for spec in input_specs)
+        return TensorSpec((n, channels, h, w), input_specs[0].dtype_bytes)
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False  # backward is a pure split of dY
+
+
+@dataclass
+class Slice(Layer):
+    """Channel-range selection (the inverse of :class:`Concat`).
+
+    Used to cut per-timestep inputs out of a packed sequence batch for
+    unrolled recurrent networks (the paper: its intuitions apply to
+    "recurrent neural networks for natural language processing" too).
+    Backward scatters dY into the selected range; it reads neither X
+    nor Y.
+    """
+
+    begin: int = 0
+    end: int = 1
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.SLICE
+        if self.begin < 0 or self.end <= self.begin:
+            raise ValueError(
+                f"invalid slice [{self.begin}, {self.end}) on layer "
+                f"{self.name!r}"
+            )
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        shape = input_specs[0].shape
+        if self.end > shape[1]:
+            raise ValueError(
+                f"slice [{self.begin}, {self.end}) exceeds the {shape[1]} "
+                f"channels of layer {self.name!r}'s input"
+            )
+        return TensorSpec(
+            (shape[0], self.end - self.begin) + shape[2:],
+            input_specs[0].dtype_bytes,
+        )
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False
+
+
+@dataclass
+class EltwiseAdd(Layer):
+    """Element-wise sum of residual branches (ResNet shortcut joins).
+
+    The paper notes its intuitions apply to "any neural network that
+    exhibits layer-wise computational characteristics"; residual
+    networks (He et al., cited as [15]) need exactly this join.  Its
+    backward is a pure fan-out of dY, so no input must survive forward
+    propagation on its account — but its inputs usually must survive for
+    *their own* producers' backward, making the ADD the refcount-gated
+    last consumer vDNN offloads at.
+    """
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.ADD
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        if len(input_specs) < 2:
+            raise ValueError(f"add layer {self.name!r} needs >= 2 inputs")
+        first = input_specs[0]
+        for spec in input_specs[1:]:
+            if spec.shape != first.shape:
+                raise ValueError(
+                    f"add layer {self.name!r}: shape mismatch "
+                    f"{[s.shape for s in input_specs]}"
+                )
+        return first
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False  # dX_i = dY for every branch
+
+
+@dataclass
+class EltwiseMul(Layer):
+    """Element-wise (Hadamard) product — LSTM/GRU gating.
+
+    Unlike ADD, multiplication's backward reads **both** operands
+    (``d a = dY * b`` and vice versa), so every input storage must
+    survive until backward propagation — gated recurrences therefore
+    generate more offload candidates per step than plain RNNs.
+    """
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.MUL
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        if len(input_specs) != 2:
+            raise ValueError(f"mul layer {self.name!r} needs exactly 2 inputs")
+        a, b = input_specs
+        if a.shape != b.shape:
+            raise ValueError(
+                f"mul layer {self.name!r}: shape mismatch {a.shape} vs "
+                f"{b.shape}"
+            )
+        return a
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return True
+
+
+@dataclass
+class BatchNorm(Layer):
+    """Batch normalization (Ioffe & Szegedy, 2015) over the channel dim.
+
+    cuDNN's BN backward reads X (to rebuild x-hat from the saved batch
+    statistics), so like CONV its input must survive until backward —
+    BN layers are therefore genuine offload candidates under vDNN_all.
+    Scale (gamma) is the layer's weight, shift (beta) its bias.
+    """
+
+    epsilon: float = 1e-5
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.BN
+        if self.epsilon <= 0:
+            raise ValueError(f"non-positive epsilon on layer {self.name!r}")
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return input_specs[0]
+
+    def weight_spec(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        channels = input_specs[0].shape[1]
+        return TensorSpec((channels,), input_specs[0].dtype_bytes)
+
+    def bias_spec(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        channels = input_specs[0].shape[1]
+        return TensorSpec((channels,), input_specs[0].dtype_bytes)
+
+    @property
+    def has_weights(self) -> bool:
+        return True
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return True
+
+
+@dataclass
+class Softmax(Layer):
+    """Terminal softmax; combined with cross-entropy in the numerics."""
+
+    def __post_init__(self) -> None:
+        self.kind = LayerKind.SOFTMAX
+
+    def infer_output(self, input_specs: Sequence[TensorSpec]) -> TensorSpec:
+        self._expect_inputs(input_specs, 1)
+        return input_specs[0]
+
+    @property
+    def backward_needs_x(self) -> bool:
+        return False
+
+    @property
+    def backward_needs_y(self) -> bool:
+        return True

@@ -1,0 +1,35 @@
+"""Shape-inference helpers shared by the layer taxonomy.
+
+All functions use the cuDNN/Caffe convention: an input plane of extent
+``size`` filtered with a ``kernel`` at ``stride`` and symmetric ``pad``
+produces ``floor((size + 2*pad - kernel) / stride) + 1`` output elements.
+Pooling layers in Caffe (and the reference models the paper uses) round
+*up* instead, so a separate helper is provided.
+"""
+
+from __future__ import annotations
+
+
+def conv_out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output extent of a convolution along one spatial axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive extent: size={size} "
+            f"kernel={kernel} stride={stride} pad={pad}"
+        )
+    return out
+
+
+def pool_out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output extent of a pooling window (ceil mode, Caffe-compatible)."""
+    out = -(-(size + 2 * pad - kernel) // stride) + 1  # ceil division
+    if pad > 0 and (out - 1) * stride >= size + pad:
+        # Caffe clips windows that start entirely inside the padding.
+        out -= 1
+    if out <= 0:
+        raise ValueError(
+            f"pooling produces non-positive extent: size={size} "
+            f"kernel={kernel} stride={stride} pad={pad}"
+        )
+    return out

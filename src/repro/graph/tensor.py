@@ -1,0 +1,83 @@
+"""Tensor metadata used throughout the simulator and the numerics backend.
+
+The memory-management questions the paper asks (how big is a layer's input
+feature map X, its output Y, its gradients dX/dY, its weights W and its
+convolution workspace WS — and when is each one live) only need tensor
+*shapes* and *roles*.  :class:`TensorSpec` carries exactly that.  The
+numerics backend attaches real ``numpy`` buffers to the same specs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class TensorRole(enum.Enum):
+    """What a tensor is used for, mirroring the paper's Figure 2 labels."""
+
+    FEATURE_MAP = "X/Y"     # layer input/output feature maps
+    GRADIENT_MAP = "dX/dY"  # input/output gradient maps
+    WEIGHT = "W"            # layer weights (and biases)
+    WEIGHT_GRADIENT = "dW"  # weight gradients
+    WORKSPACE = "WS"        # temporary convolution workspace
+
+
+#: Bytes per element for the single-precision floats used by the paper.
+FP32_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype description of one tensor.
+
+    Shapes follow cuDNN's NCHW convention for feature maps.  Weights and
+    flat buffers may use fewer dimensions; only the element count matters
+    for memory accounting.
+    """
+
+    shape: Tuple[int, ...]
+    dtype_bytes: int = FP32_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("TensorSpec requires a non-empty shape")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"TensorSpec dimensions must be positive: {self.shape}")
+        if self.dtype_bytes <= 0:
+            raise ValueError("dtype_bytes must be positive")
+
+    @property
+    def count(self) -> int:
+        """Number of elements."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes."""
+        return self.count * self.dtype_bytes
+
+    @property
+    def batch(self) -> int:
+        """Leading (N) dimension."""
+        return self.shape[0]
+
+    def with_batch(self, batch: int) -> "TensorSpec":
+        """Return the same spec with a different leading dimension."""
+        return TensorSpec((batch,) + self.shape[1:], self.dtype_bytes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.nbytes / (1 << 20):.1f}MB"
+
+
+def mb(nbytes: float) -> float:
+    """Convert bytes to mebibytes (the unit the paper's figures use)."""
+    return nbytes / (1 << 20)
+
+
+def gb(nbytes: float) -> float:
+    """Convert bytes to gibibytes."""
+    return nbytes / (1 << 30)

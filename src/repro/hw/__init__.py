@@ -1,0 +1,31 @@
+"""Hardware models: GPU, host memory, PCIe interconnect."""
+
+from .config import PAPER_SYSTEM, SystemConfig
+from .gpu import GPUSpec, TITAN_X, oracular
+from .host import HostSpec, I7_5930K
+from .interconnects import (
+    NVLINK_1,
+    NVLINK_2,
+    PCIE_GEN4,
+    interconnect_sweep,
+    system_with_link,
+)
+from .pcie import PCIE_GEN3, PCIeLink, TransferMode
+
+__all__ = [
+    "GPUSpec",
+    "HostSpec",
+    "I7_5930K",
+    "NVLINK_1",
+    "NVLINK_2",
+    "PAPER_SYSTEM",
+    "PCIE_GEN3",
+    "PCIE_GEN4",
+    "PCIeLink",
+    "SystemConfig",
+    "TITAN_X",
+    "TransferMode",
+    "interconnect_sweep",
+    "oracular",
+    "system_with_link",
+]

@@ -1,0 +1,38 @@
+"""System configuration: GPU + host + interconnect as one object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .gpu import GPUSpec, TITAN_X, oracular
+from .host import HostSpec, I7_5930K
+from .pcie import PCIeLink, PCIE_GEN3
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The full node topology of Section IV-B."""
+
+    gpu: GPUSpec = field(default_factory=lambda: TITAN_X)
+    host: HostSpec = field(default_factory=lambda: I7_5930K)
+    pcie: PCIeLink = field(default_factory=lambda: PCIE_GEN3)
+
+    def with_oracular_gpu(self) -> "SystemConfig":
+        """Same system but with a capacity-unlimited GPU (Section V-C)."""
+        return SystemConfig(gpu=oracular(self.gpu), host=self.host, pcie=self.pcie)
+
+    def with_gpu_memory(self, memory_bytes: int) -> "SystemConfig":
+        """Same system with a different GPU memory capacity."""
+        gpu = GPUSpec(
+            name=self.gpu.name,
+            peak_flops=self.gpu.peak_flops,
+            dram_bandwidth=self.gpu.dram_bandwidth,
+            memory_bytes=memory_bytes,
+            compute_efficiency=self.gpu.compute_efficiency,
+            bandwidth_efficiency=self.gpu.bandwidth_efficiency,
+        )
+        return SystemConfig(gpu=gpu, host=self.host, pcie=self.pcie)
+
+
+#: The paper's testbed.
+PAPER_SYSTEM = SystemConfig()

@@ -1,0 +1,84 @@
+"""GPU device model.
+
+The simulator never executes CUDA; it consumes a :class:`GPUSpec` that
+captures the three numbers that govern every result in the paper —
+peak arithmetic throughput, peak DRAM bandwidth, and physical memory
+capacity — plus the efficiency knobs the roofline latency model needs.
+:data:`TITAN_X` matches the paper's testbed (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU.
+
+    Attributes:
+        name: marketing name.
+        peak_flops: peak single-precision FLOP/s.
+        dram_bandwidth: peak device-memory bandwidth, bytes/s.
+        memory_bytes: physical device memory capacity, bytes.
+        compute_efficiency: fraction of ``peak_flops`` a well-tuned dense
+            kernel (cuDNN convolution / cuBLAS GEMM) sustains.  Published
+            cuDNN 4 measurements on Maxwell land at 50-65% of peak for
+            the large convolutions in the studied networks.
+        bandwidth_efficiency: fraction of ``dram_bandwidth`` sustained by
+            streaming kernels (pooling / activation / LRN).
+    """
+
+    name: str
+    peak_flops: float
+    dram_bandwidth: float
+    memory_bytes: int
+    compute_efficiency: float = 0.55
+    bandwidth_efficiency: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.dram_bandwidth <= 0:
+            raise ValueError("GPU throughput figures must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("GPU memory capacity must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained FLOP/s for dense math kernels."""
+        return self.peak_flops * self.compute_efficiency
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained bytes/s for bandwidth-bound kernels."""
+        return self.dram_bandwidth * self.bandwidth_efficiency
+
+
+#: The paper's testbed: NVIDIA GeForce GTX Titan X (Maxwell).
+#: 7 TFLOPS single precision, 336 GB/s, 12 GB (Section IV-B).
+TITAN_X = GPUSpec(
+    name="NVIDIA Titan X (Maxwell)",
+    peak_flops=7.0e12,
+    dram_bandwidth=336.0e9,
+    memory_bytes=12 * (1 << 30),
+)
+
+
+def oracular(spec: GPUSpec, memory_bytes: int = 1 << 46) -> GPUSpec:
+    """A hypothetical GPU with (effectively) unlimited memory.
+
+    The paper evaluates VGG-16 (128p/256) against "a hypothetical,
+    oracular GPU with enough memory to hold the entire DNN" — same
+    compute/bandwidth, no capacity wall.
+    """
+    return GPUSpec(
+        name=f"{spec.name} (oracular)",
+        peak_flops=spec.peak_flops,
+        dram_bandwidth=spec.dram_bandwidth,
+        memory_bytes=memory_bytes,
+        compute_efficiency=spec.compute_efficiency,
+        bandwidth_efficiency=spec.bandwidth_efficiency,
+    )

@@ -1,0 +1,39 @@
+"""Host (CPU) memory model.
+
+vDNN offloads feature maps into *pinned* host memory allocated with
+``cudaMallocHost``.  The host side only needs capacity accounting: the
+paper's testbed is an Intel i7-5930K with 64 GB of DDR4 (Section IV-B),
+and Figure 15 reports how many GB of a very deep network's allocations
+end up resident on the CPU side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of host memory."""
+
+    name: str = "Intel i7-5930K, 64 GB DDR4"
+    memory_bytes: int = 64 * (1 << 30)
+    #: Fraction of host DRAM the runtime may pin.  Pinning the whole of
+    #: host memory would deadlock the OS; production runtimes cap it.
+    #: Figure 15 has VGG-416 placing ~60 GB of its 67 GB of allocations
+    #: in the 64 GB host, so the paper's runtime pins nearly all of it.
+    max_pinned_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("host memory capacity must be positive")
+        if not 0 < self.max_pinned_fraction <= 1:
+            raise ValueError("max_pinned_fraction must be in (0, 1]")
+
+    @property
+    def max_pinned_bytes(self) -> int:
+        return int(self.memory_bytes * self.max_pinned_fraction)
+
+
+#: The paper's host.
+I7_5930K = HostSpec()

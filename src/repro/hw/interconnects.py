@@ -1,0 +1,50 @@
+"""Alternative system interconnects (Section III-A: "e.g., PCIe, NVLINK").
+
+vDNN's only hardware dependence is the CPU<->GPU link: every stall in
+Figure 9 is a transfer outliving its overlapped kernel.  The paper notes
+the mechanism applies unchanged to NVLINK; these configurations let the
+benchmarks sweep the link speed and find where static vDNN's overhead
+vanishes entirely.
+
+Numbers: PCIe gen3 x16 is the paper's testbed (16 GB/s line rate,
+12.8 GB/s sustained DMA).  PCIe gen4 x16 doubles that.  NVLink 1.0
+(contemporary with the paper: P100) offers 4 bidirectional bricks of
+20 GB/s each direction; a typical CPU<->GPU wiring exposes 2 bricks,
+i.e. 40 GB/s line rate with ~90% achievable by DMA.
+"""
+
+from __future__ import annotations
+
+from .config import SystemConfig
+from .gpu import TITAN_X
+from .host import I7_5930K
+from .pcie import PCIeLink
+
+#: PCIe gen4 x16: double gen3's rates.
+PCIE_GEN4 = PCIeLink(max_bandwidth=32.0e9, dma_bandwidth=25.6e9)
+
+#: NVLink 1.0, two bricks CPU<->GPU (Pascal-era POWER8 wiring).
+NVLINK_1 = PCIeLink(max_bandwidth=40.0e9, dma_bandwidth=36.0e9,
+                    dma_setup_latency=5e-6)
+
+#: NVLink 2.0, three bricks (Volta-era): 75 GB/s line rate.
+NVLINK_2 = PCIeLink(max_bandwidth=75.0e9, dma_bandwidth=68.0e9,
+                    dma_setup_latency=5e-6)
+
+
+def system_with_link(link: PCIeLink) -> SystemConfig:
+    """The paper's node with a different CPU<->GPU interconnect."""
+    return SystemConfig(gpu=TITAN_X, host=I7_5930K, pcie=link)
+
+
+def interconnect_sweep():
+    """(label, SystemConfig) pairs, slowest link first."""
+    from .pcie import PCIE_GEN3
+
+    links = {
+        "PCIe gen3 (paper)": PCIE_GEN3,
+        "PCIe gen4": PCIE_GEN4,
+        "NVLink 1.0": NVLINK_1,
+        "NVLink 2.0": NVLINK_2,
+    }
+    return [(label, system_with_link(link)) for label, link in links.items()]

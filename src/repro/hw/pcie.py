@@ -1,0 +1,80 @@
+"""System-interconnect (PCIe) transfer models.
+
+Two transfer mechanisms matter to the paper (Section II-C):
+
+* **DMA** — ``cudaMemcpyAsync`` to/from pinned host memory.  The paper
+  measures an average 12.8 GB/s out of PCIe gen3's 16 GB/s maximum.
+  This is what vDNN's offload/prefetch uses.
+* **Page migration** — demand paging of 4 KB pages, each costing
+  20-50 us of CPU interrupts, page-table and TLB maintenance plus the
+  transfer itself (Zheng et al. [34]), i.e. only 80-200 MB/s.  This is
+  the strawman that makes OS-style virtualization a non-starter for
+  DNN training and motivates vDNN's explicit DMA approach.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TransferMode(enum.Enum):
+    DMA = "dma"
+    PAGE_MIGRATION = "page-migration"
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """One CPU<->GPU interconnect.
+
+    Attributes:
+        max_bandwidth: line-rate bytes/s (16 GB/s for gen3 x16).
+        dma_bandwidth: sustained DMA bytes/s to pinned memory.
+        page_size: OS page granularity for the migration model.
+        page_fault_latency: end-to-end cost of migrating one page
+            (CPU interrupt + page-table/TLB update + transfer).
+        dma_setup_latency: fixed cost of launching one async copy.
+    """
+
+    max_bandwidth: float = 16.0e9
+    dma_bandwidth: float = 12.8e9
+    page_size: int = 4096
+    page_fault_latency: float = 35e-6  # midpoint of the paper's 20-50 us
+    dma_setup_latency: float = 10e-6
+
+    def __post_init__(self) -> None:
+        if self.dma_bandwidth > self.max_bandwidth:
+            raise ValueError("DMA bandwidth cannot exceed the line rate")
+        if min(self.max_bandwidth, self.dma_bandwidth, self.page_size,
+               self.page_fault_latency, self.dma_setup_latency) <= 0:
+            raise ValueError("PCIe parameters must be positive")
+
+    # ------------------------------------------------------------------
+    def dma_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` with one asynchronous DMA copy."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.dma_setup_latency + nbytes / self.dma_bandwidth
+
+    def page_migration_time(self, nbytes: int) -> float:
+        """Seconds to fault-in ``nbytes`` one 4 KB page at a time."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        pages = -(-nbytes // self.page_size)
+        return pages * self.page_fault_latency
+
+    def transfer_time(self, nbytes: int, mode: TransferMode) -> float:
+        if mode is TransferMode.DMA:
+            return self.dma_time(nbytes)
+        return self.page_migration_time(nbytes)
+
+    def effective_bandwidth(self, nbytes: int, mode: TransferMode) -> float:
+        """Achieved bytes/s for a transfer of the given size."""
+        seconds = self.transfer_time(nbytes, mode)
+        return nbytes / seconds if seconds > 0 else 0.0
+
+
+#: The paper's interconnect: PCIe gen3 x16 through a PLX switch.
+PCIE_GEN3 = PCIeLink()

@@ -1,0 +1,36 @@
+"""cuDNN-style kernel models: conv algorithms, FLOP counts, latencies."""
+
+from .conv_algos import (
+    AlgoProfile,
+    ConvAlgo,
+    MEMORY_OPTIMAL_ALGO,
+    algo_applicable,
+    memory_optimal_profile,
+    next_cheaper_algo,
+    performance_optimal_algo,
+    profile_algorithms,
+    time_multiplier,
+    workspace_bytes,
+)
+from .flops import KernelCost, backward_cost, forward_cost, is_compute_bound
+from .latency import KERNEL_LAUNCH_OVERHEAD, KernelTiming, LatencyModel
+
+__all__ = [
+    "AlgoProfile",
+    "ConvAlgo",
+    "KERNEL_LAUNCH_OVERHEAD",
+    "KernelCost",
+    "KernelTiming",
+    "LatencyModel",
+    "MEMORY_OPTIMAL_ALGO",
+    "algo_applicable",
+    "backward_cost",
+    "forward_cost",
+    "is_compute_bound",
+    "memory_optimal_profile",
+    "next_cheaper_algo",
+    "performance_optimal_algo",
+    "profile_algorithms",
+    "time_multiplier",
+    "workspace_bytes",
+]

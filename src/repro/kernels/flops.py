@@ -1,0 +1,163 @@
+"""Arithmetic and memory-traffic counts per layer and direction.
+
+The roofline latency model needs, for each layer's forward and backward
+kernels, (a) the floating-point operation count and (b) the bytes of
+device-DRAM traffic.  Counts use the standard conventions:
+
+* CONV forward: ``2 * N * K * C * kh * kw * oh * ow`` FLOPs (multiply +
+  accumulate).  Backward runs two kernels of the same cost — data
+  gradient (dX) and weight gradient (dW) — so backward ~= 2x forward.
+* FC is a GEMM: ``2 * N * in * out`` forward; 2x backward.
+* ACTV / POOL / LRN are bandwidth bound; their FLOPs are a few ops per
+  element and never dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.layer import (
+    Conv2D,
+    FullyConnected,
+    LayerKind,
+    LRN,
+    Pool2D,
+)
+from ..graph.network import NetworkNode
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """FLOPs and DRAM bytes for one kernel launch."""
+
+    flops: float
+    dram_bytes: float
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        return KernelCost(self.flops + other.flops, self.dram_bytes + other.dram_bytes)
+
+
+def forward_cost(node: NetworkNode, input_spec) -> KernelCost:
+    """Cost of the layer's forward kernel."""
+    out = node.output_spec
+    kind = node.kind
+
+    if kind is LayerKind.CONV:
+        layer = node.layer
+        assert isinstance(layer, Conv2D)
+        n, k, oh, ow = out.shape
+        c = input_spec.shape[1]
+        flops = 2.0 * n * k * c * layer.kernel * layer.kernel * oh * ow
+        dram = input_spec.nbytes + out.nbytes + node.weight_tensor_bytes
+        return KernelCost(flops, dram)
+
+    if kind is LayerKind.FC:
+        n = out.batch
+        in_features = input_spec.count // input_spec.batch
+        out_features = out.shape[1]
+        flops = 2.0 * n * in_features * out_features
+        dram = input_spec.nbytes + out.nbytes + node.weight_tensor_bytes
+        return KernelCost(flops, dram)
+
+    if kind is LayerKind.POOL:
+        layer = node.layer
+        assert isinstance(layer, Pool2D)
+        flops = float(out.count) * layer.kernel * layer.kernel
+        dram = input_spec.nbytes + out.nbytes
+        return KernelCost(flops, dram)
+
+    if kind is LayerKind.LRN:
+        layer = node.layer
+        assert isinstance(layer, LRN)
+        flops = float(out.count) * (2 * layer.local_size + 4)
+        dram = input_spec.nbytes + out.nbytes
+        return KernelCost(flops, dram)
+
+    if kind in (LayerKind.ACTV, LayerKind.DROPOUT, LayerKind.SOFTMAX):
+        # In-place element-wise: read + write each element once.
+        return KernelCost(float(out.count) * 4, 2.0 * out.nbytes)
+
+    if kind is LayerKind.CONCAT:
+        # Pure device-to-device copy of every input into the output.
+        return KernelCost(0.0, 2.0 * out.nbytes)
+
+    if kind is LayerKind.SLICE:
+        # Strided copy of the selected channel range.
+        return KernelCost(0.0, 2.0 * out.nbytes)
+
+    if kind is LayerKind.ADD:
+        # Read every branch, write the sum.
+        branches = max(len(node.producers), 2)
+        return KernelCost(float(out.count) * (branches - 1),
+                          (branches + 1.0) * out.nbytes)
+
+    if kind is LayerKind.MUL:
+        # Read both operands, write the product.
+        return KernelCost(float(out.count), 3.0 * out.nbytes)
+
+    if kind is LayerKind.BN:
+        # Two reduction passes (mean, var) + normalize: ~8 ops/element.
+        return KernelCost(float(out.count) * 8, 2.0 * out.nbytes)
+
+    if kind is LayerKind.INPUT:
+        return KernelCost(0.0, 0.0)
+
+    raise ValueError(f"unknown layer kind {kind}")
+
+
+def backward_cost(node: NetworkNode, input_spec) -> KernelCost:
+    """Cost of the layer's backward kernel(s)."""
+    kind = node.kind
+    out = node.output_spec
+
+    if kind is LayerKind.CONV:
+        fwd = forward_cost(node, input_spec)
+        # dX kernel + dW kernel, each reading dY and one of (W, X).
+        return KernelCost(2.0 * fwd.flops, 2.0 * fwd.dram_bytes)
+
+    if kind is LayerKind.FC:
+        fwd = forward_cost(node, input_spec)
+        return KernelCost(2.0 * fwd.flops, 2.0 * fwd.dram_bytes)
+
+    if kind is LayerKind.POOL:
+        fwd = forward_cost(node, input_spec)
+        # Backward scatters dY into dX, reading X and Y for max pooling.
+        return KernelCost(fwd.flops, fwd.dram_bytes + out.nbytes)
+
+    if kind is LayerKind.LRN:
+        fwd = forward_cost(node, input_spec)
+        return KernelCost(2.0 * fwd.flops, fwd.dram_bytes + out.nbytes)
+
+    if kind in (LayerKind.ACTV, LayerKind.DROPOUT, LayerKind.SOFTMAX):
+        return KernelCost(float(out.count) * 4, 3.0 * out.nbytes)  # Y, dY, dX
+
+    if kind is LayerKind.CONCAT:
+        return KernelCost(0.0, 2.0 * out.nbytes)
+
+    if kind is LayerKind.SLICE:
+        # Scatter dY back into the selected range.
+        return KernelCost(0.0, 2.0 * out.nbytes)
+
+    if kind is LayerKind.ADD:
+        # dY fans out unchanged to every branch.
+        branches = max(len(node.producers), 2)
+        return KernelCost(0.0, (branches + 1.0) * out.nbytes)
+
+    if kind is LayerKind.MUL:
+        # dA = dY * B and dB = dY * A: re-read both operands.
+        return KernelCost(2.0 * out.count, 5.0 * out.nbytes)
+
+    if kind is LayerKind.BN:
+        # Reductions for dgamma/dbeta plus the dX recombination,
+        # re-reading X to rebuild x-hat: ~12 ops/element.
+        return KernelCost(float(out.count) * 12, 3.0 * out.nbytes)
+
+    if kind is LayerKind.INPUT:
+        return KernelCost(0.0, 0.0)
+
+    raise ValueError(f"unknown layer kind {kind}")
+
+
+def is_compute_bound(node: NetworkNode) -> bool:
+    """CONV and FC are math kernels; everything else streams memory."""
+    return node.kind in (LayerKind.CONV, LayerKind.FC)

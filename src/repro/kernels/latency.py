@@ -1,0 +1,115 @@
+"""Roofline latency model for layer kernels on a modeled GPU.
+
+Each kernel's runtime is the larger of its math time (FLOPs over the
+GPU's sustained FLOP rate, scaled by the chosen convolution algorithm's
+time multiplier) and its memory time (DRAM bytes over sustained
+bandwidth), plus a fixed launch overhead.  The model is calibrated so
+VGG-16 per-layer forward latencies land in the tens-of-milliseconds range
+of the paper's Figure 6 and a full VGG-16 (64) iteration takes on the
+order of a second (the paper quotes a ~1200 ms reuse distance for the
+first layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graph.network import Network, NetworkNode
+from ..hw.gpu import GPUSpec
+from .conv_algos import AlgoProfile
+from .flops import KernelCost, backward_cost, forward_cost
+
+#: Fixed cost of launching one kernel (driver + scheduling), seconds.
+KERNEL_LAUNCH_OVERHEAD = 10e-6
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Latency plus the DRAM traffic behind it (for Figure 13)."""
+
+    seconds: float
+    dram_bytes: float
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Achieved DRAM bytes/s during this kernel."""
+        return self.dram_bytes / self.seconds if self.seconds > 0 else 0.0
+
+
+class LatencyModel:
+    """Computes per-layer kernel timings for one GPU."""
+
+    def __init__(self, gpu: GPUSpec):
+        self.gpu = gpu
+
+    # ------------------------------------------------------------------
+    def _input_spec(self, network: Network, node: NetworkNode):
+        if node.producers:
+            return network[node.producers[0]].output_spec
+        return node.output_spec
+
+    def _roofline(self, cost: KernelCost, time_multiplier: float) -> KernelTiming:
+        math_time = cost.flops / self.gpu.effective_flops * time_multiplier
+        memory_time = cost.dram_bytes / self.gpu.effective_bandwidth
+        return KernelTiming(
+            seconds=max(math_time, memory_time) + KERNEL_LAUNCH_OVERHEAD,
+            dram_bytes=cost.dram_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        network: Network,
+        node: NetworkNode,
+        algo: Optional[AlgoProfile] = None,
+    ) -> KernelTiming:
+        """Forward-kernel timing; ``algo`` applies to CONV layers only."""
+        cost = forward_cost(node, self._input_spec(network, node))
+        multiplier = algo.time_multiplier if algo is not None else 1.0
+        return self._roofline(cost, multiplier)
+
+    def backward(
+        self,
+        network: Network,
+        node: NetworkNode,
+        algo: Optional[AlgoProfile] = None,
+    ) -> KernelTiming:
+        """Backward-kernel timing (dX + dW kernels for CONV/FC)."""
+        cost = backward_cost(node, self._input_spec(network, node))
+        multiplier = algo.time_multiplier if algo is not None else 1.0
+        return self._roofline(cost, multiplier)
+
+    def iteration_compute_time(
+        self,
+        network: Network,
+        algos: Optional[dict] = None,
+        feature_extraction_only: bool = False,
+    ) -> float:
+        """Pure compute time of one training iteration, no memory manager.
+
+        This is the paper's *oracular baseline*: "configuring all CONV
+        layers with the fastest algorithms and evaluating the latencies
+        of each layer individually", then accumulating (Section V-C).
+
+        Args:
+            network: the DNN.
+            algos: optional ``{layer index: AlgoProfile}`` for CONV layers.
+            feature_extraction_only: when True, only feature-extraction
+                layers are accumulated — the paper's performance figures
+                "only compare the latencies incurred in the feature
+                extraction layers".
+        """
+        algos = algos or {}
+        total = 0.0
+        for index in network.forward_schedule():
+            node = network[index]
+            if feature_extraction_only and not node.is_feature_extraction:
+                continue
+            total += self.forward(network, node, algos.get(index)).seconds
+        for index in network.backward_schedule():
+            node = network[index]
+            if feature_extraction_only and not node.is_feature_extraction:
+                continue
+            total += self.backward(network, node, algos.get(index)).seconds
+        return total

@@ -1,0 +1,27 @@
+"""Functional (numpy) execution: real training under the memory manager."""
+
+from . import ops
+from .data import accuracy, blob_batch, blob_stream, top_k_accuracy
+from .heap import DeviceHeap, DeviceOOMError, HeapError, HostHeap
+from .initializers import init_bias, init_weight, make_batch
+from .optim import Adam, SGD
+from .runtime import StepResult, TrainingRuntime
+
+__all__ = [
+    "DeviceHeap",
+    "accuracy",
+    "blob_batch",
+    "blob_stream",
+    "top_k_accuracy",
+    "DeviceOOMError",
+    "HeapError",
+    "HostHeap",
+    "Adam",
+    "SGD",
+    "StepResult",
+    "TrainingRuntime",
+    "init_bias",
+    "init_weight",
+    "make_batch",
+    "ops",
+]

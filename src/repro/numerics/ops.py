@@ -1,0 +1,383 @@
+"""Numpy kernels for every layer type, with cuDNN-faithful data contracts.
+
+The backward functions take *only* the tensors the paper's liveness
+story says are available at that point — e.g. ReLU backward uses (Y, dY)
+but never X, because vDNN runs ACTV layers in-place and X is gone; max
+pooling backward needs (X, Y, dY), which is exactly why POOL inputs are
+offload candidates.  The functional runtime combines these kernels with
+the same :class:`~repro.core.liveness.LivenessAnalysis` the simulator
+uses, so an offload/release bug would surface as a hard numerical error.
+
+Convolutions are implemented by explicit im2col lowering (the ``GEMM``
+algorithm of cuDNN); everything is float32 throughout and fully
+deterministic, which is what lets tests demand *bitwise* equality of
+training under different memory managers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+DTYPE = np.float32
+
+
+# ----------------------------------------------------------------------
+# Convolution (im2col GEMM)
+# ----------------------------------------------------------------------
+def _im2col(x: np.ndarray, kernel: int, stride: int, pad: int,
+            oh: int, ow: int) -> np.ndarray:
+    """Lower NCHW input into a (N, C*k*k, oh*ow) column tensor."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for i in range(kernel):
+        i_end = i + stride * oh
+        for j in range(kernel):
+            j_end = j + stride * ow
+            cols[:, :, i, j, :, :] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kernel * kernel, oh * ow)
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, ...], kernel: int,
+            stride: int, pad: int, oh: int, ow: int) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add columns back to NCHW."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kernel, kernel, oh, ow)
+    for i in range(kernel):
+        i_end = i + stride * oh
+        for j in range(kernel):
+            j_end = j + stride * ow
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d_forward(
+    x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
+    stride: int, pad: int,
+) -> np.ndarray:
+    """Y = conv(X, W) + b for NCHW input and OIHW weights."""
+    n, c, h, w_in = x.shape
+    k, _, kernel, _ = w.shape
+    oh = (h + 2 * pad - kernel) // stride + 1
+    ow = (w_in + 2 * pad - kernel) // stride + 1
+    cols = _im2col(x, kernel, stride, pad, oh, ow)
+    y = np.einsum("kp,npq->nkq", w.reshape(k, -1), cols, dtype=DTYPE)
+    y = y.reshape(n, k, oh, ow).astype(DTYPE, copy=False)
+    if b is not None:
+        y += b.reshape(1, k, 1, 1)
+    return y
+
+
+def conv2d_backward(
+    x: np.ndarray, w: np.ndarray, dy: np.ndarray,
+    stride: int, pad: int, bias: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """(dX, dW, db) from (X, W, dY) — the reads that force X to survive."""
+    n, c, h, w_in = x.shape
+    k, _, kernel, _ = w.shape
+    _, _, oh, ow = dy.shape
+    cols = _im2col(x, kernel, stride, pad, oh, ow)
+    dy_mat = dy.reshape(n, k, oh * ow)
+    dw = np.einsum("nkq,npq->kp", dy_mat, cols, dtype=DTYPE).reshape(w.shape)
+    dcols = np.einsum("kp,nkq->npq", w.reshape(k, -1), dy_mat, dtype=DTYPE)
+    dx = _col2im(dcols, x.shape, kernel, stride, pad, oh, ow)
+    db = dy.sum(axis=(0, 2, 3), dtype=DTYPE) if bias else None
+    return dx.astype(DTYPE, copy=False), dw.astype(DTYPE, copy=False), db
+
+
+# ----------------------------------------------------------------------
+# Activations (in-place contract: backward sees only Y and dY)
+# ----------------------------------------------------------------------
+def relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0, dtype=DTYPE)
+
+
+def relu_backward(y: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    return (dy * (y > 0)).astype(DTYPE, copy=False)
+
+
+def sigmoid_forward(x: np.ndarray) -> np.ndarray:
+    return (1.0 / (1.0 + np.exp(-x))).astype(DTYPE, copy=False)
+
+
+def sigmoid_backward(y: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    return (dy * y * (1.0 - y)).astype(DTYPE, copy=False)
+
+
+def tanh_forward(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x).astype(DTYPE, copy=False)
+
+
+def tanh_backward(y: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    return (dy * (1.0 - y * y)).astype(DTYPE, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def _pool_windows(h: int, w: int, kernel: int, stride: int, pad: int,
+                  oh: int, ow: int):
+    for oi in range(oh):
+        hs = oi * stride - pad
+        for oj in range(ow):
+            ws = oj * stride - pad
+            yield (oi, oj,
+                   max(hs, 0), min(hs + kernel, h),
+                   max(ws, 0), min(ws + kernel, w))
+
+
+def maxpool_forward(x: np.ndarray, kernel: int, stride: int, pad: int,
+                    oh: int, ow: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    y = np.empty((n, c, oh, ow), dtype=DTYPE)
+    for oi, oj, h0, h1, w0, w1 in _pool_windows(h, w, kernel, stride, pad, oh, ow):
+        y[:, :, oi, oj] = x[:, :, h0:h1, w0:w1].max(axis=(2, 3))
+    return y
+
+
+def maxpool_backward(x: np.ndarray, y: np.ndarray, dy: np.ndarray,
+                     kernel: int, stride: int, pad: int) -> np.ndarray:
+    """dX from (X, Y, dY): route each dY element to its argmax position."""
+    n, c, h, w = x.shape
+    _, _, oh, ow = dy.shape
+    dx = np.zeros_like(x, dtype=DTYPE)
+    for oi, oj, h0, h1, w0, w1 in _pool_windows(h, w, kernel, stride, pad, oh, ow):
+        window = x[:, :, h0:h1, w0:w1]
+        mask = window == y[:, :, oi, oj][:, :, None, None]
+        dx[:, :, h0:h1, w0:w1] += mask * dy[:, :, oi, oj][:, :, None, None]
+    return dx
+
+
+def avgpool_forward(x: np.ndarray, kernel: int, stride: int, pad: int,
+                    oh: int, ow: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    y = np.empty((n, c, oh, ow), dtype=DTYPE)
+    for oi, oj, h0, h1, w0, w1 in _pool_windows(h, w, kernel, stride, pad, oh, ow):
+        y[:, :, oi, oj] = x[:, :, h0:h1, w0:w1].mean(axis=(2, 3), dtype=DTYPE)
+    return y
+
+
+def avgpool_backward(x_shape: Tuple[int, ...], dy: np.ndarray,
+                     kernel: int, stride: int, pad: int) -> np.ndarray:
+    n, c, h, w = x_shape
+    _, _, oh, ow = dy.shape
+    dx = np.zeros(x_shape, dtype=DTYPE)
+    for oi, oj, h0, h1, w0, w1 in _pool_windows(h, w, kernel, stride, pad, oh, ow):
+        area = (h1 - h0) * (w1 - w0)
+        dx[:, :, h0:h1, w0:w1] += (dy[:, :, oi, oj] / area)[:, :, None, None]
+    return dx
+
+
+# ----------------------------------------------------------------------
+# Local response normalization (cross-channel, AlexNet formula)
+# ----------------------------------------------------------------------
+def _lrn_scale(x: np.ndarray, local_size: int, alpha: float, k: float) -> np.ndarray:
+    c = x.shape[1]
+    half = local_size // 2
+    squares = x * x
+    scale = np.full_like(x, k, dtype=DTYPE)
+    for offset in range(-half, half + 1):
+        lo, hi = max(0, -offset), min(c, c - offset)
+        scale[:, lo:hi] += (alpha / local_size) * squares[:, lo + offset:hi + offset]
+    return scale
+
+
+def lrn_forward(x: np.ndarray, local_size: int, alpha: float, beta: float,
+                k: float) -> np.ndarray:
+    scale = _lrn_scale(x, local_size, alpha, k)
+    return (x * scale ** (-beta)).astype(DTYPE, copy=False)
+
+
+def lrn_backward(x: np.ndarray, y: np.ndarray, dy: np.ndarray,
+                 local_size: int, alpha: float, beta: float, k: float) -> np.ndarray:
+    """dX from (X, Y, dY) — cuDNN's LRN backward signature."""
+    c = x.shape[1]
+    half = local_size // 2
+    scale = _lrn_scale(x, local_size, alpha, k)
+    ratio = dy * y / scale  # shared cross-channel term
+    dx = dy * scale ** (-beta)
+    accum = np.zeros_like(x, dtype=DTYPE)
+    for offset in range(-half, half + 1):
+        lo, hi = max(0, -offset), min(c, c - offset)
+        accum[:, lo:hi] += ratio[:, lo + offset:hi + offset]
+    dx -= (2.0 * alpha * beta / local_size) * x * accum
+    return dx.astype(DTYPE, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Fully connected
+# ----------------------------------------------------------------------
+def fc_forward(x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray]) -> np.ndarray:
+    flat = x.reshape(x.shape[0], -1)
+    y = flat @ w.T
+    if b is not None:
+        y = y + b
+    return y.astype(DTYPE, copy=False)
+
+
+def fc_backward(
+    x: np.ndarray, w: np.ndarray, dy: np.ndarray, bias: bool = True
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    flat = x.reshape(x.shape[0], -1)
+    dw = (dy.T @ flat).astype(DTYPE, copy=False)
+    dx = (dy @ w).reshape(x.shape).astype(DTYPE, copy=False)
+    db = dy.sum(axis=0, dtype=DTYPE) if bias else None
+    return dx, dw, db
+
+
+# ----------------------------------------------------------------------
+# Dropout (mask regenerated from the seed — zero extra device memory)
+# ----------------------------------------------------------------------
+def dropout_mask(shape: Tuple[int, ...], rate: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    keep = (rng.random(shape) >= rate).astype(DTYPE)
+    return keep / DTYPE(1.0 - rate)
+
+
+def dropout_forward(x: np.ndarray, rate: float, seed: int,
+                    training: bool = True) -> np.ndarray:
+    if not training or rate == 0.0:
+        return x.astype(DTYPE, copy=False)
+    return (x * dropout_mask(x.shape, rate, seed)).astype(DTYPE, copy=False)
+
+
+def dropout_backward(dy: np.ndarray, rate: float, seed: int,
+                     training: bool = True) -> np.ndarray:
+    if not training or rate == 0.0:
+        return dy.astype(DTYPE, copy=False)
+    return (dy * dropout_mask(dy.shape, rate, seed)).astype(DTYPE, copy=False)
+
+
+# ----------------------------------------------------------------------
+# Channel slice (timestep selection in unrolled RNNs)
+# ----------------------------------------------------------------------
+def slice_forward(x: np.ndarray, begin: int, end: int) -> np.ndarray:
+    return np.ascontiguousarray(x[:, begin:end]).astype(DTYPE, copy=False)
+
+
+def slice_backward(x_shape: Tuple[int, ...], dy: np.ndarray,
+                   begin: int, end: int) -> np.ndarray:
+    dx = np.zeros(x_shape, dtype=DTYPE)
+    dx[:, begin:end] = dy
+    return dx
+
+
+# ----------------------------------------------------------------------
+# Element-wise add (ResNet shortcut joins)
+# ----------------------------------------------------------------------
+def eltwise_add_forward(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    total = inputs[0].astype(DTYPE, copy=True)
+    for other in inputs[1:]:
+        total += other
+    return total
+
+
+# ----------------------------------------------------------------------
+# Element-wise multiply (LSTM/GRU gating): backward reads both operands
+# ----------------------------------------------------------------------
+def eltwise_mul_forward(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a * b).astype(DTYPE, copy=False)
+
+
+def eltwise_mul_backward(
+    a: np.ndarray, b: np.ndarray, dy: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    return ((dy * b).astype(DTYPE, copy=False),
+            (dy * a).astype(DTYPE, copy=False))
+
+
+# ----------------------------------------------------------------------
+# Batch normalization (per-channel, batch statistics)
+# ----------------------------------------------------------------------
+def _bn_axes(x: np.ndarray) -> Tuple[int, ...]:
+    return (0,) + tuple(range(2, x.ndim))
+
+
+def batchnorm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, epsilon: float
+) -> np.ndarray:
+    """y = gamma * (x - mean) / sqrt(var + eps) + beta, batch statistics.
+
+    Uses the current batch's statistics in both training and inference
+    (no running averages) — sufficient here, where BN exists to exercise
+    the memory manager on a backward pass that genuinely re-reads X.
+    """
+    axes = _bn_axes(x)
+    mean = x.mean(axis=axes, keepdims=True, dtype=np.float32)
+    var = x.var(axis=axes, keepdims=True, dtype=np.float32)
+    inv_std = 1.0 / np.sqrt(var + epsilon)
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    xhat = (x - mean) * inv_std
+    return (gamma.reshape(shape) * xhat + beta.reshape(shape)).astype(
+        DTYPE, copy=False
+    )
+
+
+def batchnorm_backward(
+    x: np.ndarray, gamma: np.ndarray, dy: np.ndarray, epsilon: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(dX, dgamma, dbeta) from (X, gamma, dY) — cuDNN's BN signature."""
+    axes = _bn_axes(x)
+    count = x.size // x.shape[1]
+    mean = x.mean(axis=axes, keepdims=True, dtype=np.float32)
+    var = x.var(axis=axes, keepdims=True, dtype=np.float32)
+    inv_std = 1.0 / np.sqrt(var + epsilon)
+    xhat = (x - mean) * inv_std
+
+    dgamma = (dy * xhat).sum(axis=axes, dtype=np.float32)
+    dbeta = dy.sum(axis=axes, dtype=np.float32)
+
+    shape = (1, -1) + (1,) * (x.ndim - 2)
+    dxhat = dy * gamma.reshape(shape)
+    dx = (inv_std / count) * (
+        count * dxhat
+        - dxhat.sum(axis=axes, keepdims=True)
+        - xhat * (dxhat * xhat).sum(axis=axes, keepdims=True)
+    )
+    return (dx.astype(DTYPE, copy=False),
+            dgamma.astype(DTYPE, copy=False),
+            dbeta.astype(DTYPE, copy=False))
+
+
+# ----------------------------------------------------------------------
+# Concat / split (GoogLeNet joins)
+# ----------------------------------------------------------------------
+def concat_forward(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    return np.concatenate(list(inputs), axis=1).astype(DTYPE, copy=False)
+
+
+def concat_backward(dy: np.ndarray, channel_counts: Sequence[int]) -> List[np.ndarray]:
+    splits = np.cumsum(channel_counts)[:-1]
+    return [part.astype(DTYPE, copy=False) for part in np.split(dy, splits, axis=1)]
+
+
+# ----------------------------------------------------------------------
+# Softmax + cross-entropy
+# ----------------------------------------------------------------------
+def softmax_forward(x: np.ndarray) -> np.ndarray:
+    flat = x.reshape(x.shape[0], -1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / exp.sum(axis=1, keepdims=True)).reshape(x.shape).astype(
+        DTYPE, copy=False
+    )
+
+
+def cross_entropy_loss(probs: np.ndarray, labels: np.ndarray) -> float:
+    flat = probs.reshape(probs.shape[0], -1)
+    picked = flat[np.arange(flat.shape[0]), labels]
+    return float(-np.log(np.maximum(picked, 1e-12)).mean())
+
+
+def softmax_cross_entropy_backward(probs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(loss)/d(logits), folded through the softmax: (p - onehot)/N."""
+    flat = probs.reshape(probs.shape[0], -1).copy()
+    flat[np.arange(flat.shape[0]), labels] -= 1.0
+    flat /= flat.shape[0]
+    return flat.reshape(probs.shape).astype(DTYPE, copy=False)

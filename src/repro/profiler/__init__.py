@@ -1,0 +1,26 @@
+"""Profiling: memory, timing and bandwidth analyses behind the figures."""
+
+from .bandwidth import BandwidthRow, dram_bandwidth_profile, worst_case_interference
+from .memory import (
+    BaselineProfile,
+    LayerMemoryRow,
+    baseline_memory_profile,
+    feature_extraction_share,
+    memory_breakdown,
+    per_layer_profile,
+)
+from .timing import LayerTimingRow, layer_timing_profile
+
+__all__ = [
+    "BandwidthRow",
+    "BaselineProfile",
+    "LayerMemoryRow",
+    "LayerTimingRow",
+    "baseline_memory_profile",
+    "dram_bandwidth_profile",
+    "feature_extraction_share",
+    "layer_timing_profile",
+    "memory_breakdown",
+    "per_layer_profile",
+    "worst_case_interference",
+]

@@ -1,0 +1,67 @@
+"""DRAM-bandwidth profiling (Figure 13) and PCIe headroom analysis.
+
+Figure 13 plots each CONV layer's achieved device-DRAM bandwidth during
+forward and backward propagation.  The paper's point: feature-extraction
+kernels sustain well under the 336 GB/s peak, so vDNN's extra
+offload/prefetch traffic (bounded by PCIe's 16 GB/s) costs at most
+``16/336 = 4.7%`` even against a hypothetical bandwidth-saturating
+kernel (Section V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.algo_config import AlgoConfig
+from ..graph.layer import LayerKind
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from ..kernels.latency import LatencyModel
+
+
+@dataclass
+class BandwidthRow:
+    """One x-position of Figure 13."""
+
+    name: str
+    kind: str
+    forward_bandwidth: float     # bytes/s achieved during forward
+    backward_bandwidth: float    # bytes/s achieved during backward
+
+    def forward_utilization(self, peak: float) -> float:
+        return self.forward_bandwidth / peak
+
+    def backward_utilization(self, peak: float) -> float:
+        return self.backward_bandwidth / peak
+
+
+def dram_bandwidth_profile(
+    network: Network, system: SystemConfig, algos: AlgoConfig
+) -> List[BandwidthRow]:
+    """Achieved DRAM bandwidth per weighted layer, fwd and bwd."""
+    latency = LatencyModel(system.gpu)
+    rows = []
+    for node in network:
+        if node.kind not in (LayerKind.CONV, LayerKind.FC):
+            continue
+        fwd = latency.forward(network, node, algos.profile(node))
+        bwd = latency.backward(network, node, algos.profile(node))
+        rows.append(BandwidthRow(
+            name=node.name,
+            kind=node.kind.value,
+            forward_bandwidth=fwd.dram_bandwidth,
+            backward_bandwidth=bwd.dram_bandwidth,
+        ))
+    return rows
+
+
+def worst_case_interference(system: SystemConfig) -> float:
+    """Upper bound on vDNN's slowdown from stolen DRAM bandwidth.
+
+    Even if a future convolution saturated device DRAM completely, the
+    offload/prefetch traffic is capped by the PCIe line rate, so the
+    worst-case overhead is ``pcie_max / dram_peak`` (4.7% on the paper's
+    testbed).
+    """
+    return system.pcie.max_bandwidth / system.gpu.dram_bandwidth

@@ -1,0 +1,65 @@
+"""Timing profiles: per-layer latency and reuse distance (Figure 6).
+
+The *reuse distance* of layer(n)'s input X is "the latency between the
+completion of layer(n)'s forward propagation and the start of the same
+layer(n)'s backward propagation" — milliseconds to seconds even for
+mid-network layers, which is the slack vDNN's offload/prefetch rides on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.algo_config import AlgoConfig
+from ..core.executor import IterationResult, simulate_baseline
+from ..graph.layer import LayerKind
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from ..sim.timeline import EventKind
+
+
+@dataclass
+class LayerTimingRow:
+    """One x-position of Figure 6."""
+
+    name: str
+    kind: str
+    forward_seconds: float
+    backward_seconds: float
+    reuse_distance_seconds: float
+
+
+def layer_timing_profile(
+    network: Network,
+    system: SystemConfig,
+    algos: AlgoConfig,
+    result: IterationResult = None,
+) -> List[LayerTimingRow]:
+    """Forward/backward latency and reuse distance per weighted layer.
+
+    Measured on a baseline (no-offload) timeline by default so that the
+    distances reflect pure computation, matching the paper's setup; pass
+    a pre-computed ``result`` to profile another configuration.
+    """
+    if result is None:
+        result = simulate_baseline(network, system.with_oracular_gpu(), algos)
+    timeline = result.timeline
+
+    rows = []
+    for node in network:
+        if node.kind not in (LayerKind.CONV, LayerKind.FC):
+            continue
+        events = timeline.for_layer(node.index)
+        fwd = [e for e in events if e.kind is EventKind.FORWARD]
+        bwd = [e for e in events if e.kind is EventKind.BACKWARD]
+        if not fwd or not bwd:
+            continue
+        rows.append(LayerTimingRow(
+            name=node.name,
+            kind=node.kind.value,
+            forward_seconds=sum(e.duration for e in fwd),
+            backward_seconds=sum(e.duration for e in bwd),
+            reuse_distance_seconds=max(bwd[0].start - fwd[-1].end, 0.0),
+        ))
+    return rows

@@ -1,0 +1,49 @@
+"""Reporting: table rendering and per-figure experiment drivers."""
+
+from .figures import (
+    FigureResult,
+    fig01_baseline_usage,
+    fig04_breakdown,
+    fig05_per_layer,
+    fig06_reuse_distance,
+    fig09_timeline,
+    fig11_memory_usage,
+    fig12_offload_size,
+    fig13_dram_bandwidth,
+    fig14_performance,
+    fig15_very_deep,
+    headline,
+    power_section,
+)
+from .tables import (
+    format_bar,
+    format_bar_chart,
+    format_table,
+    gb_str,
+    mb_str,
+    ms_str,
+    pct_str,
+)
+
+__all__ = [
+    "FigureResult",
+    "fig01_baseline_usage",
+    "fig04_breakdown",
+    "fig05_per_layer",
+    "fig06_reuse_distance",
+    "fig09_timeline",
+    "fig11_memory_usage",
+    "fig12_offload_size",
+    "fig13_dram_bandwidth",
+    "fig14_performance",
+    "fig15_very_deep",
+    "format_bar",
+    "format_bar_chart",
+    "format_table",
+    "gb_str",
+    "headline",
+    "mb_str",
+    "ms_str",
+    "pct_str",
+    "power_section",
+]

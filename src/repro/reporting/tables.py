@@ -1,0 +1,85 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Every benchmark prints the rows/series of its paper figure through these
+helpers so EXPERIMENTS.md, CI logs and interactive runs all look alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_bar(value: float, maximum: float, width: int = 40) -> str:
+    """One ASCII bar scaled to ``maximum``."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(min(value / maximum, 1.0) * width))
+    return "#" * filled
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "",
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    maximum = max(values, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        bar = format_bar(value, maximum, width)
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def mb_str(nbytes: float) -> str:
+    return f"{nbytes / (1 << 20):,.0f} MB"
+
+
+def gb_str(nbytes: float) -> str:
+    return f"{nbytes / (1 << 30):,.2f} GB"
+
+
+def ms_str(seconds: float) -> str:
+    return f"{seconds * 1e3:,.2f} ms"
+
+
+def pct_str(fraction: float) -> str:
+    return f"{fraction * 100:,.1f}%"

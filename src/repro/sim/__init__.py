@@ -1,0 +1,21 @@
+"""Two-stream execution simulation: timelines, streams, power."""
+
+from .power import PowerModel, PowerReport, analyze_power
+from .trace import save_trace, timeline_to_trace_events
+from .stream import COMPUTE_STREAM, MEMORY_STREAM, SimStream, make_stream_pair
+from .timeline import EventKind, Timeline, TimelineEvent
+
+__all__ = [
+    "COMPUTE_STREAM",
+    "EventKind",
+    "MEMORY_STREAM",
+    "PowerModel",
+    "PowerReport",
+    "SimStream",
+    "Timeline",
+    "TimelineEvent",
+    "analyze_power",
+    "make_stream_pair",
+    "save_trace",
+    "timeline_to_trace_events",
+]

@@ -1,0 +1,77 @@
+"""CUDA-stream model: in-order queues that can synchronize with each other.
+
+vDNN "employs two separate CUDA streams to overlap normal DNN
+computations with the memory allocation, movement, and release operations"
+(Section III-B): ``stream_compute`` runs cuDNN kernels, ``stream_memory``
+runs offload/prefetch DMA.  A CUDA stream executes its own work strictly
+in order; cross-stream ordering only exists where the program inserts a
+synchronization.  :class:`SimStream` models exactly that with a
+``ready_time`` clock per stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .timeline import EventKind, Timeline, TimelineEvent
+
+COMPUTE_STREAM = "stream_compute"
+MEMORY_STREAM = "stream_memory"
+
+
+@dataclass
+class SimStream:
+    """One in-order execution queue with a monotonically advancing clock."""
+
+    name: str
+    timeline: Timeline
+    ready_time: float = 0.0
+    busy_seconds: float = field(default=0.0)
+
+    def enqueue(
+        self,
+        kind: EventKind,
+        label: str,
+        duration: float,
+        earliest_start: float = 0.0,
+        nbytes: int = 0,
+        layer_index: int = -1,
+    ) -> TimelineEvent:
+        """Append one operation; it starts when the stream *and* its
+        dependencies are ready, and runs for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"negative duration for {label!r}")
+        start = max(self.ready_time, earliest_start)
+        end = start + duration
+        event = self.timeline.record(
+            self.name, kind, label, start, end, nbytes=nbytes, layer_index=layer_index
+        )
+        self.ready_time = end
+        self.busy_seconds += duration
+        return event
+
+    def wait_for(self, other: "SimStream") -> float:
+        """cudaStreamSynchronize-style join: this stream's next operation
+        cannot start before everything queued on ``other`` has finished.
+
+        Returns the stall time introduced (0 when ``other`` was already
+        done) — the "wasted time" the paper's Figure 9 shades.
+        """
+        stall = max(0.0, other.ready_time - self.ready_time)
+        self.ready_time = max(self.ready_time, other.ready_time)
+        return stall
+
+    def wait_until(self, time: float) -> float:
+        """Block the stream until an absolute timestamp (event wait)."""
+        stall = max(0.0, time - self.ready_time)
+        self.ready_time = max(self.ready_time, time)
+        return stall
+
+
+def make_stream_pair(timeline: Optional[Timeline] = None):
+    """The (compute, memory) stream pair vDNN uses, sharing one timeline."""
+    timeline = timeline if timeline is not None else Timeline()
+    compute = SimStream(COMPUTE_STREAM, timeline)
+    memory = SimStream(MEMORY_STREAM, timeline)
+    return compute, memory, timeline

@@ -1,0 +1,137 @@
+"""Execution timeline: the record of what ran when, on which stream.
+
+The executor emits one :class:`TimelineEvent` per kernel or DMA transfer.
+The timeline is the ground truth for every time-derived result: iteration
+latency (Figure 14), reuse distances (Figure 6), overlap visualization
+(Figure 9), DRAM-bandwidth accounting (Figure 13) and the power model
+(Section V-D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+class EventKind(enum.Enum):
+    FORWARD = "FWD"
+    BACKWARD = "BWD"
+    OFFLOAD = "OFF"
+    PREFETCH = "PRE"
+    STALL = "STALL"
+    UPDATE = "UPD"
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One interval of activity on one stream."""
+
+    stream: str
+    kind: EventKind
+    label: str
+    start: float
+    end: float
+    nbytes: int = 0           # payload moved (transfers) or touched (kernels)
+    layer_index: int = -1
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"event {self.label!r} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Append-only event log with simple analytics."""
+
+    def __init__(self) -> None:
+        self._events: List[TimelineEvent] = []
+
+    def add(self, event: TimelineEvent) -> TimelineEvent:
+        self._events.append(event)
+        return self
+
+    def record(
+        self,
+        stream: str,
+        kind: EventKind,
+        label: str,
+        start: float,
+        end: float,
+        nbytes: int = 0,
+        layer_index: int = -1,
+    ) -> TimelineEvent:
+        event = TimelineEvent(stream, kind, label, start, end, nbytes, layer_index)
+        self._events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TimelineEvent]:
+        return list(self._events)
+
+    @property
+    def span(self) -> float:
+        """End-to-end wall time covered by the log."""
+        if not self._events:
+            return 0.0
+        return max(e.end for e in self._events) - min(e.start for e in self._events)
+
+    @property
+    def end_time(self) -> float:
+        return max((e.end for e in self._events), default=0.0)
+
+    def of_kind(self, *kinds: EventKind) -> List[TimelineEvent]:
+        return [e for e in self._events if e.kind in kinds]
+
+    def on_stream(self, stream: str) -> List[TimelineEvent]:
+        return [e for e in self._events if e.stream == stream]
+
+    def for_layer(self, layer_index: int) -> List[TimelineEvent]:
+        return [e for e in self._events if e.layer_index == layer_index]
+
+    def busy_time(self, stream: str) -> float:
+        """Union length of the stream's non-stall intervals."""
+        intervals = sorted(
+            (e.start, e.end)
+            for e in self._events
+            if e.stream == stream and e.kind is not EventKind.STALL
+        )
+        total, cursor = 0.0, float("-inf")
+        for start, end in intervals:
+            start = max(start, cursor)
+            if end > start:
+                total += end - start
+                cursor = end
+        return total
+
+    def transferred_bytes(self, *kinds: EventKind) -> int:
+        kinds = kinds or (EventKind.OFFLOAD, EventKind.PREFETCH)
+        return sum(e.nbytes for e in self._events if e.kind in kinds)
+
+    # ------------------------------------------------------------------
+    def render_ascii(self, width: int = 100, streams: Optional[Iterable[str]] = None) -> str:
+        """Render a Figure-9 style two-row timeline as ASCII art."""
+        if not self._events:
+            return "(empty timeline)"
+        t0 = min(e.start for e in self._events)
+        t1 = max(e.end for e in self._events)
+        scale = (width - 1) / (t1 - t0) if t1 > t0 else 0.0
+
+        names = list(streams) if streams else sorted({e.stream for e in self._events})
+        rows = []
+        for name in names:
+            row = [" "] * width
+            for event in self.on_stream(name):
+                lo = int((event.start - t0) * scale)
+                hi = max(lo + 1, int((event.end - t0) * scale))
+                text = f"[{event.kind.value} {event.label}]"
+                for i in range(lo, min(hi, width)):
+                    offset = i - lo
+                    row[i] = text[offset] if offset < len(text) else "="
+            rows.append(f"{name:>14s} |{''.join(row)}|")
+        rows.append(f"{'':>14s}  t=0 {'':{width - 14}} t={t1 - t0:.4f}s")
+        return "\n".join(rows)

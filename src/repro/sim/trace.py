@@ -1,0 +1,80 @@
+"""Export timelines to the Chrome trace-event format.
+
+``chrome://tracing`` / Perfetto render the two-stream execution exactly
+like the paper's Figure 9: one row per CUDA stream, offloads overlapping
+forward kernels, prefetches overlapping backward kernels, stalls shaded
+on the compute stream.  The memory curve is exported as counter events
+so the same trace shows pool occupancy over time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from ..alloc.stats import UsageTracker
+from .timeline import EventKind, Timeline
+
+_CATEGORY = {
+    EventKind.FORWARD: "compute",
+    EventKind.BACKWARD: "compute",
+    EventKind.UPDATE: "compute",
+    EventKind.OFFLOAD: "transfer",
+    EventKind.PREFETCH: "transfer",
+    EventKind.STALL: "stall",
+}
+
+
+def timeline_to_trace_events(
+    timeline: Timeline,
+    usage: Optional[UsageTracker] = None,
+    process_name: str = "vDNN",
+) -> List[dict]:
+    """Convert a timeline (+ optional memory curve) to trace events."""
+    streams = sorted({e.stream for e in timeline.events})
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": process_name},
+    }]
+    for tid, stream in enumerate(streams):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": stream},
+        })
+    tid_of = {stream: tid for tid, stream in enumerate(streams)}
+
+    for event in timeline.events:
+        events.append({
+            "name": f"{event.kind.value} {event.label}",
+            "cat": _CATEGORY[event.kind],
+            "ph": "X",
+            "pid": 0,
+            "tid": tid_of[event.stream],
+            "ts": event.start * 1e6,        # trace format uses microseconds
+            "dur": event.duration * 1e6,
+            "args": {"bytes": event.nbytes, "layer": event.layer_index},
+        })
+
+    if usage is not None:
+        for time, live_bytes in usage.curve():
+            events.append({
+                "name": "pool bytes",
+                "ph": "C",
+                "pid": 0,
+                "ts": time * 1e6,
+                "args": {"live": live_bytes},
+            })
+    return events
+
+
+def save_trace(
+    path: str,
+    timeline: Timeline,
+    usage: Optional[UsageTracker] = None,
+    process_name: str = "vDNN",
+) -> None:
+    """Write a ``.json`` Chrome/Perfetto trace file."""
+    events = timeline_to_trace_events(timeline, usage, process_name)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, handle)

@@ -1,0 +1,30 @@
+"""AlexNet (Krizhevsky et al., 2012), single-tower Caffe reference layout.
+
+Matches the reference model the paper evaluates (Section IV-C, batch 128):
+5 CONV + 3 FC layers with ReLU, LRN after conv1/conv2, and 3x3/stride-2
+max pooling.  Grouped convolutions in the original two-GPU AlexNet are
+flattened into full convolutions, as every modern reference model does.
+"""
+
+from __future__ import annotations
+
+from ..graph import Network, NetworkBuilder, PoolMode
+
+
+def build_alexnet(batch_size: int = 128) -> Network:
+    """Build AlexNet for the given batch size (paper default: 128)."""
+    b = NetworkBuilder(f"AlexNet({batch_size})", (batch_size, 3, 227, 227))
+    b.conv(96, kernel=11, stride=4, name="conv_01").relu()
+    b.lrn(name="lrn_01")
+    b.pool(kernel=3, stride=2, name="pool_01")
+    b.conv(256, kernel=5, pad=2, name="conv_02").relu()
+    b.lrn(name="lrn_02")
+    b.pool(kernel=3, stride=2, name="pool_02")
+    b.conv(384, kernel=3, pad=1, name="conv_03").relu()
+    b.conv(384, kernel=3, pad=1, name="conv_04").relu()
+    b.conv(256, kernel=3, pad=1, name="conv_05").relu()
+    b.pool(kernel=3, stride=2, name="pool_03")
+    b.fc(4096, name="fc_01").relu().dropout()
+    b.fc(4096, name="fc_02").relu().dropout()
+    b.fc(1000, name="fc_03").softmax()
+    return b.build()

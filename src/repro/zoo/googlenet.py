@@ -1,0 +1,45 @@
+"""GoogLeNet (Szegedy et al., 2014) — the non-linear fork/join benchmark.
+
+Nine inception modules exactly per Table 1 of the GoogLeNet paper; the two
+auxiliary classifiers are omitted, matching the convnet-benchmarks
+reference model the paper evaluates (Section IV-C, batch 128).  Inception
+modules exercise vDNN's refcount-gated offload logic (paper Figure 3):
+each module's input feeds four branches, so its producer's Y has
+``Refcnt = 4`` and may only be offloaded/released by the *last* branch
+that consumes it.
+"""
+
+from __future__ import annotations
+
+from ..graph import Network, NetworkBuilder, PoolMode
+
+
+def build_googlenet(batch_size: int = 128) -> Network:
+    """Build GoogLeNet v1 for the given batch size (paper default: 128)."""
+    b = NetworkBuilder(f"GoogLeNet({batch_size})", (batch_size, 3, 224, 224))
+    b.conv(64, kernel=7, stride=2, pad=3, name="conv_01").relu()
+    b.pool(kernel=3, stride=2, name="pool_01")
+    b.lrn(name="lrn_01")
+    b.conv(64, kernel=1, name="conv_02").relu()
+    b.conv(192, kernel=3, pad=1, name="conv_03").relu()
+    b.lrn(name="lrn_02")
+    b.pool(kernel=3, stride=2, name="pool_02")
+
+    b.inception(64, 96, 128, 16, 32, 32, name="incep_3a")
+    b.inception(128, 128, 192, 32, 96, 64, name="incep_3b")
+    b.pool(kernel=3, stride=2, name="pool_03")
+
+    b.inception(192, 96, 208, 16, 48, 64, name="incep_4a")
+    b.inception(160, 112, 224, 24, 64, 64, name="incep_4b")
+    b.inception(128, 128, 256, 24, 64, 64, name="incep_4c")
+    b.inception(112, 144, 288, 32, 64, 64, name="incep_4d")
+    b.inception(256, 160, 320, 32, 128, 128, name="incep_4e")
+    b.pool(kernel=3, stride=2, name="pool_04")
+
+    b.inception(256, 160, 320, 32, 128, 128, name="incep_5a")
+    b.inception(384, 192, 384, 48, 128, 128, name="incep_5b")
+    b.pool(kernel=7, stride=1, mode=PoolMode.AVG, name="pool_05")
+
+    b.dropout(rate=0.4)
+    b.fc(1000, name="fc_01").softmax()
+    return b.build()

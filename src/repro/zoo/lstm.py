@@ -1,0 +1,90 @@
+"""Unrolled LSTM (Hochreiter & Schmidhuber) — gated recurrence under vDNN.
+
+The strongest stress test of the memory manager's generality: every
+timestep materializes four gate activations, two cell-state products
+and a hidden state, all joined by element-wise multiplies whose backward
+reads *both* operands — so nearly every buffer in the unrolled graph
+must survive until backpropagation-through-time returns to its step,
+exactly the camping-feature-map problem vDNN attacks.  Weights are tied
+across timesteps like the Elman RNN's.
+"""
+
+from __future__ import annotations
+
+from ..graph import Network, NetworkBuilder
+
+_GATES = ("i", "f", "o", "g")
+
+
+def build_unrolled_lstm(
+    timesteps: int = 8,
+    input_dim: int = 32,
+    hidden_dim: int = 64,
+    num_classes: int = 10,
+    batch_size: int = 16,
+) -> Network:
+    """Build an LSTM unrolled over ``timesteps`` steps."""
+    if timesteps < 1:
+        raise ValueError("need at least one timestep")
+    if min(input_dim, hidden_dim, num_classes, batch_size) < 1:
+        raise ValueError("all dimensions must be positive")
+
+    b = NetworkBuilder(
+        f"LSTM-T{timesteps}({batch_size})",
+        (batch_size, timesteps * input_dim, 1, 1),
+    )
+    packed = b.tap()
+    hidden = None  # h_{t-1}
+    cell = None    # c_{t-1}
+
+    for t in range(1, timesteps + 1):
+        b.slice((t - 1) * input_dim, t * input_dim,
+                name=f"x_t{t:02d}", after=packed)
+        x_t = b.tap()
+
+        gates = {}
+        for gate in _GATES:
+            if gate == "f" and cell is None:
+                # No previous cell state to forget at step 1; building
+                # the gate would create a dead-end layer.
+                continue
+            # Input projection: step 1 owns W_x<gate> (W_xf at step 2).
+            owns_wx = (t == 1) or (gate == "f" and t == 2)
+            b.fc(hidden_dim,
+                 name=f"W_x{gate}" if owns_wx else f"W_x{gate}_t{t:02d}",
+                 after=x_t,
+                 tied_to=None if owns_wx else f"W_x{gate}")
+            xw = b.tap()
+            if hidden is not None:
+                # Recurrent projection: step 2 owns W_h<gate>.
+                b.fc(hidden_dim,
+                     name=f"W_h{gate}" if t == 2 else f"W_h{gate}_t{t:02d}",
+                     after=hidden,
+                     tied_to=None if t == 2 else f"W_h{gate}")
+                hw = b.tap()
+                b.add([xw, hw], name=f"pre_{gate}_t{t:02d}")
+            pre = b.tap()
+            if gate == "g":
+                b.tanh(name=f"{gate}_t{t:02d}", after=pre)
+            else:
+                b.sigmoid(name=f"{gate}_t{t:02d}", after=pre)
+            gates[gate] = b.tap()
+
+        b.mul([gates["i"], gates["g"]], name=f"ig_t{t:02d}")
+        new_cell = b.tap()
+        if cell is not None:
+            b.mul([gates["f"], cell], name=f"fc_t{t:02d}")
+            forgotten = b.tap()
+            b.add([new_cell, forgotten], name=f"c_t{t:02d}")
+            new_cell = b.tap()
+        cell = new_cell
+
+        b.tanh(name=f"ctanh_t{t:02d}", after=cell)
+        squashed = b.tap()
+        b.mul([gates["o"], squashed], name=f"h_t{t:02d}")
+        hidden = b.tap()
+
+    b.at(hidden)
+    b.fc(num_classes, name="head")
+    b.softmax()
+    return b.build()

@@ -1,0 +1,26 @@
+"""OverFeat "fast" model (Sermanet et al., 2013).
+
+Matches the convnet-benchmarks reference configuration the paper uses
+(Section IV-C, batch 128): 5 CONV + 3 FC layers on 231x231 inputs.
+"""
+
+from __future__ import annotations
+
+from ..graph import Network, NetworkBuilder
+
+
+def build_overfeat(batch_size: int = 128) -> Network:
+    """Build OverFeat (fast) for the given batch size (paper default: 128)."""
+    b = NetworkBuilder(f"OverFeat({batch_size})", (batch_size, 3, 231, 231))
+    b.conv(96, kernel=11, stride=4, name="conv_01").relu()
+    b.pool(kernel=2, stride=2, name="pool_01")
+    b.conv(256, kernel=5, name="conv_02").relu()
+    b.pool(kernel=2, stride=2, name="pool_02")
+    b.conv(512, kernel=3, pad=1, name="conv_03").relu()
+    b.conv(1024, kernel=3, pad=1, name="conv_04").relu()
+    b.conv(1024, kernel=3, pad=1, name="conv_05").relu()
+    b.pool(kernel=2, stride=2, name="pool_03")
+    b.fc(3072, name="fc_01").relu().dropout()
+    b.fc(4096, name="fc_02").relu().dropout()
+    b.fc(1000, name="fc_03").softmax()
+    return b.build()

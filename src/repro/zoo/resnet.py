@@ -1,0 +1,133 @@
+"""Residual networks (He et al., 2015 — the paper's reference [15]).
+
+The paper motivates vDNN with "the most recent ImageNet winning network
+adopting more than a hundred convolutional layers"; that network is
+ResNet.  These builders produce the basic-block ImageNet ResNets
+(ResNet-18 and ResNet-34) plus arbitrary-depth variants, exercising the
+two features the paper's own benchmarks do not: element-wise residual
+joins (fan-out refcounts on every block boundary) and BatchNorm layers
+whose backward re-reads X (making BN a first-class offload candidate).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph import Network, NetworkBuilder, PoolMode
+
+#: Blocks per stage for the standard basic-block ResNets.
+RESNET_STAGES = {
+    18: (2, 2, 2, 2),
+    34: (3, 4, 6, 3),
+}
+
+#: Blocks per stage for the bottleneck ResNets; ResNet-152 is "the most
+#: recent ImageNet winning network" of the paper's introduction.
+RESNET_BOTTLENECK_STAGES = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+_STAGE_CHANNELS = (64, 128, 256, 512)
+_BOTTLENECK_EXPANSION = 4
+
+
+def _basic_block(b: NetworkBuilder, channels: int, stride: int,
+                 name: str) -> None:
+    """Two 3x3 conv-BN pairs plus an identity/projection shortcut."""
+    shortcut = b.tap()
+    b.conv(channels, kernel=3, stride=stride, pad=1, name=f"{name}_conv1")
+    b.batchnorm(name=f"{name}_bn1").relu(name=f"{name}_relu1")
+    b.conv(channels, kernel=3, stride=1, pad=1, name=f"{name}_conv2")
+    b.batchnorm(name=f"{name}_bn2")
+    main = b.tap()
+
+    if stride != 1:
+        # Projection shortcut: 1x1/stride-2 conv + BN.
+        b.conv(channels, kernel=1, stride=stride, name=f"{name}_proj",
+               after=shortcut)
+        b.batchnorm(name=f"{name}_proj_bn")
+        shortcut = b.tap()
+
+    b.add([main, shortcut], name=f"{name}_add")
+    b.relu(name=f"{name}_out")
+
+
+def _bottleneck_block(b: NetworkBuilder, channels: int, stride: int,
+                      first_in_stage_one: bool, name: str) -> None:
+    """1x1 reduce -> 3x3 -> 1x1 expand, with identity/projection shortcut."""
+    out_channels = channels * _BOTTLENECK_EXPANSION
+    shortcut = b.tap()
+    b.conv(channels, kernel=1, name=f"{name}_conv1")
+    b.batchnorm(name=f"{name}_bn1").relu(name=f"{name}_relu1")
+    b.conv(channels, kernel=3, stride=stride, pad=1, name=f"{name}_conv2")
+    b.batchnorm(name=f"{name}_bn2").relu(name=f"{name}_relu2")
+    b.conv(out_channels, kernel=1, name=f"{name}_conv3")
+    b.batchnorm(name=f"{name}_bn3")
+    main = b.tap()
+
+    if stride != 1 or first_in_stage_one:
+        # Channel count changes at every stage entry, so the shortcut
+        # needs a projection even at stride 1 (stage 1's first block).
+        b.conv(out_channels, kernel=1, stride=stride, name=f"{name}_proj",
+               after=shortcut)
+        b.batchnorm(name=f"{name}_proj_bn")
+        shortcut = b.tap()
+
+    b.add([main, shortcut], name=f"{name}_add")
+    b.relu(name=f"{name}_out")
+
+
+def build_resnet(depth: int = 34, batch_size: int = 128) -> Network:
+    """Build an ImageNet ResNet.
+
+    Depths 18/34 use basic blocks; 50/101/152 use bottleneck blocks.
+    """
+    if depth in RESNET_STAGES:
+        return _build(RESNET_STAGES[depth], f"ResNet-{depth}({batch_size})",
+                      batch_size)
+    if depth in RESNET_BOTTLENECK_STAGES:
+        return _build(RESNET_BOTTLENECK_STAGES[depth],
+                      f"ResNet-{depth}({batch_size})", batch_size,
+                      bottleneck=True)
+    raise ValueError(
+        f"ResNet depth must be one of "
+        f"{sorted(RESNET_STAGES) + sorted(RESNET_BOTTLENECK_STAGES)}, "
+        f"got {depth}"
+    )
+
+
+def build_deep_resnet(blocks_per_stage: int, batch_size: int = 32) -> Network:
+    """A uniformly deep basic-block ResNet (the very-deep analogue)."""
+    if blocks_per_stage < 1:
+        raise ValueError("need at least one block per stage")
+    depth = 8 * blocks_per_stage + 2
+    return _build((blocks_per_stage,) * 4,
+                  f"ResNet-{depth}({batch_size})", batch_size)
+
+
+def _build(stages: Sequence[int], name: str, batch_size: int,
+           bottleneck: bool = False) -> Network:
+    b = NetworkBuilder(name, (batch_size, 3, 224, 224))
+    b.conv(64, kernel=7, stride=2, pad=3, name="stem_conv")
+    b.batchnorm(name="stem_bn").relu(name="stem_relu")
+    b.pool(kernel=3, stride=2, name="stem_pool")  # ceil mode: 112 -> 56
+
+    for stage_index, block_count in enumerate(stages):
+        channels = _STAGE_CHANNELS[stage_index]
+        for block_index in range(block_count):
+            stride = 2 if stage_index > 0 and block_index == 0 else 1
+            block_name = f"s{stage_index + 1}b{block_index + 1}"
+            if bottleneck:
+                _bottleneck_block(
+                    b, channels, stride,
+                    first_in_stage_one=(stage_index == 0 and block_index == 0),
+                    name=block_name,
+                )
+            else:
+                _basic_block(b, channels, stride, name=block_name)
+
+    b.pool(kernel=7, stride=1, mode=PoolMode.AVG, name="head_pool")
+    b.fc(1000, name="fc_01").softmax()
+    return b.build()

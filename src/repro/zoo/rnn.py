@@ -1,0 +1,72 @@
+"""Unrolled recurrent networks (the paper's "other types of networks").
+
+Section II-A: "other types of networks are also gaining traction (e.g.,
+recurrent neural networks for natural language processing) … the key
+intuitions of our work are equally applicable to any neural network
+that exhibits layer-wise computational characteristics and is trained
+via SGD."  An RNN unrolled over T timesteps *is* such a network: a
+T-deep chain of layers whose activations all camp in GPU memory until
+backpropagation-through-time walks back over them — the same reuse-gap
+structure vDNN exploits, with sequence length playing the role of depth.
+
+:func:`build_unrolled_rnn` emits a vanilla (Elman) RNN as a plain
+:class:`~repro.graph.Network`:
+
+* the input batch packs the whole sequence as channels
+  ``(batch, T * input_dim, 1, 1)``; a :class:`~repro.graph.Slice` layer
+  cuts out each timestep;
+* two weight-tied FC layers implement the recurrence
+  ``h_t = tanh(W_xh x_t + W_hh h_{t-1})`` — every timestep shares the
+  step-1 parameters via ``tied_to``, so backpropagation-through-time
+  accumulates their gradients across all T steps;
+* a classifier head reads the final hidden state.
+"""
+
+from __future__ import annotations
+
+from ..graph import Network, NetworkBuilder
+
+
+def build_unrolled_rnn(
+    timesteps: int = 16,
+    input_dim: int = 32,
+    hidden_dim: int = 64,
+    num_classes: int = 10,
+    batch_size: int = 16,
+) -> Network:
+    """Build an Elman RNN unrolled over ``timesteps`` steps."""
+    if timesteps < 1:
+        raise ValueError("need at least one timestep")
+    if min(input_dim, hidden_dim, num_classes, batch_size) < 1:
+        raise ValueError("all dimensions must be positive")
+
+    b = NetworkBuilder(
+        f"RNN-T{timesteps}({batch_size})",
+        (batch_size, timesteps * input_dim, 1, 1),
+    )
+    packed = b.tap()
+
+    # Step 1 owns W_xh (there is no previous hidden state yet).
+    b.slice(0, input_dim, name="x_t01", after=packed)
+    b.fc(hidden_dim, name="W_xh")
+    b.tanh(name="h_t01")
+    hidden = b.tap()
+
+    for t in range(2, timesteps + 1):
+        b.slice((t - 1) * input_dim, t * input_dim,
+                name=f"x_t{t:02d}", after=packed)
+        b.fc(hidden_dim, name=f"W_xh_t{t:02d}", tied_to="W_xh")
+        xh = b.tap()
+        # Step 2 owns W_hh; later steps tie to it.
+        hh_name = "W_hh" if t == 2 else f"W_hh_t{t:02d}"
+        b.fc(hidden_dim, name=hh_name, after=hidden,
+             tied_to=None if t == 2 else "W_hh")
+        hh = b.tap()
+        b.add([xh, hh], name=f"pre_t{t:02d}")
+        b.tanh(name=f"h_t{t:02d}")
+        hidden = b.tap()
+
+    b.at(hidden)
+    b.fc(num_classes, name="head")
+    b.softmax()
+    return b.build()

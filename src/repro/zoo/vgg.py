@@ -1,0 +1,63 @@
+"""VGG-16 (Simonyan & Zisserman, 2015) and the paper's very deep variants.
+
+The paper counts CONV layers only: its "VGG-16" has **16 CONV and 3 FC
+layers** (Section IV-C; Figure 5 labels CONV_01..CONV_16), i.e. five groups
+of 3x3/pad-1 convolutions with depths 2/2/4/4/4 and channel widths
+64/128/256/512/512, separated by 2x2/stride-2 max pooling, followed by
+three FC layers.  The paper studies it at batch 64/128/256.
+
+Section IV-C extends VGG to hundreds of layers: "Each addition of 100 CONV
+layers is done by adding 20 more CONV layers to each of the five CONV layer
+groups", keeping that group's channel width — giving VGG-116/216/316/416,
+studied at batch 32.  :func:`build_deep_vgg` implements exactly that rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..graph import Network, NetworkBuilder
+
+#: (number of CONV layers, output channels) for VGG-16's five groups.
+VGG16_GROUPS = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def _vgg_body(b: NetworkBuilder, groups: Sequence[tuple]) -> NetworkBuilder:
+    conv_id = 0
+    for group_index, (depth, channels) in enumerate(groups, start=1):
+        for _ in range(depth):
+            conv_id += 1
+            b.conv(channels, kernel=3, pad=1, name=f"conv_{conv_id:02d}").relu()
+        b.pool(kernel=2, stride=2, name=f"pool_{group_index:02d}")
+    b.fc(4096, name="fc_01").relu().dropout()
+    b.fc(4096, name="fc_02").relu().dropout()
+    b.fc(1000, name="fc_03").softmax()
+    return b
+
+
+def build_vgg16(batch_size: int = 64) -> Network:
+    """Build VGG-16 for the given batch size (paper: 64, 128 and 256)."""
+    b = NetworkBuilder(f"VGG-16({batch_size})", (batch_size, 3, 224, 224))
+    return _vgg_body(b, VGG16_GROUPS).build()
+
+
+def build_deep_vgg(total_conv_layers: int, batch_size: int = 32) -> Network:
+    """Build a very deep VGG per the paper's extension rule.
+
+    Args:
+        total_conv_layers: one of 116, 216, 316, 416 (any value of the
+            form ``16 + 100*k`` with k >= 0 is accepted).
+        batch_size: the paper uses 32 for the very deep study.
+    """
+    extra = total_conv_layers - 16
+    if extra < 0 or extra % 100:
+        raise ValueError(
+            "deep VGG depth must be 16 + 100*k CONV layers, got "
+            f"{total_conv_layers}"
+        )
+    per_group = extra // 100 * 20
+    groups = [(depth + per_group, channels) for depth, channels in VGG16_GROUPS]
+    b = NetworkBuilder(
+        f"VGG-{total_conv_layers}({batch_size})", (batch_size, 3, 224, 224)
+    )
+    return _vgg_body(b, groups).build()

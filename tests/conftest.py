@@ -1,0 +1,62 @@
+"""Shared fixtures: small networks and system configs used across tests."""
+
+import pytest
+
+from repro.graph import NetworkBuilder
+from repro.hw import PAPER_SYSTEM, SystemConfig
+
+
+@pytest.fixture
+def system() -> SystemConfig:
+    return PAPER_SYSTEM
+
+
+def make_linear_cnn(batch=4, size=16, name="linear-cnn"):
+    """conv-relu-pool x2 -> fc -> softmax; the workhorse toy network."""
+    return (
+        NetworkBuilder(name, (batch, 3, size, size))
+        .conv(8, kernel=3, pad=1, name="conv_1").relu(name="relu_1")
+        .pool(name="pool_1")
+        .conv(16, kernel=3, pad=1, name="conv_2").relu(name="relu_2")
+        .pool(name="pool_2")
+        .fc(10, name="fc_1").softmax(name="softmax_1")
+        .build()
+    )
+
+
+def make_fork_join_cnn(batch=4, size=16, name="fork-join-cnn"):
+    """A GoogLeNet-style fork/join network (refcount > 1 on the fork)."""
+    b = NetworkBuilder(name, (batch, 3, size, size))
+    b.conv(8, kernel=3, pad=1, name="stem").relu(name="stem_relu")
+    fork = b.tap()
+    b.conv(4, kernel=1, name="branch_a", after=fork).relu(name="branch_a_relu")
+    left = b.tap()
+    b.conv(4, kernel=3, pad=1, name="branch_b", after=fork).relu(name="branch_b_relu")
+    right = b.tap()
+    b.concat([left, right], name="join")
+    b.pool(name="pool").fc(10, name="fc").softmax(name="softmax")
+    return b.build()
+
+
+def make_deep_cnn(depth=6, batch=2, size=8, name="deep-cnn"):
+    """A deeper linear stack for liveness/offload stress tests."""
+    b = NetworkBuilder(name, (batch, 3, size, size))
+    for i in range(depth):
+        b.conv(8, kernel=3, pad=1, name=f"conv_{i + 1}").relu(name=f"relu_{i + 1}")
+    b.pool(name="pool").fc(10, name="fc").softmax(name="softmax")
+    return b.build()
+
+
+@pytest.fixture
+def linear_cnn():
+    return make_linear_cnn()
+
+
+@pytest.fixture
+def fork_join_cnn():
+    return make_fork_join_cnn()
+
+
+@pytest.fixture
+def deep_cnn():
+    return make_deep_cnn()

@@ -1,0 +1,113 @@
+"""Tests for UsageTracker and the pinned host allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import (
+    PinnedHostAllocator,
+    PinnedMemoryError,
+    UsageTracker,
+)
+
+
+class TestUsageTracker:
+    def test_empty_tracker(self):
+        tracker = UsageTracker()
+        assert tracker.max_bytes == 0
+        assert tracker.average_bytes == 0.0
+
+    def test_max_is_peak_sample(self):
+        tracker = UsageTracker()
+        for t, v in [(0, 10), (1, 50), (2, 20)]:
+            tracker.record(t, v)
+        assert tracker.max_bytes == 50
+
+    def test_time_weighted_average(self):
+        tracker = UsageTracker()
+        tracker.record(0.0, 100)   # 100 bytes for 1s
+        tracker.record(1.0, 0)     # 0 bytes for 3s
+        tracker.record(4.0, 0)
+        assert tracker.average_bytes == pytest.approx(25.0)
+
+    def test_step_function_semantics(self):
+        # The value recorded at t holds until the next sample.
+        tracker = UsageTracker()
+        tracker.record(0.0, 10)
+        tracker.record(9.0, 1000)
+        tracker.record(10.0, 1000)
+        assert tracker.average_bytes == pytest.approx((10 * 9 + 1000) / 10)
+
+    def test_zero_duration_falls_back_to_mean(self):
+        tracker = UsageTracker()
+        tracker.record(0.0, 10)
+        tracker.record(0.0, 30)
+        assert tracker.average_bytes == pytest.approx(20.0)
+
+    def test_time_must_not_go_backwards(self):
+        tracker = UsageTracker()
+        tracker.record(1.0, 10)
+        with pytest.raises(ValueError):
+            tracker.record(0.5, 10)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            UsageTracker().record(0.0, -1)
+
+    def test_curve_roundtrip(self):
+        tracker = UsageTracker()
+        tracker.record(0.0, 1)
+        tracker.record(1.0, 2)
+        assert tracker.curve() == [(0.0, 1), (1.0, 2)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9),
+                    min_size=1, max_size=50))
+    def test_property_average_bounded_by_min_max(self, values):
+        tracker = UsageTracker()
+        for t, v in enumerate(values):
+            tracker.record(float(t), v)
+        assert min(values) <= tracker.average_bytes <= max(values)
+        assert tracker.max_bytes == max(values)
+
+
+class TestPinnedHostAllocator:
+    def test_alloc_and_free(self):
+        pinned = PinnedHostAllocator(1000)
+        buf = pinned.alloc(600)
+        assert pinned.live_bytes == 600
+        pinned.free(buf)
+        assert pinned.live_bytes == 0
+
+    def test_budget_enforced(self):
+        pinned = PinnedHostAllocator(1000)
+        pinned.alloc(600)
+        with pytest.raises(PinnedMemoryError):
+            pinned.alloc(600)
+
+    def test_peak_and_traffic_counters(self):
+        pinned = PinnedHostAllocator(10_000)
+        a = pinned.alloc(1000)
+        pinned.free(a)
+        pinned.alloc(500)
+        assert pinned.peak_bytes == 1000
+        assert pinned.total_allocated == 1500
+
+    def test_double_free_rejected(self):
+        pinned = PinnedHostAllocator(1000)
+        buf = pinned.alloc(10)
+        pinned.free(buf)
+        with pytest.raises(ValueError):
+            pinned.free(buf)
+
+    def test_free_all(self):
+        pinned = PinnedHostAllocator(1000)
+        pinned.alloc(10)
+        pinned.alloc(20)
+        pinned.free_all()
+        assert pinned.live_bytes == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PinnedHostAllocator(0)
+        with pytest.raises(ValueError):
+            PinnedHostAllocator(10).alloc(-1)

@@ -1,0 +1,63 @@
+"""Tests for the high-level evaluate/compare_policies API."""
+
+import pytest
+
+from repro.core import compare_policies, evaluate, oracular_baseline
+from repro.hw import PAPER_SYSTEM
+
+from conftest import make_linear_cnn
+
+
+class TestEvaluate:
+    def test_policy_strings(self, linear_cnn):
+        for policy in ("all", "conv", "none", "base", "dyn"):
+            result = evaluate(linear_cnn, policy=policy)
+            assert result.trainable
+
+    def test_invalid_policy_rejected(self, linear_cnn):
+        with pytest.raises(ValueError, match="policy"):
+            evaluate(linear_cnn, policy="bogus")
+
+    def test_invalid_algo_rejected(self, linear_cnn):
+        with pytest.raises(ValueError, match="algo"):
+            evaluate(linear_cnn, policy="all", algo="q")
+
+    def test_default_system_is_paper_testbed(self, linear_cnn):
+        result = evaluate(linear_cnn, policy="base", algo="m")
+        assert result.trainable  # tiny network on a 12 GB card
+
+    def test_algo_label_propagates(self, linear_cnn):
+        assert evaluate(linear_cnn, policy="all", algo="m").algo_label == "m"
+        assert evaluate(linear_cnn, policy="all", algo="p").algo_label == "p"
+
+    def test_base_ignores_offload_machinery(self, linear_cnn):
+        result = evaluate(linear_cnn, policy="base", algo="p")
+        assert result.offload_bytes == 0
+
+
+class TestComparePolicies:
+    def test_returns_paper_column_labels(self, linear_cnn):
+        sweep = compare_policies(linear_cnn)
+        assert set(sweep) == {"all(m)", "all(p)", "conv(m)", "conv(p)",
+                              "dyn", "base(m)", "base(p)"}
+
+    def test_dynamic_excludable(self, linear_cnn):
+        sweep = compare_policies(linear_cnn, include_dynamic=False)
+        assert "dyn" not in sweep
+
+    def test_memory_ordering_invariant(self, linear_cnn):
+        sweep = compare_policies(linear_cnn, include_dynamic=False)
+        assert sweep["all(m)"].avg_usage_bytes <= \
+            sweep["conv(m)"].avg_usage_bytes <= \
+            sweep["base(m)"].avg_usage_bytes
+
+
+class TestOracularBaseline:
+    def test_always_trainable(self, linear_cnn):
+        assert oracular_baseline(linear_cnn).trainable
+
+    def test_same_speed_as_fitting_baseline(self, linear_cnn):
+        # For a network that fits, the oracle is just baseline(p).
+        oracle = oracular_baseline(linear_cnn)
+        base = evaluate(linear_cnn, policy="base", algo="p")
+        assert oracle.total_time == pytest.approx(base.total_time)

@@ -1,0 +1,92 @@
+"""Tests for the fluent NetworkBuilder."""
+
+import pytest
+
+from repro.graph import LayerKind, NetworkBuilder, PoolMode
+
+
+class TestLinearBuilding:
+    def test_chain_connects_sequentially(self):
+        net = (NetworkBuilder("t", (2, 3, 8, 8))
+               .conv(4, kernel=3, pad=1).relu().pool()
+               .fc(10).softmax().build())
+        kinds = [n.kind for n in net]
+        assert kinds == [LayerKind.INPUT, LayerKind.CONV, LayerKind.ACTV,
+                         LayerKind.POOL, LayerKind.FC, LayerKind.SOFTMAX]
+
+    def test_auto_names_are_unique_and_numbered(self):
+        net = (NetworkBuilder("t", (2, 3, 8, 8))
+               .conv(4, kernel=1).conv(4, kernel=1)
+               .fc(10).softmax().build())
+        names = [n.name for n in net]
+        assert "conv_01" in names and "conv_02" in names
+        assert len(names) == len(set(names))
+
+    def test_explicit_names_respected(self):
+        net = (NetworkBuilder("t", (2, 3, 8, 8))
+               .conv(4, kernel=1, name="first")
+               .fc(10, name="clf").softmax().build())
+        assert net.node("first").kind is LayerKind.CONV
+        assert net.node("clf").kind is LayerKind.FC
+
+    def test_conv_relu_composite(self):
+        net = (NetworkBuilder("t", (2, 3, 8, 8))
+               .conv_relu(4, kernel=3, pad=1)
+               .fc(10).softmax().build())
+        assert [n.kind for n in net][1:3] == [LayerKind.CONV, LayerKind.ACTV]
+
+    def test_pool_modes(self):
+        net = (NetworkBuilder("t", (2, 3, 8, 8))
+               .pool(mode=PoolMode.AVG, name="avg")
+               .fc(10).softmax().build())
+        assert net.node("avg").layer.mode is PoolMode.AVG
+
+
+class TestBranching:
+    def test_tap_and_after(self):
+        b = NetworkBuilder("t", (2, 3, 8, 8))
+        b.conv(4, kernel=3, pad=1, name="trunk")
+        fork = b.tap()
+        assert fork == "trunk"
+        b.conv(2, kernel=1, name="left", after=fork)
+        l = b.tap()
+        b.conv(2, kernel=1, name="right", after=fork)
+        r = b.tap()
+        b.concat([l, r], name="join").fc(10).softmax()
+        net = b.build()
+        assert net.node("trunk").refcount == 2
+        assert net.node("join").output_spec.shape[1] == 4
+
+    def test_at_moves_cursor(self):
+        b = NetworkBuilder("t", (2, 3, 8, 8))
+        b.conv(4, kernel=1, name="a").conv(4, kernel=1, name="b")
+        b.at("a").conv(4, kernel=1, name="c")
+        net = b.fc(10).softmax().build()
+        assert net.node("c").producers == [net.node("a").index]
+
+    def test_at_unknown_layer_raises(self):
+        b = NetworkBuilder("t", (2, 3, 8, 8))
+        with pytest.raises(ValueError):
+            b.at("missing")
+
+
+class TestInception:
+    def test_module_structure(self):
+        b = NetworkBuilder("t", (2, 3, 32, 32))
+        b.conv(8, kernel=3, pad=1, name="stem").relu(name="stem_relu")
+        b.inception(4, 2, 8, 2, 4, 4, name="m")
+        net = b.pool().fc(10).softmax().build()
+
+        out = net.node("m_out")
+        assert out.kind is LayerKind.CONCAT
+        # Output channels = 1x1 + 3x3 + 5x5 + pool-proj branches.
+        assert out.output_spec.shape[1] == 4 + 8 + 4 + 4
+        # The module input feeds four branches.
+        assert net.node("stem_relu").refcount == 4
+
+    def test_module_preserves_spatial_dims(self):
+        b = NetworkBuilder("t", (2, 3, 16, 16))
+        b.conv(8, kernel=3, pad=1, name="stem").relu()
+        b.inception(4, 2, 8, 2, 4, 4, name="m")
+        net = b.fc(10).softmax().build()
+        assert net.node("m_out").output_spec.shape[2:] == (16, 16)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["evaluate", "resnet"])
+
+    def test_policy_choices(self):
+        args = make_parser().parse_args(
+            ["evaluate", "alexnet", "--policy", "conv", "--algo", "m"]
+        )
+        assert args.policy == "conv" and args.algo == "m"
+
+
+class TestCommands:
+    def test_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "vgg416" in out
+
+    def test_evaluate_trainable_exits_zero(self, capsys):
+        assert main(["evaluate", "alexnet", "--batch", "8",
+                     "--policy", "base", "--algo", "m"]) == 0
+        assert "trainable" in capsys.readouterr().out
+
+    def test_evaluate_untrainable_exits_nonzero(self, capsys):
+        assert main(["evaluate", "vgg16", "--batch", "256",
+                     "--policy", "base", "--algo", "p"]) == 1
+        assert "NO" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "alexnet", "--batch", "8"]) == 0
+        out = capsys.readouterr().out
+        for config in ("all(m)", "conv(p)", "dyn", "base(p)"):
+            assert config in out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity", "alexnet", "--limit", "4"]) == 0
+        assert "max trainable batch" in capsys.readouterr().out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "headline"]) == 0
+        assert "Headline" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("figure,marker", [
+        ("fig05", "Figure 5"), ("fig06", "Figure 6"), ("fig13", "Figure 13"),
+    ])
+    def test_figures_each(self, figure, marker, capsys):
+        assert main(["figures", figure]) == 0
+        assert marker in capsys.readouterr().out
+
+    def test_figures_out_writes_files(self, capsys, tmp_path):
+        assert main(["figures", "headline", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "headline.txt").exists()
+        assert "Headline" in (tmp_path / "headline.txt").read_text()
+
+    def test_train_demo(self, capsys):
+        assert main(["train-demo", "--steps", "2", "--batch", "2",
+                     "--policy", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "loss" in out and "offloads" in out
+
+    def test_train_demo_policy_none_has_no_offloads(self, capsys):
+        assert main(["train-demo", "--steps", "1", "--batch", "2",
+                     "--policy", "none"]) == 0
+        assert "offloads 0" in capsys.readouterr().out

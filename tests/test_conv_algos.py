@@ -1,0 +1,129 @@
+"""Tests for the cuDNN convolution-algorithm model."""
+
+import pytest
+
+from repro.graph import Conv2D, TensorSpec
+from repro.kernels import (
+    ConvAlgo,
+    MEMORY_OPTIMAL_ALGO,
+    algo_applicable,
+    memory_optimal_profile,
+    next_cheaper_algo,
+    performance_optimal_algo,
+    profile_algorithms,
+    time_multiplier,
+    workspace_bytes,
+)
+
+
+def vgg_conv(kernel=3, stride=1, pad=1, out_channels=64):
+    return Conv2D("c", inputs=["in"], out_channels=out_channels,
+                  kernel=kernel, stride=stride, pad=pad)
+
+
+X = TensorSpec((32, 64, 56, 56))
+Y = TensorSpec((32, 64, 56, 56))
+
+
+class TestApplicability:
+    def test_implicit_gemm_always_applicable(self):
+        assert algo_applicable(ConvAlgo.IMPLICIT_GEMM, vgg_conv(stride=2))
+
+    def test_fft_requires_stride_one(self):
+        assert not algo_applicable(ConvAlgo.FFT, vgg_conv(stride=2))
+        assert not algo_applicable(ConvAlgo.FFT_TILING, vgg_conv(stride=2))
+        assert algo_applicable(ConvAlgo.FFT, vgg_conv(stride=1))
+
+    def test_fft_tiling_kernel_bound(self):
+        big = vgg_conv(kernel=33, pad=16)
+        assert not algo_applicable(ConvAlgo.FFT_TILING, big)
+        assert algo_applicable(ConvAlgo.FFT, big)
+
+
+class TestWorkspace:
+    def test_implicit_gemm_needs_no_workspace(self):
+        assert workspace_bytes(ConvAlgo.IMPLICIT_GEMM, vgg_conv(), X, Y) == 0
+
+    def test_direct_needs_no_workspace(self):
+        assert workspace_bytes(ConvAlgo.DIRECT, vgg_conv(), X, Y) == 0
+
+    def test_gemm_workspace_is_im2col_buffer(self):
+        expected = 64 * 3 * 3 * 56 * 56 * 4  # C*k*k x oh*ow floats
+        assert workspace_bytes(ConvAlgo.GEMM, vgg_conv(), X, Y) == expected
+
+    def test_fft_workspace_dominates(self):
+        ws = {algo: workspace_bytes(algo, vgg_conv(), X, Y)
+              for algo in ConvAlgo if algo_applicable(algo, vgg_conv())}
+        assert ws[ConvAlgo.FFT] == max(ws.values())
+        assert ws[ConvAlgo.FFT] > ws[ConvAlgo.GEMM]
+
+    def test_fft_tiling_cheaper_than_fft(self):
+        conv = vgg_conv()
+        assert workspace_bytes(ConvAlgo.FFT_TILING, conv, X, Y) < \
+            workspace_bytes(ConvAlgo.FFT, conv, X, Y)
+
+    def test_inapplicable_algo_raises(self):
+        with pytest.raises(ValueError):
+            workspace_bytes(ConvAlgo.FFT, vgg_conv(stride=2), X, Y)
+
+
+class TestSpeedModel:
+    def test_fft_fastest_for_3x3_stride1(self):
+        profiles = profile_algorithms(vgg_conv(), X, Y)
+        assert profiles[0].algo is ConvAlgo.FFT
+
+    def test_fft_not_fastest_for_1x1(self):
+        conv = vgg_conv(kernel=1, pad=0)
+        profiles = profile_algorithms(conv, TensorSpec((32, 64, 56, 56)),
+                                      TensorSpec((32, 64, 56, 56)))
+        assert profiles[0].algo is ConvAlgo.IMPLICIT_PRECOMP_GEMM
+
+    def test_profiles_sorted_fastest_first(self):
+        profiles = profile_algorithms(vgg_conv(), X, Y)
+        mults = [p.time_multiplier for p in profiles]
+        assert mults == sorted(mults)
+
+    def test_multiplier_penalizes_pointwise_fft(self):
+        assert time_multiplier(ConvAlgo.FFT, vgg_conv(kernel=1, pad=0)) > \
+            time_multiplier(ConvAlgo.FFT, vgg_conv(kernel=3))
+
+
+class TestSelection:
+    def test_memory_optimal_is_implicit_gemm(self):
+        profile = memory_optimal_profile(vgg_conv(), X, Y)
+        assert profile.algo is MEMORY_OPTIMAL_ALGO
+        assert profile.workspace_bytes == 0
+
+    def test_performance_optimal_unbounded(self):
+        profile = performance_optimal_algo(vgg_conv(), X, Y)
+        assert profile.algo is ConvAlgo.FFT
+
+    def test_performance_optimal_under_budget(self):
+        profile = performance_optimal_algo(vgg_conv(), X, Y, workspace_limit=0)
+        assert profile.workspace_bytes == 0
+
+    def test_budget_excludes_expensive_algos(self):
+        unbounded = performance_optimal_algo(vgg_conv(), X, Y)
+        limited = performance_optimal_algo(
+            vgg_conv(), X, Y, workspace_limit=unbounded.workspace_bytes - 1
+        )
+        assert limited.workspace_bytes < unbounded.workspace_bytes
+        assert limited.time_multiplier >= unbounded.time_multiplier
+
+    def test_next_cheaper_descends_to_zero(self):
+        conv = vgg_conv()
+        current = performance_optimal_algo(conv, X, Y).algo
+        seen = []
+        while True:
+            cheaper = next_cheaper_algo(current, conv, X, Y)
+            if cheaper is None:
+                break
+            assert workspace_bytes(cheaper.algo, conv, X, Y) < \
+                workspace_bytes(current, conv, X, Y)
+            current = cheaper.algo
+            seen.append(current)
+        assert workspace_bytes(current, conv, X, Y) == 0
+        assert seen  # at least one downgrade happened
+
+    def test_next_cheaper_none_at_bottom(self):
+        assert next_cheaper_algo(ConvAlgo.IMPLICIT_GEMM, vgg_conv(), X, Y) is None

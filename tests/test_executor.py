@@ -1,0 +1,227 @@
+"""Tests for the baseline and vDNN iteration simulators."""
+
+import pytest
+
+from repro.core import (
+    AlgoConfig,
+    LivenessAnalysis,
+    TransferPolicy,
+    baseline_allocation_bytes,
+    simulate_baseline,
+    simulate_vdnn,
+)
+from repro.graph import LayerKind
+from repro.hw import PAPER_SYSTEM
+from repro.sim import COMPUTE_STREAM, EventKind, MEMORY_STREAM
+
+from conftest import make_deep_cnn, make_fork_join_cnn, make_linear_cnn
+
+
+def run_vdnn(network, policy="all", algo="m", **kwargs):
+    policies = {
+        "all": TransferPolicy.vdnn_all,
+        "conv": TransferPolicy.vdnn_conv,
+        "none": TransferPolicy.none,
+    }
+    algos = (AlgoConfig.memory_optimal(network) if algo == "m"
+             else AlgoConfig.performance_optimal(network))
+    return simulate_vdnn(network, PAPER_SYSTEM, policies[policy](), algos, **kwargs)
+
+
+class TestBaselineSimulation:
+    def test_breakdown_total_is_component_sum(self, linear_cnn):
+        algos = AlgoConfig.performance_optimal(linear_cnn)
+        b = baseline_allocation_bytes(linear_cnn, algos)
+        assert b["total"] == (b["weights"] + b["weight_gradients"]
+                              + b["feature_maps"] + b["gradient_maps"]
+                              + b["workspace"])
+
+    def test_gradient_maps_are_two_pingpong_buffers(self, linear_cnn):
+        algos = AlgoConfig.memory_optimal(linear_cnn)
+        b = baseline_allocation_bytes(linear_cnn, algos)
+        liveness = LivenessAnalysis(linear_cnn)
+        assert b["gradient_maps"] == 2 * liveness.max_gradient_bytes()
+
+    def test_max_equals_avg(self, linear_cnn):
+        result = simulate_baseline(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn)
+        )
+        assert result.max_usage_bytes == result.avg_usage_bytes
+
+    def test_trainable_on_large_gpu(self, linear_cnn):
+        result = simulate_baseline(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn)
+        )
+        assert result.trainable
+        assert result.failure is None
+
+    def test_untrainable_when_total_exceeds_capacity(self, linear_cnn):
+        tiny = PAPER_SYSTEM.with_gpu_memory(1 << 10)
+        result = simulate_baseline(
+            linear_cnn, tiny, AlgoConfig.memory_optimal(linear_cnn)
+        )
+        assert not result.trainable
+        assert "exceeds GPU capacity" in result.failure
+
+    def test_no_memory_stream_activity(self, linear_cnn):
+        result = simulate_baseline(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn)
+        )
+        assert result.offload_bytes == 0
+        assert not result.timeline.on_stream(MEMORY_STREAM)
+
+    def test_kernels_for_every_layer_both_directions(self, linear_cnn):
+        result = simulate_baseline(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn)
+        )
+        fwd = result.timeline.of_kind(EventKind.FORWARD)
+        bwd = result.timeline.of_kind(EventKind.BACKWARD)
+        assert len(fwd) == len(linear_cnn) - 1   # input has no kernel
+        assert len(bwd) == len(linear_cnn) - 1
+
+    def test_performance_optimal_is_faster(self, deep_cnn):
+        slow = simulate_baseline(
+            deep_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(deep_cnn)
+        )
+        fast = simulate_baseline(
+            deep_cnn, PAPER_SYSTEM, AlgoConfig.performance_optimal(deep_cnn)
+        )
+        assert fast.total_time < slow.total_time
+
+
+class TestVDNNSimulation:
+    def test_peak_below_baseline(self, deep_cnn):
+        base = simulate_baseline(
+            deep_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(deep_cnn)
+        )
+        vdnn = run_vdnn(deep_cnn, "all", "m")
+        assert vdnn.max_usage_bytes < base.max_usage_bytes
+
+    def test_avg_below_max(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        assert result.avg_usage_bytes < result.max_usage_bytes
+
+    def test_no_demand_fetches_under_standard_policies(self, deep_cnn):
+        for policy in ("all", "conv"):
+            result = run_vdnn(deep_cnn, policy, "m")
+            demand = [e for e in result.timeline.events if "(demand)" in e.label]
+            assert demand == [], f"policy {policy} needed demand fetches"
+
+    def test_offload_prefetch_byte_symmetry(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        assert result.offload_bytes == result.prefetch_bytes > 0
+
+    def test_pinned_peak_equals_total_offload(self, deep_cnn):
+        # Every offloaded buffer stays pinned until its prefetch, so the
+        # high-water mark equals the per-iteration offload traffic.
+        result = run_vdnn(deep_cnn, "all", "m")
+        assert result.pinned_peak_bytes == result.offload_bytes
+
+    def test_conv_policy_offloads_less(self, deep_cnn):
+        r_all = run_vdnn(deep_cnn, "all", "m")
+        r_conv = run_vdnn(deep_cnn, "conv", "m")
+        assert 0 < r_conv.offload_bytes <= r_all.offload_bytes
+
+    def test_none_policy_moves_nothing(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "none", "m")
+        assert result.offload_bytes == 0
+        assert result.pinned_peak_bytes == 0
+
+    def test_offload_overlaps_forward_kernel(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        offloads = result.timeline.of_kind(EventKind.OFFLOAD)
+        forwards = {e.layer_index: e for e in result.timeline.of_kind(EventKind.FORWARD)}
+        assert offloads
+        for off in offloads:
+            fwd = forwards[off.layer_index]
+            assert off.start >= fwd.start  # launched with the layer's FWD
+
+    def test_prefetch_completes_before_consumer_backward(self, deep_cnn):
+        """Every offloaded storage is back before its first backward user."""
+        result = run_vdnn(deep_cnn, "all", "m")
+        liveness = LivenessAnalysis(deep_cnn)
+        backwards = {e.layer_index: e for e in result.timeline.of_kind(EventKind.BACKWARD)}
+        prefetches = result.timeline.of_kind(EventKind.PREFETCH)
+        assert prefetches
+        by_name = {e.label: e for e in prefetches}
+        for trigger in result.offloaded_layers:
+            for storage in liveness.input_storages(trigger):
+                if storage.forward_release_at != trigger:
+                    continue
+                owner_name = deep_cnn[storage.owner].name
+                pre = by_name.get(owner_name)
+                if pre is None:
+                    continue
+                first_user = storage.first_backward_use
+                assert pre.end <= backwards[first_user].end
+
+    def test_end_of_layer_sync_stalls_recorded(self):
+        # A fast layer with a big offload must show compute stall.
+        net = make_deep_cnn(depth=3, batch=8, size=64)
+        result = run_vdnn(net, "all", "m")
+        assert result.compute_stall_seconds > 0
+        assert result.timeline.of_kind(EventKind.STALL)
+
+    def test_usage_curve_timestamps_monotonic(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        times = [t for t, _ in result.usage.curve()]
+        assert times == sorted(times)
+
+    def test_pool_drains_to_persistent_at_end(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        final_live = result.usage.curve()[-1][1]
+        # Only feature-extraction weights + their gradients remain.
+        expected = sum(
+            2 * n.weight_bytes for n in deep_cnn if n.is_feature_extraction
+        )
+        # Pool alignment may round each block up slightly.
+        assert final_live >= expected
+        assert final_live < expected + 4096 * len(deep_cnn.nodes)
+
+    def test_classifier_weights_external(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        expected = sum(
+            2 * n.weight_bytes for n in deep_cnn if not n.is_feature_extraction
+        )
+        assert result.external_bytes == expected
+
+    def test_untrainable_on_tiny_gpu(self, deep_cnn):
+        tiny = PAPER_SYSTEM.with_gpu_memory(1 << 12)
+        algos = AlgoConfig.memory_optimal(deep_cnn)
+        result = simulate_vdnn(deep_cnn, tiny, TransferPolicy.vdnn_all(), algos)
+        assert not result.trainable
+
+    def test_fork_join_network_simulates_cleanly(self, fork_join_cnn):
+        result = run_vdnn(fork_join_cnn, "all", "m")
+        assert result.trainable
+        demand = [e for e in result.timeline.events if "(demand)" in e.label]
+        assert demand == []
+
+    def test_memory_stream_serializes_transfers(self, deep_cnn):
+        result = run_vdnn(deep_cnn, "all", "m")
+        events = sorted(result.timeline.on_stream(MEMORY_STREAM),
+                        key=lambda e: e.start)
+        for first, second in zip(events, events[1:]):
+            assert second.start >= first.end
+
+    def test_policy_label_propagates(self, deep_cnn):
+        assert run_vdnn(deep_cnn, "all", "m").policy_label == "vDNN_all"
+        assert run_vdnn(deep_cnn, "all", "m").algo_label == "m"
+
+
+class TestAblations:
+    def test_unbounded_prefetch_window_raises_peak(self):
+        """Prefetching too early camps data in GPU memory (Section III-B)."""
+        net = make_deep_cnn(depth=8, batch=8, size=32)
+        bounded = run_vdnn(net, "conv", "m")
+        unbounded = run_vdnn(net, "conv", "m", bounded_prefetch_window=False)
+        assert unbounded.max_usage_bytes >= bounded.max_usage_bytes
+        # Correctness is preserved either way (demand fetches allowed).
+        assert unbounded.trainable or not bounded.trainable
+
+    def test_disabling_sync_removes_stalls(self):
+        net = make_deep_cnn(depth=3, batch=8, size=64)
+        synced = run_vdnn(net, "all", "m")
+        unsynced = run_vdnn(net, "all", "m", sync_after_offload=False)
+        assert unsynced.compute_stall_seconds <= synced.compute_stall_seconds
+        assert unsynced.total_time <= synced.total_time

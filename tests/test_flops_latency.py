@@ -1,0 +1,116 @@
+"""Tests for FLOP counting and the roofline latency model."""
+
+import pytest
+
+from repro.graph import NetworkBuilder
+from repro.hw import TITAN_X
+from repro.kernels import (
+    AlgoProfile,
+    ConvAlgo,
+    KERNEL_LAUNCH_OVERHEAD,
+    LatencyModel,
+    backward_cost,
+    forward_cost,
+    is_compute_bound,
+)
+
+from conftest import make_linear_cnn
+
+
+def single_conv_net(batch=8, channels=16, size=32):
+    return (NetworkBuilder("one-conv", (batch, 3, size, size))
+            .conv(channels, kernel=3, pad=1, name="conv")
+            .fc(10, name="fc").softmax().build())
+
+
+class TestFlopCounts:
+    def test_conv_forward_flops_formula(self):
+        net = single_conv_net(batch=8, channels=16, size=32)
+        conv = net.node("conv")
+        cost = forward_cost(conv, net[0].output_spec)
+        expected = 2.0 * 8 * 16 * 3 * 3 * 3 * 32 * 32
+        assert cost.flops == expected
+
+    def test_conv_backward_is_twice_forward(self):
+        net = single_conv_net()
+        conv = net.node("conv")
+        fwd = forward_cost(conv, net[0].output_spec)
+        bwd = backward_cost(conv, net[0].output_spec)
+        assert bwd.flops == 2 * fwd.flops
+
+    def test_fc_forward_flops(self):
+        net = single_conv_net(batch=4, channels=8, size=8)
+        fc = net.node("fc")
+        input_spec = net[fc.producers[0]].output_spec
+        cost = forward_cost(fc, input_spec)
+        assert cost.flops == 2.0 * 4 * (8 * 8 * 8) * 10
+
+    def test_actv_is_bandwidth_dominated(self, linear_cnn):
+        relu = linear_cnn.node("relu_1")
+        input_spec = linear_cnn[relu.producers[0]].output_spec
+        cost = forward_cost(relu, input_spec)
+        # A few flops per element, two touches per element.
+        assert cost.dram_bytes == 2 * relu.output_spec.nbytes
+
+    def test_compute_bound_classification(self, linear_cnn):
+        assert is_compute_bound(linear_cnn.node("conv_1"))
+        assert is_compute_bound(linear_cnn.node("fc_1"))
+        assert not is_compute_bound(linear_cnn.node("pool_1"))
+        assert not is_compute_bound(linear_cnn.node("relu_1"))
+
+
+class TestLatencyModel:
+    def test_every_kernel_has_launch_overhead(self, linear_cnn):
+        model = LatencyModel(TITAN_X)
+        for node in linear_cnn.nodes[1:]:
+            assert model.forward(linear_cnn, node).seconds >= KERNEL_LAUNCH_OVERHEAD
+
+    def test_faster_algo_shortens_conv(self):
+        net = single_conv_net(batch=64, channels=64, size=64)
+        model = LatencyModel(TITAN_X)
+        conv = net.node("conv")
+        slow = model.forward(net, conv, AlgoProfile(ConvAlgo.IMPLICIT_GEMM, 0, 1.3))
+        fast = model.forward(net, conv, AlgoProfile(ConvAlgo.FFT, 1 << 20, 0.62))
+        assert fast.seconds < slow.seconds
+
+    def test_bandwidth_floor_applies(self):
+        # A pooling layer's latency is set by bytes, not flops.
+        net = make_linear_cnn(batch=64, size=64)
+        model = LatencyModel(TITAN_X)
+        pool = net.node("pool_1")
+        timing = model.forward(net, pool)
+        expected = timing.dram_bytes / TITAN_X.effective_bandwidth
+        assert timing.seconds == pytest.approx(expected + KERNEL_LAUNCH_OVERHEAD)
+
+    def test_dram_bandwidth_never_exceeds_peak(self, linear_cnn):
+        model = LatencyModel(TITAN_X)
+        for node in linear_cnn.nodes[1:]:
+            for timing in (model.forward(linear_cnn, node),
+                           model.backward(linear_cnn, node)):
+                assert timing.dram_bandwidth <= TITAN_X.dram_bandwidth
+
+    def test_iteration_time_sums_both_directions(self, linear_cnn):
+        model = LatencyModel(TITAN_X)
+        total = model.iteration_compute_time(linear_cnn)
+        fwd = sum(model.forward(linear_cnn, n).seconds
+                  for n in linear_cnn.nodes)
+        bwd = sum(model.backward(linear_cnn, linear_cnn[i]).seconds
+                  for i in linear_cnn.backward_schedule())
+        assert total == pytest.approx(fwd + bwd)
+
+    def test_feature_extraction_only_is_shorter(self, linear_cnn):
+        model = LatencyModel(TITAN_X)
+        assert model.iteration_compute_time(
+            linear_cnn, feature_extraction_only=True
+        ) < model.iteration_compute_time(linear_cnn)
+
+    def test_vgg16_first_layer_reuse_scale(self):
+        # The paper: >1200 ms reuse distance for VGG-16 (64)'s first
+        # layer, i.e. a full iteration takes on the order of a second.
+        from repro.zoo import build_vgg16
+        from repro.core import AlgoConfig
+        net = build_vgg16(64)
+        model = LatencyModel(TITAN_X)
+        algos = AlgoConfig.performance_optimal(net)
+        total = model.iteration_compute_time(net, algos.profiles)
+        assert 0.4 <= total <= 4.0

@@ -1,0 +1,113 @@
+"""Tests for the hardware models: GPU, PCIe, host, system config."""
+
+import pytest
+
+from repro.hw import (
+    GPUSpec,
+    HostSpec,
+    I7_5930K,
+    PAPER_SYSTEM,
+    PCIE_GEN3,
+    PCIeLink,
+    SystemConfig,
+    TITAN_X,
+    TransferMode,
+    oracular,
+)
+
+
+class TestGPUSpec:
+    def test_titan_x_matches_paper(self):
+        assert TITAN_X.peak_flops == 7.0e12
+        assert TITAN_X.dram_bandwidth == 336.0e9
+        assert TITAN_X.memory_bytes == 12 * (1 << 30)
+
+    def test_effective_rates_below_peak(self):
+        assert 0 < TITAN_X.effective_flops < TITAN_X.peak_flops
+        assert 0 < TITAN_X.effective_bandwidth < TITAN_X.dram_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", peak_flops=0, dram_bandwidth=1, memory_bytes=1)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", peak_flops=1, dram_bandwidth=1, memory_bytes=0)
+        with pytest.raises(ValueError):
+            GPUSpec("bad", peak_flops=1, dram_bandwidth=1, memory_bytes=1,
+                    compute_efficiency=1.5)
+
+    def test_oracular_keeps_throughput(self):
+        oracle = oracular(TITAN_X)
+        assert oracle.peak_flops == TITAN_X.peak_flops
+        assert oracle.memory_bytes > TITAN_X.memory_bytes * 1000
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TITAN_X.memory_bytes = 0
+
+
+class TestPCIe:
+    def test_dma_beats_page_migration_by_orders_of_magnitude(self):
+        nbytes = 100 * (1 << 20)
+        dma = PCIE_GEN3.effective_bandwidth(nbytes, TransferMode.DMA)
+        paging = PCIE_GEN3.effective_bandwidth(nbytes, TransferMode.PAGE_MIGRATION)
+        assert dma / paging > 50
+
+    def test_page_migration_bandwidth_in_paper_band(self):
+        # The paper quotes 80-200 MB/s for page-in at 20-50 us per page.
+        bw = PCIE_GEN3.effective_bandwidth(1 << 30, TransferMode.PAGE_MIGRATION)
+        assert 80e6 <= bw <= 200e6
+
+    def test_dma_bandwidth_near_12_8_gbs(self):
+        bw = PCIE_GEN3.effective_bandwidth(1 << 30, TransferMode.DMA)
+        assert 12.0e9 <= bw <= 12.8e9
+
+    def test_zero_transfer_is_free(self):
+        assert PCIE_GEN3.dma_time(0) == 0.0
+
+    def test_dma_has_setup_latency(self):
+        assert PCIE_GEN3.dma_time(1) >= PCIE_GEN3.dma_setup_latency
+
+    def test_page_count_rounds_up(self):
+        one = PCIE_GEN3.page_migration_time(1)
+        full = PCIE_GEN3.page_migration_time(4096)
+        assert one == full
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_GEN3.dma_time(-1)
+        with pytest.raises(ValueError):
+            PCIE_GEN3.page_migration_time(-1)
+
+    def test_dma_cannot_exceed_line_rate(self):
+        with pytest.raises(ValueError):
+            PCIeLink(max_bandwidth=1e9, dma_bandwidth=2e9)
+
+
+class TestHost:
+    def test_paper_host_is_64gb(self):
+        assert I7_5930K.memory_bytes == 64 * (1 << 30)
+
+    def test_pinned_budget_below_capacity(self):
+        assert 0 < I7_5930K.max_pinned_bytes < I7_5930K.memory_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostSpec(memory_bytes=0)
+        with pytest.raises(ValueError):
+            HostSpec(max_pinned_fraction=0.0)
+
+
+class TestSystemConfig:
+    def test_paper_system_composition(self):
+        assert PAPER_SYSTEM.gpu is not None
+        assert PAPER_SYSTEM.gpu.name == TITAN_X.name
+
+    def test_with_oracular_gpu(self):
+        oracle = PAPER_SYSTEM.with_oracular_gpu()
+        assert oracle.gpu.memory_bytes > PAPER_SYSTEM.gpu.memory_bytes
+        assert oracle.host is PAPER_SYSTEM.host
+
+    def test_with_gpu_memory(self):
+        small = PAPER_SYSTEM.with_gpu_memory(1 << 30)
+        assert small.gpu.memory_bytes == 1 << 30
+        assert small.gpu.peak_flops == PAPER_SYSTEM.gpu.peak_flops

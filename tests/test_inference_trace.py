@@ -1,0 +1,100 @@
+"""Tests for the inference simulator and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AlgoConfig,
+    baseline_inference_bytes,
+    evaluate,
+    simulate_inference,
+)
+from repro.hw import PAPER_SYSTEM
+from repro.sim import EventKind, save_trace, timeline_to_trace_events
+from repro.zoo import build
+
+from conftest import make_linear_cnn
+
+
+class TestInferenceSimulation:
+    def test_far_below_training_footprint(self):
+        net = build("vgg16", 64)
+        algos = AlgoConfig.memory_optimal(net)
+        inference = simulate_inference(net, PAPER_SYSTEM, algos)
+        training = evaluate(net, policy="none", algo="m")
+        assert inference.max_usage_bytes < training.max_usage_bytes / 2
+
+    def test_below_network_wide_inference_allocation(self):
+        net = build("vgg16", 64)
+        algos = AlgoConfig.memory_optimal(net)
+        layer_wise = simulate_inference(net, PAPER_SYSTEM, algos)
+        network_wide = baseline_inference_bytes(net, algos)
+        assert layer_wise.managed_max_bytes < network_wide
+
+    def test_forward_events_only(self, linear_cnn):
+        algos = AlgoConfig.memory_optimal(linear_cnn)
+        result = simulate_inference(linear_cnn, PAPER_SYSTEM, algos)
+        kinds = {e.kind for e in result.timeline.events}
+        assert kinds == {EventKind.FORWARD}
+
+    def test_no_transfers(self, linear_cnn):
+        algos = AlgoConfig.memory_optimal(linear_cnn)
+        result = simulate_inference(linear_cnn, PAPER_SYSTEM, algos)
+        assert result.offload_bytes == 0
+        assert result.pinned_peak_bytes == 0
+
+    def test_pool_drains_to_weights(self, linear_cnn):
+        algos = AlgoConfig.memory_optimal(linear_cnn)
+        result = simulate_inference(linear_cnn, PAPER_SYSTEM, algos)
+        final = result.usage.curve()[-1][1]
+        weights = sum(n.weight_bytes for n in linear_cnn
+                      if n.is_feature_extraction)
+        assert weights <= final < weights + 4096 * len(linear_cnn.nodes)
+
+    def test_very_deep_network_inference_fits(self):
+        """Even VGG-416 runs inference within 12 GB layer-wise."""
+        net = build("vgg416", 32)
+        algos = AlgoConfig.memory_optimal(net)
+        result = simulate_inference(net, PAPER_SYSTEM, algos)
+        assert result.trainable  # here: "runnable"
+
+
+class TestTraceExport:
+    def test_events_reference_all_streams(self, linear_cnn):
+        result = evaluate(linear_cnn, policy="all", algo="m")
+        events = timeline_to_trace_events(result.timeline, result.usage)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"}
+        assert names == {"stream_compute", "stream_memory"}
+
+    def test_durations_in_microseconds(self, linear_cnn):
+        result = evaluate(linear_cnn, policy="all", algo="m")
+        events = timeline_to_trace_events(result.timeline)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans
+        for span in spans:
+            assert span["dur"] >= 0
+            assert span["cat"] in ("compute", "transfer", "stall")
+
+    def test_counter_events_from_usage(self, linear_cnn):
+        result = evaluate(linear_cnn, policy="all", algo="m")
+        events = timeline_to_trace_events(result.timeline, result.usage)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == len(result.usage.samples)
+
+    def test_save_trace_roundtrip(self, linear_cnn, tmp_path):
+        result = evaluate(linear_cnn, policy="all", algo="m")
+        path = tmp_path / "trace.json"
+        save_trace(str(path), result.timeline, result.usage)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) > 10
+
+    def test_transfer_category_on_offloads(self, linear_cnn):
+        result = evaluate(linear_cnn, policy="all", algo="m")
+        events = timeline_to_trace_events(result.timeline)
+        offloads = [e for e in events
+                    if e["ph"] == "X" and e["name"].startswith("OFF")]
+        assert offloads
+        assert all(e["cat"] == "transfer" for e in offloads)

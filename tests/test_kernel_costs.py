@@ -1,0 +1,74 @@
+"""Cost-model tests for the newer layer kinds (ADD / BN / SLICE / tying)."""
+
+import pytest
+
+from repro.graph import NetworkBuilder
+from repro.kernels import backward_cost, forward_cost
+from repro.zoo import build_unrolled_rnn
+
+from conftest import make_fork_join_cnn
+
+
+def residual_net():
+    b = NetworkBuilder("res", (2, 3, 8, 8))
+    b.conv(4, kernel=3, pad=1, name="c1")
+    left = b.tap()
+    b.conv(4, kernel=3, pad=1, name="c2", after=left)
+    b.batchnorm(name="bn")
+    right = b.tap()
+    b.add([right, left], name="join")
+    b.slice(0, 2, name="cut")
+    b.fc(10, name="head").softmax().build()
+    return b.build()
+
+
+class TestNewKernelCosts:
+    def test_add_reads_every_branch(self):
+        net = residual_net()
+        node = net.node("join")
+        input_spec = net[node.producers[0]].output_spec
+        cost = forward_cost(node, input_spec)
+        # Two branch reads + one write of equal-size tensors.
+        assert cost.dram_bytes == 3.0 * node.output_spec.nbytes
+
+    def test_add_backward_is_bandwidth_only(self):
+        net = residual_net()
+        node = net.node("join")
+        input_spec = net[node.producers[0]].output_spec
+        cost = backward_cost(node, input_spec)
+        assert cost.flops == 0.0
+        assert cost.dram_bytes > 0
+
+    def test_bn_costs_scale_with_elements(self):
+        net = residual_net()
+        node = net.node("bn")
+        input_spec = net[node.producers[0]].output_spec
+        fwd = forward_cost(node, input_spec)
+        bwd = backward_cost(node, input_spec)
+        assert fwd.flops == 8 * node.output_spec.count
+        assert bwd.flops == 12 * node.output_spec.count
+
+    def test_slice_is_pure_copy(self):
+        net = residual_net()
+        node = net.node("cut")
+        input_spec = net[node.producers[0]].output_spec
+        fwd = forward_cost(node, input_spec)
+        assert fwd.flops == 0.0
+        assert fwd.dram_bytes == 2.0 * node.output_spec.nbytes
+
+    def test_tied_fc_still_touches_weight_bytes(self):
+        """Weight tying changes ownership, not the DRAM a kernel reads."""
+        net = build_unrolled_rnn(timesteps=3, input_dim=8, hidden_dim=16,
+                                 num_classes=4, batch_size=2)
+        owner = net.node("W_xh")
+        tied = net.node("W_xh_t02")
+        assert tied.is_weight_tied and not owner.is_weight_tied
+        spec_owner = net[owner.producers[0]].output_spec
+        spec_tied = net[tied.producers[0]].output_spec
+        assert forward_cost(tied, spec_tied).dram_bytes == \
+            forward_cost(owner, spec_owner).dram_bytes
+
+    def test_concat_backward_cost(self, fork_join_cnn):
+        node = fork_join_cnn.node("join")
+        input_spec = fork_join_cnn[node.producers[0]].output_spec
+        assert backward_cost(node, input_spec).flops == 0.0

@@ -1,0 +1,192 @@
+"""Tests for the layer taxonomy: shape inference, weights, backward needs."""
+
+import pytest
+
+from repro.graph import (
+    Activation,
+    ActivationKind,
+    Concat,
+    Conv2D,
+    Dropout,
+    FullyConnected,
+    Input,
+    LayerKind,
+    LRN,
+    Pool2D,
+    PoolMode,
+    Softmax,
+    TensorSpec,
+)
+
+X = TensorSpec((4, 3, 32, 32))
+
+
+class TestInput:
+    def test_emits_configured_shape(self):
+        layer = Input("in", shape=(8, 3, 224, 224))
+        assert layer.infer_output([]).shape == (8, 3, 224, 224)
+
+    def test_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            Input("in").infer_output([X])
+
+    def test_no_backward_needs(self):
+        assert not Input("in").backward_needs_x
+        assert not Input("in").backward_needs_y
+
+
+class TestConv2D:
+    def test_output_shape(self):
+        conv = Conv2D("c", inputs=["in"], out_channels=16, kernel=3, pad=1)
+        assert conv.infer_output([X]).shape == (4, 16, 32, 32)
+
+    def test_strided_output_shape(self):
+        conv = Conv2D("c", inputs=["in"], out_channels=8, kernel=5, stride=2)
+        assert conv.infer_output([X]).shape == (4, 8, 14, 14)
+
+    def test_weight_spec_is_oihw(self):
+        conv = Conv2D("c", inputs=["in"], out_channels=16, kernel=3)
+        assert conv.weight_spec([X]).shape == (16, 3, 3, 3)
+
+    def test_bias_spec(self):
+        conv = Conv2D("c", inputs=["in"], out_channels=16)
+        assert conv.bias_spec([X]).shape == (16,)
+
+    def test_bias_disabled(self):
+        conv = Conv2D("c", inputs=["in"], out_channels=16, bias=False)
+        assert conv.bias_spec([X]) is None
+
+    def test_backward_needs_x_not_y(self):
+        conv = Conv2D("c", inputs=["in"], out_channels=4)
+        assert conv.backward_needs_x and not conv.backward_needs_y
+
+    def test_not_in_place(self):
+        assert not Conv2D("c", inputs=["in"], out_channels=4).in_place
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2D("c", out_channels=0)
+        with pytest.raises(ValueError):
+            Conv2D("c", out_channels=4, stride=0)
+        with pytest.raises(ValueError):
+            Conv2D("c", out_channels=4, pad=-1)
+
+    def test_requires_exactly_one_input(self):
+        conv = Conv2D("c", inputs=["a", "b"], out_channels=4)
+        with pytest.raises(ValueError):
+            conv.infer_output([X, X])
+
+
+class TestActivation:
+    def test_shape_preserving(self):
+        relu = Activation("r", inputs=["c"])
+        assert relu.infer_output([X]) == X
+
+    def test_in_place_and_backward_contract(self):
+        relu = Activation("r", inputs=["c"])
+        assert relu.in_place
+        assert not relu.backward_needs_x
+        assert relu.backward_needs_y
+
+    def test_kinds(self):
+        for kind in ActivationKind:
+            assert Activation("a", inputs=["c"], activation=kind).kind is LayerKind.ACTV
+
+    def test_no_weights(self):
+        assert not Activation("r", inputs=["c"]).has_weights
+
+
+class TestPool2D:
+    def test_max_pool_shape(self):
+        pool = Pool2D("p", inputs=["c"], kernel=2, stride=2)
+        assert pool.infer_output([X]).shape == (4, 3, 16, 16)
+
+    def test_ceil_mode_shape(self):
+        pool = Pool2D("p", inputs=["c"], kernel=3, stride=2)
+        spec = pool.infer_output([TensorSpec((4, 3, 112, 112))])
+        assert spec.shape == (4, 3, 56, 56)
+
+    def test_max_backward_needs_x_and_y(self):
+        pool = Pool2D("p", inputs=["c"], mode=PoolMode.MAX)
+        assert pool.backward_needs_x and pool.backward_needs_y
+
+    def test_avg_backward_needs_nothing(self):
+        pool = Pool2D("p", inputs=["c"], mode=PoolMode.AVG)
+        assert not pool.backward_needs_x and not pool.backward_needs_y
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Pool2D("p", kernel=0)
+
+
+class TestLRN:
+    def test_shape_preserving(self):
+        assert LRN("l", inputs=["c"]).infer_output([X]) == X
+
+    def test_backward_needs_both(self):
+        lrn = LRN("l", inputs=["c"])
+        assert lrn.backward_needs_x and lrn.backward_needs_y
+
+    def test_not_in_place(self):
+        assert not LRN("l", inputs=["c"]).in_place
+
+
+class TestFullyConnected:
+    def test_flattens_4d_input(self):
+        fc = FullyConnected("f", inputs=["p"], out_features=10)
+        assert fc.infer_output([X]).shape == (4, 10)
+
+    def test_weight_spec(self):
+        fc = FullyConnected("f", inputs=["p"], out_features=10)
+        assert fc.weight_spec([X]).shape == (10, 3 * 32 * 32)
+
+    def test_accepts_2d_input(self):
+        fc = FullyConnected("f", inputs=["p"], out_features=5)
+        assert fc.infer_output([TensorSpec((4, 100))]).shape == (4, 5)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            FullyConnected("f", out_features=0)
+
+
+class TestDropout:
+    def test_in_place_shape_preserving(self):
+        drop = Dropout("d", inputs=["f"], rate=0.5)
+        assert drop.in_place
+        assert drop.infer_output([X]) == X
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout("d", rate=1.0)
+        with pytest.raises(ValueError):
+            Dropout("d", rate=-0.1)
+
+
+class TestConcat:
+    def test_channel_concatenation(self):
+        concat = Concat("j", inputs=["a", "b"])
+        a = TensorSpec((4, 8, 16, 16))
+        b = TensorSpec((4, 24, 16, 16))
+        assert concat.infer_output([a, b]).shape == (4, 32, 16, 16)
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            Concat("j", inputs=["a"]).infer_output([X])
+
+    def test_rejects_spatial_mismatch(self):
+        concat = Concat("j", inputs=["a", "b"])
+        with pytest.raises(ValueError):
+            concat.infer_output([X, TensorSpec((4, 3, 8, 8))])
+
+    def test_backward_is_pure_split(self):
+        assert not Concat("j", inputs=["a", "b"]).backward_needs_x
+
+
+class TestSoftmax:
+    def test_shape_preserving(self):
+        sm = Softmax("s", inputs=["f"])
+        assert sm.infer_output([TensorSpec((4, 10))]).shape == (4, 10)
+
+    def test_backward_needs_y_only(self):
+        sm = Softmax("s", inputs=["f"])
+        assert sm.backward_needs_y and not sm.backward_needs_x

@@ -1,0 +1,122 @@
+"""Tests for EltwiseMul and the unrolled LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransferPolicy, evaluate
+from repro.graph import EltwiseMul, LayerKind, NetworkBuilder, TensorSpec
+from repro.numerics import TrainingRuntime, make_batch, ops
+from repro.zoo import build, build_unrolled_lstm
+
+X = TensorSpec((2, 8))
+
+
+class TestEltwiseMulLayer:
+    def test_shape_preserving(self):
+        mul = EltwiseMul("m", inputs=["a", "b"])
+        assert mul.infer_output([X, X]) == X
+
+    def test_exactly_two_inputs(self):
+        with pytest.raises(ValueError):
+            EltwiseMul("m", inputs=["a"]).infer_output([X])
+        with pytest.raises(ValueError):
+            EltwiseMul("m").infer_output([X, X, X])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EltwiseMul("m").infer_output([X, TensorSpec((2, 4))])
+
+    def test_backward_reads_both_operands(self):
+        # The key liveness difference from ADD.
+        assert EltwiseMul("m").backward_needs_x
+
+    def test_numerics_gradient(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = rng.standard_normal((3, 4)).astype(np.float32)
+        dy = rng.standard_normal((3, 4)).astype(np.float32)
+        da, db = ops.eltwise_mul_backward(a, b, dy)
+        np.testing.assert_allclose(da, dy * b, rtol=1e-6)
+        np.testing.assert_allclose(db, dy * a, rtol=1e-6)
+
+    def test_mul_operand_storages_survive_for_backward(self):
+        """Both MUL inputs appear in the storage's backward users."""
+        from repro.core import LivenessAnalysis
+        b = NetworkBuilder("gate", (2, 8, 1, 1))
+        b.fc(8, name="a").sigmoid(name="sa")
+        left = b.tap()
+        b.fc(8, name="b", after="input_01").tanh(name="tb")
+        right = b.tap()
+        b.mul([left, right], name="gate")
+        net = b.fc(4).softmax().build()
+        liveness = LivenessAnalysis(net)
+        gate = net.node("gate").index
+        for branch in ("a", "b"):
+            storage = liveness.storage_of(net.node(branch).index)
+            assert gate in storage.backward_users
+
+
+class TestUnrolledLSTM:
+    def test_structure(self):
+        net = build_unrolled_lstm(timesteps=3, input_dim=8, hidden_dim=16,
+                                  num_classes=4, batch_size=2)
+        muls = net.layers_of_kind(LayerKind.MUL)
+        # t=1: ig, h; t>=2: ig, fc, h  ->  2 + 3*(T-1).
+        assert len(muls) == 2 + 3 * 2
+        owners = {n.name for n in net.layers_of_kind(LayerKind.FC)
+                  if not n.is_weight_tied}
+        assert owners == {"W_xi", "W_xo", "W_xg", "W_xf",
+                          "W_hi", "W_hf", "W_ho", "W_hg", "head"}
+
+    def test_no_dead_forget_gate_at_step_one(self):
+        net = build_unrolled_lstm(timesteps=3, input_dim=8, hidden_dim=16,
+                                  num_classes=4, batch_size=2)
+        names = {n.name for n in net}
+        assert "f_t01" not in names
+        assert "f_t02" in names
+        # Every non-terminal node has a consumer (no dead ends).
+        for node in net:
+            if node is not net.output_node:
+                assert node.consumers, f"{node.name} is a dead end"
+
+    def test_simulation_under_all_policies(self):
+        net = build_unrolled_lstm(4, 8, 16, 4, 4)
+        for policy in ("all", "none", "base", "dyn"):
+            assert evaluate(net, policy=policy).trainable, policy
+
+    @pytest.mark.parametrize("strategy", ["offload", "recompute", "hybrid"])
+    def test_training_bit_identical(self, strategy):
+        def factory():
+            return build_unrolled_lstm(4, 8, 16, 4, 4)
+        images, labels = make_batch((4, 32, 1, 1), 4, 0)
+        ref = TrainingRuntime(factory(), TransferPolicy.none(), seed=0)
+        if strategy == "offload":
+            alt = TrainingRuntime(factory(), TransferPolicy.vdnn_all(), seed=0)
+        elif strategy == "recompute":
+            alt = TrainingRuntime(factory(), TransferPolicy.none(), seed=0,
+                                  recompute_segments=4)
+        else:
+            alt = TrainingRuntime(factory(), TransferPolicy.vdnn_all(), seed=0,
+                                  recompute_segments=4)
+        for _ in range(3):
+            a = ref.train_step(images, labels)
+            b = alt.train_step(images, labels)
+            assert a.loss == b.loss
+        assert ref.parameter_fingerprint() == alt.parameter_fingerprint()
+
+    def test_lstm_learns_under_offload(self):
+        runtime = TrainingRuntime(build_unrolled_lstm(4, 8, 16, 4, 8),
+                                  TransferPolicy.vdnn_all(), seed=1,
+                                  learning_rate=0.2)
+        images, labels = make_batch((8, 32, 1, 1), 4, 0)
+        losses = [runtime.train_step(images, labels).loss
+                  for _ in range(20)]
+        assert losses[-1] < losses[0] * 0.75
+        assert runtime.host.offload_count > 0
+
+    def test_registry(self):
+        assert build("lstm", 4).name == "LSTM-T8(4)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_unrolled_lstm(timesteps=0)

@@ -1,0 +1,256 @@
+"""Numerical tests for the numpy kernels, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import ops
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = f()
+        flat[i] = original - eps
+        lo = f()
+        flat[i] = original
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def rand(*shape):
+    return RNG.standard_normal(shape).astype(np.float32)
+
+
+class TestConv2D:
+    def test_forward_matches_manual_1x1(self):
+        x = rand(1, 2, 3, 3)
+        w = rand(4, 2, 1, 1)
+        y = ops.conv2d_forward(x, w, None, stride=1, pad=0)
+        expected = np.einsum("nchw,kc->nkhw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(y, expected, rtol=1e-5)
+
+    def test_forward_shape_with_stride_and_pad(self):
+        y = ops.conv2d_forward(rand(2, 3, 8, 8), rand(4, 3, 3, 3), None, 2, 1)
+        assert y.shape == (2, 4, 4, 4)
+
+    def test_bias_added_per_channel(self):
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        w = np.zeros((3, 1, 1, 1), dtype=np.float32)
+        b = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        y = ops.conv2d_forward(x, w, b, 1, 0)
+        for k in range(3):
+            assert np.all(y[0, k] == b[k])
+
+    def test_gradient_check_dx(self):
+        x, w = rand(2, 2, 5, 5), rand(3, 2, 3, 3)
+        dy = rand(2, 3, 5, 5)
+
+        def loss():
+            return float((ops.conv2d_forward(x, w, None, 1, 1) * dy).sum())
+
+        dx, _, _ = ops.conv2d_backward(x, w, dy, 1, 1, bias=False)
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), rtol=3e-2,
+                                   atol=5e-3)
+
+    def test_gradient_check_dw(self):
+        x, w = rand(2, 2, 5, 5), rand(3, 2, 3, 3)
+        dy = rand(2, 3, 3, 3)
+
+        def loss():
+            return float((ops.conv2d_forward(x, w, None, 1, 0) * dy).sum())
+
+        _, dw, _ = ops.conv2d_backward(x, w, dy, 1, 0, bias=False)
+        np.testing.assert_allclose(dw, numeric_grad(loss, w), rtol=1e-2,
+                                   atol=1e-3)
+
+    def test_db_is_dy_sum(self):
+        x, w = rand(2, 2, 4, 4), rand(3, 2, 1, 1)
+        dy = rand(2, 3, 4, 4)
+        _, _, db = ops.conv2d_backward(x, w, dy, 1, 0, bias=True)
+        np.testing.assert_allclose(db, dy.sum(axis=(0, 2, 3)), rtol=1e-5)
+
+
+class TestActivations:
+    def test_relu_zeroes_negatives(self):
+        y = ops.relu_forward(np.array([-1.0, 0.0, 2.0], dtype=np.float32))
+        np.testing.assert_array_equal(y, [0.0, 0.0, 2.0])
+
+    def test_relu_backward_masks_by_y(self):
+        y = np.array([0.0, 0.0, 2.0], dtype=np.float32)
+        dy = np.array([5.0, 5.0, 5.0], dtype=np.float32)
+        np.testing.assert_array_equal(ops.relu_backward(y, dy), [0, 0, 5])
+
+    def test_sigmoid_gradient_from_y_only(self):
+        x = rand(10)
+        y = ops.sigmoid_forward(x)
+        dy = rand(10)
+
+        def loss():
+            return float((ops.sigmoid_forward(x) * dy).sum())
+
+        np.testing.assert_allclose(
+            ops.sigmoid_backward(y, dy), numeric_grad(loss, x),
+            rtol=1e-2, atol=1e-4,
+        )
+
+    def test_tanh_gradient_from_y_only(self):
+        x = rand(10)
+        y = ops.tanh_forward(x)
+        dy = rand(10)
+
+        def loss():
+            return float((ops.tanh_forward(x) * dy).sum())
+
+        np.testing.assert_allclose(
+            ops.tanh_backward(y, dy), numeric_grad(loss, x),
+            rtol=1e-2, atol=1e-4,
+        )
+
+
+class TestPooling:
+    def test_maxpool_forward_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = ops.maxpool_forward(x, 2, 2, 0, 2, 2)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = ops.maxpool_forward(x, 2, 2, 0, 2, 2)
+        dy = np.ones((1, 1, 2, 2), dtype=np.float32)
+        dx = ops.maxpool_backward(x, y, dy, 2, 2, 0)
+        assert dx.sum() == 4.0
+        assert dx[0, 0, 1, 1] == 1.0 and dx[0, 0, 0, 0] == 0.0
+
+    def test_avgpool_forward_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = ops.avgpool_forward(x, 2, 2, 0, 2, 2)
+        np.testing.assert_allclose(y[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_backward_spreads_uniformly(self):
+        dy = np.ones((1, 1, 2, 2), dtype=np.float32)
+        dx = ops.avgpool_backward((1, 1, 4, 4), dy, 2, 2, 0)
+        np.testing.assert_allclose(dx, np.full((1, 1, 4, 4), 0.25))
+
+    def test_ceil_mode_window_clipping(self):
+        # 5x5 input, 3x3 stride-2 pooling (ceil) -> 2x2 output.
+        x = rand(1, 1, 5, 5)
+        y = ops.maxpool_forward(x, 3, 2, 0, 2, 2)
+        assert y.shape == (1, 1, 2, 2)
+
+
+class TestLRN:
+    def test_forward_is_scale_invariant_shape(self):
+        x = rand(2, 8, 4, 4)
+        y = ops.lrn_forward(x, 5, 1e-4, 0.75, 1.0)
+        assert y.shape == x.shape
+
+    def test_forward_normalizes_large_activations(self):
+        x = np.full((1, 8, 1, 1), 10.0, dtype=np.float32)
+        y = ops.lrn_forward(x, 5, 1.0, 0.75, 1.0)
+        assert np.all(y < x)
+
+    def test_gradient_check(self):
+        x = rand(1, 6, 2, 2)
+        dy = rand(1, 6, 2, 2)
+        args = (5, 0.1, 0.75, 2.0)
+
+        def loss():
+            return float((ops.lrn_forward(x, *args) * dy).sum())
+
+        y = ops.lrn_forward(x, *args)
+        dx = ops.lrn_backward(x, y, dy, *args)
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), rtol=2e-2,
+                                   atol=1e-3)
+
+
+class TestFC:
+    def test_forward_flattens(self):
+        x = rand(2, 3, 2, 2)
+        w = rand(5, 12)
+        assert ops.fc_forward(x, w, None).shape == (2, 5)
+
+    def test_gradient_check(self):
+        x, w = rand(3, 7), rand(4, 7)
+        dy = rand(3, 4)
+
+        def loss():
+            return float((ops.fc_forward(x, w, None) * dy).sum())
+
+        dx, dw, _ = ops.fc_backward(x, w, dy, bias=False)
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), rtol=1e-2,
+                                   atol=1e-4)
+        np.testing.assert_allclose(dw, numeric_grad(loss, w), rtol=1e-2,
+                                   atol=1e-4)
+
+
+class TestDropout:
+    def test_same_seed_same_mask(self):
+        x = rand(4, 8)
+        a = ops.dropout_forward(x, 0.5, seed=3)
+        b = ops.dropout_forward(x, 0.5, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_mask(self):
+        x = np.ones((32, 32), dtype=np.float32)
+        a = ops.dropout_forward(x, 0.5, seed=1)
+        b = ops.dropout_forward(x, 0.5, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        x = np.ones((200, 200), dtype=np.float32)
+        y = ops.dropout_forward(x, 0.5, seed=0)
+        assert abs(y.mean() - 1.0) < 0.05
+
+    def test_inference_is_identity(self):
+        x = rand(4, 4)
+        np.testing.assert_array_equal(
+            ops.dropout_forward(x, 0.5, seed=0, training=False), x
+        )
+
+    def test_backward_uses_same_mask(self):
+        dy = np.ones((8, 8), dtype=np.float32)
+        fwd_mask = ops.dropout_forward(np.ones((8, 8), dtype=np.float32), 0.5, 9)
+        bwd = ops.dropout_backward(dy, 0.5, 9)
+        np.testing.assert_array_equal(fwd_mask, bwd)
+
+
+class TestConcatSoftmax:
+    def test_concat_roundtrip(self):
+        a, b = rand(2, 3, 4, 4), rand(2, 5, 4, 4)
+        y = ops.concat_forward([a, b])
+        parts = ops.concat_backward(y, [3, 5])
+        np.testing.assert_array_equal(parts[0], a)
+        np.testing.assert_array_equal(parts[1], b)
+
+    def test_softmax_rows_sum_to_one(self):
+        probs = ops.softmax_forward(rand(5, 10))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), rtol=1e-5)
+
+    def test_softmax_numerically_stable(self):
+        x = np.array([[1000.0, 1000.0]], dtype=np.float32)
+        probs = ops.softmax_forward(x)
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32)
+        labels = np.array([0, 1])
+        assert ops.cross_entropy_loss(probs, labels) < 1e-6
+
+    def test_softmax_ce_gradient_check(self):
+        logits = rand(3, 5)
+        labels = np.array([0, 2, 4])
+
+        def loss():
+            return ops.cross_entropy_loss(ops.softmax_forward(logits), labels)
+
+        probs = ops.softmax_forward(logits)
+        dx = ops.softmax_cross_entropy_backward(probs, labels)
+        np.testing.assert_allclose(dx, numeric_grad(loss, logits), rtol=1e-2,
+                                   atol=1e-4)

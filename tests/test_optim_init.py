@@ -1,0 +1,162 @@
+"""Tests for the optimizers and deterministic initializers."""
+
+import numpy as np
+import pytest
+
+from repro.numerics import Adam, SGD, init_bias, init_weight, make_batch
+from repro.zoo import build_vgg16
+
+from conftest import make_linear_cnn
+
+
+class TestSGD:
+    def test_plain_step(self):
+        sgd = SGD(learning_rate=0.1)
+        param = np.array([1.0, 2.0], dtype=np.float32)
+        grad = np.array([1.0, -1.0], dtype=np.float32)
+        sgd.step("w", param, grad)
+        np.testing.assert_allclose(param, [0.9, 2.1], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        sgd = SGD(learning_rate=0.1, momentum=0.9)
+        param = np.zeros(1, dtype=np.float32)
+        grad = np.ones(1, dtype=np.float32)
+        sgd.step("w", param, grad)   # v = -0.1
+        sgd.step("w", param, grad)   # v = -0.19
+        np.testing.assert_allclose(param, [-0.29], rtol=1e-5)
+
+    def test_momentum_state_per_parameter(self):
+        sgd = SGD(learning_rate=0.1, momentum=0.9)
+        a = np.zeros(1, dtype=np.float32)
+        b = np.zeros(2, dtype=np.float32)
+        sgd.step("a", a, np.ones(1, dtype=np.float32))
+        sgd.step("b", b, np.ones(2, dtype=np.float32))
+        assert sgd.state_bytes() == a.nbytes + b.nbytes
+
+    def test_no_momentum_state_when_disabled(self):
+        sgd = SGD(learning_rate=0.1)
+        sgd.step("w", np.zeros(3, dtype=np.float32),
+                 np.ones(3, dtype=np.float32))
+        assert sgd.state_bytes() == 0
+
+    def test_shape_mismatch_rejected(self):
+        sgd = SGD()
+        with pytest.raises(ValueError):
+            sgd.step("w", np.zeros(2, dtype=np.float32),
+                     np.zeros(3, dtype=np.float32))
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+
+class TestSGDWeightDecay:
+    def test_decay_shrinks_weights_with_zero_grad(self):
+        sgd = SGD(learning_rate=0.1, weight_decay=0.5)
+        param = np.array([1.0], dtype=np.float32)
+        sgd.step("w", param, np.zeros(1, dtype=np.float32))
+        np.testing.assert_allclose(param, [0.95], rtol=1e-6)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-0.1)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, |update| ~= lr on step 1 for any grad.
+        adam = Adam(learning_rate=0.1)
+        param = np.zeros(3, dtype=np.float32)
+        adam.step("w", param, np.array([5.0, -2.0, 0.1], dtype=np.float32))
+        np.testing.assert_allclose(np.abs(param), [0.1] * 3, rtol=1e-3)
+
+    def test_converges_on_quadratic(self):
+        adam = Adam(learning_rate=0.2)
+        param = np.array([4.0], dtype=np.float32)
+        for _ in range(200):
+            adam.step("w", param, 2 * param)  # d/dx x^2
+        assert abs(float(param[0])) < 0.1
+
+    def test_state_is_two_buffers_per_parameter(self):
+        adam = Adam()
+        param = np.zeros(10, dtype=np.float32)
+        adam.step("w", param, np.ones(10, dtype=np.float32))
+        assert adam.state_bytes() == 2 * param.nbytes
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Adam().step("w", np.zeros(2, dtype=np.float32),
+                        np.zeros(3, dtype=np.float32))
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(epsilon=0)
+
+    def test_runtime_integration_bit_identical_under_offload(self):
+        from repro.core import TransferPolicy
+        from repro.numerics import TrainingRuntime
+
+        def run(policy):
+            runtime = TrainingRuntime(
+                make_linear_cnn(), policy, seed=0,
+                optimizer=Adam(learning_rate=0.01),
+            )
+            images, labels = make_batch((4, 3, 16, 16), 10, 0)
+            return [runtime.train_step(images, labels).loss
+                    for _ in range(3)]
+
+        assert run(TransferPolicy.none()) == run(TransferPolicy.vdnn_all())
+
+
+class TestInitializers:
+    def test_weight_deterministic_per_seed(self, linear_cnn):
+        node = linear_cnn.node("conv_1")
+        a = init_weight(node, seed=0)
+        b = init_weight(node, seed=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_weight_differs_across_seeds(self, linear_cnn):
+        node = linear_cnn.node("conv_1")
+        assert not np.array_equal(init_weight(node, 0), init_weight(node, 1))
+
+    def test_weight_differs_across_layers(self, linear_cnn):
+        a = init_weight(linear_cnn.node("conv_1"), 0)
+        b = init_weight(linear_cnn.node("conv_2"), 0)
+        assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_he_scaling(self):
+        # Deep-layer fan-in controls the std.
+        net = build_vgg16(2)
+        w = init_weight(net.node("conv_10"), 0)
+        fan_in = np.prod(w.shape[1:])
+        assert w.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.1)
+
+    def test_bias_is_zero(self, linear_cnn):
+        b = init_bias(linear_cnn.node("conv_1"), 0)
+        assert np.all(b == 0)
+
+    def test_weightless_layers_return_none(self, linear_cnn):
+        assert init_weight(linear_cnn.node("relu_1"), 0) is None
+        assert init_bias(linear_cnn.node("pool_1"), 0) is None
+
+
+class TestMakeBatch:
+    def test_deterministic(self):
+        a_img, a_lbl = make_batch((4, 3, 8, 8), 10, seed=5)
+        b_img, b_lbl = make_batch((4, 3, 8, 8), 10, seed=5)
+        np.testing.assert_array_equal(a_img, b_img)
+        np.testing.assert_array_equal(a_lbl, b_lbl)
+
+    def test_labels_in_range(self):
+        _, labels = make_batch((64, 3, 4, 4), 7, seed=0)
+        assert labels.min() >= 0 and labels.max() < 7
+
+    def test_float32_images(self):
+        images, _ = make_batch((2, 3, 4, 4), 10, seed=0)
+        assert images.dtype == np.float32

@@ -1,0 +1,73 @@
+"""Tests for the training-run planner."""
+
+import pytest
+
+from repro.core import UntrainableError, plan_training_run
+from repro.hw import PAPER_SYSTEM
+from repro.zoo import build
+
+from conftest import make_linear_cnn
+
+
+class TestPlanTrainingRun:
+    def test_iteration_arithmetic(self, linear_cnn):
+        plan = plan_training_run(linear_cnn, PAPER_SYSTEM,
+                                 dataset_size=1000, epochs=3)
+        per_epoch = -(-1000 // linear_cnn.batch_size)
+        assert plan.iterations == per_epoch * 3
+        assert plan.total_seconds == pytest.approx(
+            plan.iterations * plan.iteration_seconds
+        )
+
+    def test_vgg_run_takes_days_not_minutes(self):
+        """The paper: training takes "days to weeks"."""
+        plan = plan_training_run(build("vgg16", 64), PAPER_SYSTEM, epochs=74)
+        assert 24 <= plan.total_hours <= 24 * 60
+
+    def test_energy_consistent_with_power(self, linear_cnn):
+        plan = plan_training_run(linear_cnn, PAPER_SYSTEM,
+                                 dataset_size=100, epochs=1)
+        assert plan.energy_kwh == pytest.approx(
+            plan.average_watts * plan.total_seconds / 3.6e6
+        )
+
+    def test_pcie_traffic_zero_without_offload(self, linear_cnn):
+        # Tiny network: dyn picks no offloading.
+        plan = plan_training_run(linear_cnn, PAPER_SYSTEM,
+                                 dataset_size=100, epochs=1)
+        assert plan.pcie_bytes_per_iteration == 0
+        assert plan.total_pcie_bytes == 0
+
+    def test_oversubscribed_network_reports_traffic(self):
+        plan = plan_training_run(build("vgg16", 256), PAPER_SYSTEM,
+                                 dataset_size=1000, epochs=1)
+        assert plan.pcie_bytes_per_iteration > 0
+        assert plan.gpu_peak_bytes <= PAPER_SYSTEM.gpu.memory_bytes
+
+    def test_untrainable_network_raises(self, linear_cnn):
+        tiny = PAPER_SYSTEM.with_gpu_memory(1 << 12)
+        with pytest.raises(UntrainableError):
+            plan_training_run(linear_cnn, tiny, dataset_size=10, epochs=1)
+
+    def test_input_validation(self, linear_cnn):
+        with pytest.raises(ValueError):
+            plan_training_run(linear_cnn, PAPER_SYSTEM, dataset_size=0)
+        with pytest.raises(ValueError):
+            plan_training_run(linear_cnn, PAPER_SYSTEM, epochs=0)
+
+    def test_summary_rows_render(self, linear_cnn):
+        plan = plan_training_run(linear_cnn, PAPER_SYSTEM,
+                                 dataset_size=100, epochs=1)
+        rows = plan.summary_rows()
+        assert any("energy" in row[0] for row in rows)
+        assert all(len(row) == 2 for row in rows)
+
+
+class TestPlannerCLI:
+    def test_plan_command(self, capsys):
+        from repro.cli import main
+        assert main(["plan", "alexnet", "--batch", "32",
+                     "--dataset-size", "1000", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Training-run plan" in out
+        assert "energy" in out

@@ -1,0 +1,225 @@
+"""Tests for the cnmem-style pool allocator, including property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import ALIGNMENT, OutOfMemoryError, PoolAllocator
+
+
+class TestBasics:
+    def test_alloc_returns_aligned_block(self):
+        pool = PoolAllocator(1 << 20)
+        block = pool.alloc(100)
+        assert block.size % ALIGNMENT == 0
+        assert block.size >= 100
+        assert block.requested == 100
+
+    def test_zero_byte_alloc_reserves_one_granule(self):
+        pool = PoolAllocator(1 << 20)
+        assert pool.alloc(0).size == ALIGNMENT
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            PoolAllocator(1 << 20).alloc(-1)
+
+    def test_live_bytes_track_allocations(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.alloc(1000)
+        b = pool.alloc(2000)
+        assert pool.live_bytes == a.size + b.size
+        pool.free(a)
+        assert pool.live_bytes == b.size
+
+    def test_peak_is_high_water_mark(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.alloc(4096)
+        peak = pool.peak_bytes
+        pool.free(a)
+        assert pool.peak_bytes == peak
+        pool.alloc(1024)
+        assert pool.peak_bytes == peak  # smaller than the old peak
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PoolAllocator(0)
+
+
+class TestOOM:
+    def test_oversized_alloc_raises(self):
+        pool = PoolAllocator(1024)
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc(4096)
+
+    def test_oom_reports_context(self):
+        pool = PoolAllocator(1024)
+        pool.alloc(512)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            pool.alloc(1024, tag="Y[conv_1]")
+        assert excinfo.value.tag == "Y[conv_1]"
+        assert excinfo.value.capacity == 1024
+
+    def test_fragmented_pool_can_oom_despite_free_bytes(self):
+        pool = PoolAllocator(4 * ALIGNMENT)
+        blocks = [pool.alloc(ALIGNMENT) for _ in range(4)]
+        pool.free(blocks[0])
+        pool.free(blocks[2])
+        # Two free granules, but not contiguous.
+        assert pool.free_bytes == 2 * ALIGNMENT
+        with pytest.raises(OutOfMemoryError):
+            pool.alloc(2 * ALIGNMENT)
+
+
+class TestFreeAndCoalesce:
+    def test_double_free_rejected(self):
+        pool = PoolAllocator(1 << 20)
+        block = pool.alloc(128)
+        pool.free(block)
+        with pytest.raises(ValueError, match="double free"):
+            pool.free(block)
+
+    def test_foreign_block_rejected(self):
+        pool_a = PoolAllocator(1 << 20)
+        pool_b = PoolAllocator(1 << 20)
+        block = pool_a.alloc(128)
+        with pytest.raises(ValueError):
+            pool_b.free(block)
+
+    def test_full_release_coalesces_to_single_block(self):
+        pool = PoolAllocator(1 << 20)
+        blocks = [pool.alloc(1000) for _ in range(10)]
+        for block in blocks:
+            pool.free(block)
+        pool.check_invariants()
+        assert pool.fragmentation == 0.0
+        # The whole capacity is again allocatable in one piece.
+        big = pool.alloc(pool.capacity)
+        assert big.size == pool.capacity
+
+    def test_free_all(self):
+        pool = PoolAllocator(1 << 20)
+        for _ in range(5):
+            pool.alloc(100)
+        pool.free_all()
+        assert pool.live_bytes == 0
+        pool.check_invariants()
+
+    def test_best_fit_prefers_snug_hole(self):
+        pool = PoolAllocator(10 * ALIGNMENT)
+        small = pool.alloc(ALIGNMENT)          # offset 0
+        keeper = pool.alloc(ALIGNMENT)         # offset 1
+        pool.free(small)                       # free hole of 1 granule at 0
+        # Tail hole is 8 granules; the 1-granule request should take the
+        # snug hole at offset 0, not split the tail.
+        block = pool.alloc(ALIGNMENT)
+        assert block.offset == 0
+        assert keeper.offset == ALIGNMENT
+
+    def test_reuse_after_free(self):
+        pool = PoolAllocator(2 * ALIGNMENT)
+        a = pool.alloc(ALIGNMENT)
+        b = pool.alloc(ALIGNMENT)
+        pool.free(a)
+        c = pool.alloc(ALIGNMENT)
+        assert c.offset == 0
+        pool.free(b)
+        pool.free(c)
+
+
+class TestPlacementStrategies:
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PoolAllocator(1 << 20, strategy="worst_fit")
+
+    def test_first_fit_takes_lowest_offset(self):
+        pool = PoolAllocator(10 * ALIGNMENT, strategy="first_fit")
+        a = pool.alloc(2 * ALIGNMENT)
+        keeper = pool.alloc(ALIGNMENT)
+        pool.free(a)  # 2-granule hole at offset 0, big tail after keeper
+        block = pool.alloc(ALIGNMENT)
+        assert block.offset == 0  # first fit, even though not snug
+        pool.free(keeper)
+        pool.free(block)
+
+    def test_best_fit_takes_snug_hole(self):
+        pool = PoolAllocator(10 * ALIGNMENT, strategy="best_fit")
+        a = pool.alloc(2 * ALIGNMENT)      # offset 0
+        sep1 = pool.alloc(ALIGNMENT)       # offset 2 (separator)
+        b = pool.alloc(ALIGNMENT)          # offset 3
+        sep2 = pool.alloc(ALIGNMENT)       # offset 4 (separator)
+        pool.free(a)                       # 2-granule hole at 0
+        pool.free(b)                       # 1-granule hole at 3
+        block = pool.alloc(ALIGNMENT)
+        assert block.offset == 3 * ALIGNMENT  # snugger of the two holes
+        pool.free(sep1)
+        pool.free(sep2)
+
+    def test_first_fit_preserves_invariants(self):
+        pool = PoolAllocator(1 << 16, strategy="first_fit")
+        blocks = [pool.alloc(100 * (i + 1)) for i in range(10)]
+        for block in blocks[::2]:
+            pool.free(block)
+        pool.check_invariants()
+        for block in blocks[1::2]:
+            pool.free(block)
+        pool.check_invariants()
+        assert pool.live_bytes == 0
+
+
+class TestStats:
+    def test_counters(self):
+        pool = PoolAllocator(1 << 20)
+        a = pool.alloc(10)
+        pool.alloc(10)
+        pool.free(a)
+        assert pool.stats["allocs"] == 2
+        assert pool.stats["frees"] == 1
+
+    def test_fragmentation_zero_when_contiguous(self):
+        pool = PoolAllocator(1 << 20)
+        pool.alloc(1000)
+        assert pool.fragmentation == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=0, max_value=8192)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=60,
+))
+def test_property_pool_invariants_under_random_workload(operations):
+    """Random alloc/free sequences never corrupt the block structure."""
+    pool = PoolAllocator(1 << 16)
+    live = []
+    for op, value in operations:
+        if op == "alloc":
+            try:
+                live.append(pool.alloc(value))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            block = live.pop(value % len(live))
+            pool.free(block)
+        pool.check_invariants()
+        assert 0 <= pool.live_bytes <= pool.capacity
+        assert pool.live_bytes == sum(b.size for b in live)
+    for block in live:
+        pool.free(block)
+    pool.check_invariants()
+    assert pool.live_bytes == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=20))
+def test_property_freeing_everything_restores_full_capacity(sizes):
+    pool = PoolAllocator(1 << 17)
+    blocks = []
+    for size in sizes:
+        try:
+            blocks.append(pool.alloc(size))
+        except OutOfMemoryError:
+            break
+    for block in blocks:
+        pool.free(block)
+    assert pool.alloc(pool.capacity).size == pool.capacity

@@ -1,0 +1,93 @@
+"""Tests for the Figure-10 prefetch search."""
+
+import pytest
+
+from repro.core import PrefetchState, find_prefetch_layer
+
+from conftest import make_deep_cnn, make_linear_cnn
+
+
+@pytest.fixture
+def net():
+    return make_deep_cnn(depth=4)
+
+
+class TestFindPrefetchLayer:
+    def test_finds_closest_offloaded_layer(self, net):
+        state = PrefetchState.for_network(net)
+        conv2 = net.node("conv_2").index
+        conv3 = net.node("conv_3").index
+        state.mark_offloaded(conv2)
+        assert find_prefetch_layer(net, state, conv3) == conv2
+
+    def test_claims_each_layer_once(self, net):
+        state = PrefetchState.for_network(net)
+        conv2 = net.node("conv_2").index
+        conv3 = net.node("conv_3").index
+        state.mark_offloaded(conv2)
+        assert find_prefetch_layer(net, state, conv3) == conv2
+        # Second call during a later layer must not return it again.
+        assert find_prefetch_layer(net, state, conv3) is None
+
+    def test_window_bounded_by_conv(self, net):
+        # conv_1 is offloaded but conv_2 (not offloaded, CONV) sits in
+        # between: the search from conv_3 stops at conv_2 (Fig. 10 line 14).
+        state = PrefetchState.for_network(net)
+        conv1 = net.node("conv_1").index
+        conv3 = net.node("conv_3").index
+        state.mark_offloaded(conv1)
+        assert find_prefetch_layer(net, state, conv3) is None
+
+    def test_unbounded_window_reaches_past_conv(self, net):
+        state = PrefetchState.for_network(net)
+        conv1 = net.node("conv_1").index
+        conv3 = net.node("conv_3").index
+        state.mark_offloaded(conv1)
+        assert find_prefetch_layer(net, state, conv3,
+                                   bounded_window=False) == conv1
+
+    def test_search_skips_non_conv_layers(self, net):
+        # relu between current and the offloaded conv does not stop it.
+        state = PrefetchState.for_network(net)
+        conv3 = net.node("conv_3").index
+        relu3 = net.node("relu_3").index
+        state.mark_offloaded(conv3)
+        assert find_prefetch_layer(net, state, relu3 + 1) == conv3
+
+    def test_nothing_pending_returns_none(self, net):
+        state = PrefetchState.for_network(net)
+        assert find_prefetch_layer(net, state, len(net) - 1) is None
+
+    def test_layer_zero_has_no_predecessors(self, net):
+        state = PrefetchState.for_network(net)
+        assert find_prefetch_layer(net, state, 0) is None
+
+
+class TestPrefetchState:
+    def test_pending_lists_unprefetched(self, net):
+        state = PrefetchState.for_network(net)
+        conv1 = net.node("conv_1").index
+        conv2 = net.node("conv_2").index
+        state.mark_offloaded(conv1)
+        state.mark_offloaded(conv2)
+        assert state.pending() == [conv1, conv2]
+        find_prefetch_layer(net, state, conv2 + 1)  # claims conv2
+        assert state.pending() == [conv1]
+
+    def test_every_offloaded_layer_eventually_claimed(self):
+        """Walking backward layer-by-layer drains all offloaded flags —
+        the guarantee that makes the end-of-layer sync sufficient."""
+        net = make_deep_cnn(depth=6)
+        state = PrefetchState.for_network(net)
+        from repro.graph import LayerKind
+        for node in net:
+            if node.kind in (LayerKind.CONV, LayerKind.POOL):
+                state.mark_offloaded(node.index)
+        claimed = []
+        for index in net.backward_schedule():
+            target = find_prefetch_layer(net, state, index)
+            if target is not None:
+                claimed.append(target)
+                # Claimed strictly before its own backward step runs.
+                assert target < index
+        assert state.pending() == []

@@ -1,0 +1,116 @@
+"""Tests for the memory/timing/bandwidth profilers."""
+
+import pytest
+
+from repro.core import AlgoConfig
+from repro.hw import PAPER_SYSTEM
+from repro.profiler import (
+    baseline_memory_profile,
+    dram_bandwidth_profile,
+    feature_extraction_share,
+    layer_timing_profile,
+    memory_breakdown,
+    per_layer_profile,
+    worst_case_interference,
+)
+from repro.zoo import build
+
+from conftest import make_linear_cnn
+
+
+class TestBaselineProfile:
+    def test_usage_fraction_in_unit_interval(self, linear_cnn):
+        algos = AlgoConfig.performance_optimal(linear_cnn)
+        profile = baseline_memory_profile(linear_cnn, algos)
+        assert 0.0 < profile.max_usage_fraction <= 1.0
+        assert profile.unused_fraction == pytest.approx(
+            1.0 - profile.max_usage_fraction
+        )
+
+    def test_deeper_network_wastes_more(self):
+        # The paper: underutilization grows with depth.
+        shallow = build("alexnet", 32)
+        deep = build("vgg116", 32)
+        a = baseline_memory_profile(
+            shallow, AlgoConfig.memory_optimal(shallow))
+        d = baseline_memory_profile(deep, AlgoConfig.memory_optimal(deep))
+        assert d.unused_fraction > a.unused_fraction
+
+    def test_max_layer_usage_below_total(self, linear_cnn):
+        algos = AlgoConfig.memory_optimal(linear_cnn)
+        profile = baseline_memory_profile(linear_cnn, algos)
+        assert profile.max_layer_usage_bytes < profile.allocation_bytes
+
+
+class TestBreakdown:
+    def test_fraction_matches_components(self, linear_cnn):
+        algos = AlgoConfig.memory_optimal(linear_cnn)
+        b = memory_breakdown(linear_cnn, algos)
+        assert b["feature_map_fraction"] == pytest.approx(
+            b["feature_maps"] / b["total"]
+        )
+
+    def test_memory_optimal_has_no_workspace(self, linear_cnn):
+        b = memory_breakdown(linear_cnn, AlgoConfig.memory_optimal(linear_cnn))
+        assert b["workspace"] == 0
+
+    def test_feature_extraction_share_band(self):
+        # Paper: 81% for AlexNet, 96% for VGG-16 (256).
+        assert feature_extraction_share(build("alexnet", 128)) > 0.7
+        assert feature_extraction_share(build("vgg16", 256)) > 0.9
+
+
+class TestPerLayerProfile:
+    def test_only_weighted_layers(self, linear_cnn):
+        rows = per_layer_profile(
+            linear_cnn, AlgoConfig.memory_optimal(linear_cnn))
+        assert [r.kind for r in rows] == ["CONV", "CONV", "FC"]
+
+    def test_regions_annotated(self, linear_cnn):
+        rows = per_layer_profile(
+            linear_cnn, AlgoConfig.memory_optimal(linear_cnn))
+        assert rows[0].region == "feature extraction"
+        assert rows[-1].region == "classifier"
+
+    def test_vgg_weights_concentrate_in_classifier(self):
+        net = build("vgg16", 64)
+        rows = per_layer_profile(net, AlgoConfig.memory_optimal(net))
+        fc_weights = sum(r.weight_bytes for r in rows if r.kind == "FC")
+        conv_weights = sum(r.weight_bytes for r in rows if r.kind == "CONV")
+        assert fc_weights > conv_weights
+
+
+class TestTimingProfile:
+    def test_reuse_distance_monotone_decreasing(self):
+        net = build("vgg16", 8)
+        rows = layer_timing_profile(
+            net, PAPER_SYSTEM, AlgoConfig.memory_optimal(net))
+        distances = [r.reuse_distance_seconds for r in rows]
+        assert all(a >= b for a, b in zip(distances, distances[1:]))
+
+    def test_positive_latencies(self, linear_cnn):
+        rows = layer_timing_profile(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn))
+        for row in rows:
+            assert row.forward_seconds > 0
+            assert row.backward_seconds > 0
+
+
+class TestBandwidthProfile:
+    def test_rows_for_weighted_layers(self, linear_cnn):
+        rows = dram_bandwidth_profile(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn))
+        assert len(rows) == 3
+
+    def test_utilization_below_one(self, linear_cnn):
+        rows = dram_bandwidth_profile(
+            linear_cnn, PAPER_SYSTEM, AlgoConfig.memory_optimal(linear_cnn))
+        peak = PAPER_SYSTEM.gpu.dram_bandwidth
+        for row in rows:
+            assert 0 <= row.forward_utilization(peak) <= 1.0
+            assert 0 <= row.backward_utilization(peak) <= 1.0
+
+    def test_worst_case_interference_is_paper_constant(self):
+        assert worst_case_interference(PAPER_SYSTEM) == pytest.approx(
+            16.0 / 336.0, rel=1e-6
+        )

@@ -1,0 +1,134 @@
+"""Tests for table rendering and the figure drivers (on small inputs)."""
+
+import pytest
+
+from repro.reporting import (
+    fig01_baseline_usage,
+    fig04_breakdown,
+    fig05_per_layer,
+    fig06_reuse_distance,
+    fig09_timeline,
+    fig11_memory_usage,
+    fig12_offload_size,
+    fig13_dram_bandwidth,
+    fig14_performance,
+    format_bar,
+    format_bar_chart,
+    format_table,
+    gb_str,
+    mb_str,
+    ms_str,
+    pct_str,
+)
+from repro.zoo import build
+
+from conftest import make_linear_cnn
+
+
+class TestFormatters:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(l) <= max(len(x) for x in lines) for l in lines)
+
+    def test_table_title(self):
+        text = format_table(["c"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_bar_scales(self):
+        assert len(format_bar(5, 10, width=10)) == 5
+        assert len(format_bar(10, 10, width=10)) == 10
+        assert format_bar(20, 10, width=10) == "#" * 10  # clamped
+
+    def test_bar_chart(self):
+        text = format_bar_chart(["a", "bb"], [1.0, 2.0], unit="x")
+        assert "a " in text and "bb" in text and "2.0x" in text
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_unit_strings(self):
+        assert mb_str(1 << 20) == "1 MB"
+        assert gb_str(1 << 30) == "1.00 GB"
+        assert ms_str(0.5) == "500.00 ms"
+        assert pct_str(0.123) == "12.3%"
+
+
+@pytest.fixture(scope="module")
+def small_networks():
+    return [build("alexnet", 8), build("vgg16", 8)]
+
+
+class TestFigureDrivers:
+    def test_fig01(self, small_networks):
+        result = fig01_baseline_usage(small_networks)
+        assert len(result.rows) == 2
+        assert "Figure 1" in result.text
+        for row in result.rows:
+            usage_pct = float(row[3].rstrip("%"))
+            unused_pct = float(row[4].rstrip("%"))
+            assert usage_pct + unused_pct == pytest.approx(100.0, abs=0.2)
+
+    def test_fig04_total_consistency(self, small_networks):
+        result = fig04_breakdown(small_networks)
+        for row in result.rows:
+            parts = [float(c.replace(" MB", "").replace(",", ""))
+                     for c in row[1:5]]
+            total = float(row[5].replace(" MB", "").replace(",", ""))
+            assert sum(parts) == pytest.approx(total, abs=2.0)
+
+    def test_fig05_row_per_weighted_layer(self, small_networks):
+        result = fig05_per_layer(small_networks[0])
+        assert len(result.rows) == 8  # AlexNet: 5 CONV + 3 FC
+
+    def test_fig06_rows_and_note(self, small_networks):
+        result = fig06_reuse_distance(small_networks[1])
+        assert len(result.rows) == 19
+        assert "reuse distance" in result.notes[0]
+
+    def test_fig09_ascii_timeline(self, linear_cnn):
+        result = fig09_timeline(linear_cnn)
+        assert "stream_compute" in result.notes[0]
+
+    def test_fig11_star_marks_untrainable(self):
+        result = fig11_memory_usage([build("vgg16", 256)])
+        configs = {row[1] for row in result.rows}
+        assert "base(p)*" in configs
+        assert "dyn" in configs  # dyn trains, no star
+
+    def test_fig12_columns(self, small_networks):
+        result = fig12_offload_size(small_networks)
+        assert result.headers[1].startswith("vDNN_all")
+
+    def test_fig13_utilization_bounded(self, small_networks):
+        result = fig13_dram_bandwidth(small_networks[0])
+        for row in result.rows:
+            assert float(row[3].rstrip("%")) <= 100.0
+
+    def test_fig14_oracle_normalization(self, small_networks):
+        result = fig14_performance([small_networks[0]])
+        by_config = {r[1].rstrip("*"): float(r[3]) for r in result.rows}
+        assert by_config["base(p)"] == pytest.approx(1.0, abs=0.01)
+        assert by_config["all(m)"] < 1.0
+
+    def test_text_rendering_includes_notes(self, small_networks):
+        result = fig01_baseline_usage(small_networks)
+        assert "note:" in result.text
+
+    def test_to_dict_and_save_json(self, small_networks, tmp_path):
+        import json
+
+        result = fig01_baseline_usage(small_networks)
+        payload = result.to_dict()
+        assert payload["figure_id"] == "Figure 1"
+        assert len(payload["rows"]) == len(result.rows)
+        path = tmp_path / "fig01.json"
+        result.save_json(str(path))
+        assert json.loads(path.read_text()) == payload

@@ -1,0 +1,231 @@
+"""Tests for residual networks: ADD/BN layers, the zoo builders, and
+end-to-end behaviour under every memory strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlgoConfig, TransferPolicy, evaluate, simulate_recompute
+from repro.graph import (
+    BatchNorm,
+    EltwiseAdd,
+    LayerKind,
+    NetworkBuilder,
+    TensorSpec,
+)
+from repro.hw import PAPER_SYSTEM
+from repro.numerics import TrainingRuntime, make_batch, ops
+from repro.zoo import build, build_deep_resnet, build_resnet
+
+X = TensorSpec((2, 8, 4, 4))
+
+
+def mini_resnet(blocks=2, batch=4, size=16):
+    b = NetworkBuilder("mini-resnet", (batch, 3, size, size))
+    b.conv(8, kernel=3, pad=1, name="stem").batchnorm().relu(name="stem_relu")
+    for i in range(blocks):
+        shortcut = b.tap()
+        b.conv(8, kernel=3, pad=1, name=f"b{i}_c1").batchnorm().relu()
+        b.conv(8, kernel=3, pad=1, name=f"b{i}_c2").batchnorm()
+        main = b.tap()
+        b.add([main, shortcut], name=f"b{i}_add").relu(name=f"b{i}_out")
+    b.pool().fc(10).softmax()
+    return b.build()
+
+
+class TestEltwiseAddLayer:
+    def test_shape_preserving(self):
+        add = EltwiseAdd("a", inputs=["x", "y"])
+        assert add.infer_output([X, X]) == X
+
+    def test_rejects_mismatched_shapes(self):
+        add = EltwiseAdd("a", inputs=["x", "y"])
+        with pytest.raises(ValueError):
+            add.infer_output([X, TensorSpec((2, 8, 2, 2))])
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            EltwiseAdd("a", inputs=["x"]).infer_output([X])
+
+    def test_backward_needs_nothing(self):
+        add = EltwiseAdd("a", inputs=["x", "y"])
+        assert not add.backward_needs_x and not add.backward_needs_y
+
+
+class TestBatchNormLayer:
+    def test_shape_preserving(self):
+        bn = BatchNorm("b", inputs=["x"])
+        assert bn.infer_output([X]) == X
+
+    def test_per_channel_parameters(self):
+        bn = BatchNorm("b", inputs=["x"])
+        assert bn.weight_spec([X]).shape == (8,)
+        assert bn.bias_spec([X]).shape == (8,)
+        assert bn.has_weights
+
+    def test_backward_reads_x(self):
+        bn = BatchNorm("b", inputs=["x"])
+        assert bn.backward_needs_x and not bn.backward_needs_y
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm("b", epsilon=0.0)
+
+
+class TestBatchNormNumerics:
+    def test_normalizes_to_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        x = (rng.standard_normal((8, 4, 6, 6)) * 3 + 5).astype(np.float32)
+        gamma = np.ones(4, dtype=np.float32)
+        beta = np.zeros(4, dtype=np.float32)
+        y = ops.batchnorm_forward(x, gamma, beta, 1e-5)
+        assert abs(float(y.mean())) < 1e-4
+        assert abs(float(y.var()) - 1.0) < 1e-2
+
+    def test_gamma_beta_applied(self):
+        x = np.random.default_rng(1).standard_normal((4, 2, 3, 3)).astype(np.float32)
+        gamma = np.array([2.0, 1.0], dtype=np.float32)
+        beta = np.array([0.0, 10.0], dtype=np.float32)
+        y = ops.batchnorm_forward(x, gamma, beta, 1e-5)
+        assert abs(float(y[:, 1].mean()) - 10.0) < 1e-3
+        assert abs(float(y[:, 0].std()) - 2.0) < 2e-2
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((3, 2, 4, 4)).astype(np.float32)
+        gamma = rng.standard_normal(2).astype(np.float32)
+        beta = rng.standard_normal(2).astype(np.float32)
+        dy = rng.standard_normal(x.shape).astype(np.float32)
+        eps = 1e-5
+
+        def loss():
+            return float((ops.batchnorm_forward(x, gamma, beta, eps) * dy).sum())
+
+        dx, dgamma, dbeta = ops.batchnorm_backward(x, gamma, dy, eps)
+
+        from test_numerics_ops import numeric_grad
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), rtol=5e-2,
+                                   atol=5e-3)
+        np.testing.assert_allclose(dgamma, numeric_grad(loss, gamma),
+                                   rtol=2e-2, atol=1e-2)
+        np.testing.assert_allclose(dbeta, numeric_grad(loss, beta),
+                                   rtol=2e-2, atol=1e-2)
+
+    def test_eltwise_add(self):
+        a = np.ones((2, 2), dtype=np.float32)
+        b = np.full((2, 2), 2.0, dtype=np.float32)
+        np.testing.assert_array_equal(
+            ops.eltwise_add_forward([a, b]), np.full((2, 2), 3.0)
+        )
+
+
+class TestResNetZoo:
+    def test_resnet18_structure(self):
+        net = build_resnet(18, 8)
+        assert len(net.conv_layers) == 1 + 16 + 3  # stem + blocks + projections
+        assert len(net.layers_of_kind(LayerKind.ADD)) == 8
+        assert len(net.layers_of_kind(LayerKind.BN)) == \
+            len(net.conv_layers)
+
+    def test_resnet34_conv_count(self):
+        net = build_resnet(34, 8)
+        # stem + 2*16 block convs + 3 projection convs.
+        assert len(net.conv_layers) == 36
+
+    def test_spatial_chain(self):
+        net = build_resnet(18, 4)
+        assert net.node("stem_conv").output_spec.shape[2:] == (112, 112)
+        assert net.node("head_pool").output_spec.shape == (4, 512, 1, 1)
+
+    def test_residual_fanout_refcounts(self):
+        net = build_resnet(18, 4)
+        # Every non-downsampling block input feeds both the main path
+        # and the shortcut: refcount 2.
+        fanouts = [n for n in net if n.refcount == 2]
+        assert len(fanouts) >= 4
+
+    def test_resnet50_structure(self):
+        net = build_resnet(50, 8)
+        # stem + 3*16 block convs + 4 projections (one per stage).
+        assert len(net.conv_layers) == 53
+        assert net.node("head_pool").output_spec.shape == (8, 2048, 1, 1)
+
+    def test_resnet152_conv_count(self):
+        # The paper's "more than a hundred convolutional layers" winner.
+        net = build_resnet(152, 4)
+        assert len(net.conv_layers) == 155
+
+    def test_bottleneck_expansion(self):
+        net = build_resnet(50, 4)
+        assert net.node("s1b1_conv3").output_spec.shape[1] == 256
+        assert net.node("s4b1_conv3").output_spec.shape[1] == 2048
+
+    def test_resnet152_needs_vdnn_at_batch_64(self):
+        """The headline motivation, on the actual ImageNet winner."""
+        net = build_resnet(152, 64)
+        assert not evaluate(net, policy="base", algo="p").trainable
+        assert evaluate(net, policy="all", algo="m").trainable
+
+    def test_deep_resnet_rule(self):
+        net = build_deep_resnet(5, 8)
+        assert "ResNet-42" in net.name
+        assert len(net.layers_of_kind(LayerKind.ADD)) == 20
+
+    def test_invalid_depths_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet(20, 8)
+        with pytest.raises(ValueError):
+            build_deep_resnet(0, 8)
+
+    def test_registry_integration(self):
+        assert build("resnet34").batch_size == 128
+
+
+class TestResNetUnderManagers:
+    def test_simulation_all_policies(self):
+        net = build_resnet(18, 32)
+        for policy in ("all", "conv", "none", "base", "dyn"):
+            result = evaluate(net, policy=policy)
+            assert result.trainable, policy
+        vdnn = evaluate(net, policy="all", algo="m")
+        demand = [e for e in vdnn.timeline.events if "(demand)" in e.label]
+        assert demand == []
+
+    def test_vdnn_saves_memory_on_resnet(self):
+        net = build_resnet(34, 128)
+        base = evaluate(net, policy="base", algo="p")
+        vdnn = evaluate(net, policy="all", algo="m")
+        assert vdnn.avg_usage_bytes < base.max_usage_bytes * 0.35
+
+    @pytest.mark.parametrize("strategy", ["all", "conv", "recompute"])
+    def test_training_bit_identical(self, strategy):
+        imgs, labels = make_batch((4, 3, 16, 16), 10, 0)
+        ref = TrainingRuntime(mini_resnet(), TransferPolicy.none(), seed=0)
+        if strategy == "recompute":
+            alt = TrainingRuntime(mini_resnet(), TransferPolicy.none(),
+                                  seed=0, recompute_segments=3)
+        else:
+            policy = (TransferPolicy.vdnn_all if strategy == "all"
+                      else TransferPolicy.vdnn_conv)()
+            alt = TrainingRuntime(mini_resnet(), policy, seed=0)
+        for _ in range(3):
+            a = ref.train_step(imgs, labels)
+            b = alt.train_step(imgs, labels)
+            assert a.loss == b.loss
+        assert ref.parameter_fingerprint() == alt.parameter_fingerprint()
+
+    def test_bn_gamma_initialized_to_ones(self):
+        runtime = TrainingRuntime(mini_resnet(), TransferPolicy.none(), seed=0)
+        bn_index = runtime.network.node("bn_01").index
+        gamma = runtime.device.get(f"W{bn_index}")
+        assert np.all(gamma == 1.0)
+
+    def test_recompute_simulation(self):
+        # On residual networks the gradient twins dominate backward, so
+        # coarse sqrt(L) checkpointing saves little; fine segmentation
+        # must still beat keeping everything resident.
+        net = build_resnet(18, 32)
+        rec = simulate_recompute(net, PAPER_SYSTEM,
+                                 AlgoConfig.memory_optimal(net),
+                                 segment_count=16)
+        base = evaluate(net, policy="none", algo="m")
+        assert rec.max_usage_bytes < base.max_usage_bytes

@@ -1,0 +1,189 @@
+"""Tests for weight tying, the Slice layer, and the unrolled RNN."""
+
+import numpy as np
+import pytest
+
+from repro.core import TransferPolicy, evaluate
+from repro.graph import (
+    GraphError,
+    LayerKind,
+    NetworkBuilder,
+    Slice,
+    TensorSpec,
+)
+from repro.numerics import TrainingRuntime, make_batch, ops
+from repro.zoo import build_unrolled_rnn
+
+
+class TestSliceLayer:
+    def test_output_shape(self):
+        layer = Slice("s", inputs=["x"], begin=4, end=12)
+        spec = layer.infer_output([TensorSpec((2, 16, 1, 1))])
+        assert spec.shape == (2, 8, 1, 1)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            Slice("s", begin=4, end=4)
+        with pytest.raises(ValueError):
+            Slice("s", begin=-1, end=2)
+        layer = Slice("s", inputs=["x"], begin=0, end=32)
+        with pytest.raises(ValueError):
+            layer.infer_output([TensorSpec((2, 16, 1, 1))])
+
+    def test_backward_needs_nothing(self):
+        assert not Slice("s", begin=0, end=1).backward_needs_x
+
+    def test_numerics_roundtrip(self):
+        x = np.arange(24, dtype=np.float32).reshape(2, 12, 1, 1)
+        y = ops.slice_forward(x, 3, 7)
+        np.testing.assert_array_equal(y, x[:, 3:7])
+        dx = ops.slice_backward(x.shape, y, 3, 7)
+        np.testing.assert_array_equal(dx[:, 3:7], y)
+        assert dx[:, :3].sum() == 0 and dx[:, 7:].sum() == 0
+
+
+class TestWeightTying:
+    def build_tied(self):
+        return (NetworkBuilder("tied", (2, 8, 1, 1))
+                .fc(8, name="shared")
+                .tanh()
+                .fc(8, name="again", tied_to="shared")
+                .tanh()
+                .fc(4, name="head").softmax().build())
+
+    def test_tied_node_owns_no_bytes(self):
+        net = self.build_tied()
+        assert net.node("again").is_weight_tied
+        assert net.node("again").weight_bytes == 0
+        assert net.node("again").weight_tensor_bytes > 0
+        assert net.node("again").weight_root == net.node("shared").index
+
+    def test_total_weights_count_shared_once(self):
+        net = self.build_tied()
+        untied = (NetworkBuilder("untied", (2, 8, 1, 1))
+                  .fc(8, name="a").tanh().fc(8, name="b").tanh()
+                  .fc(4, name="head").softmax().build())
+        assert net.total_weight_bytes() < untied.total_weight_bytes()
+
+    def test_unknown_tie_target_rejected(self):
+        with pytest.raises(GraphError, match="unknown layer"):
+            (NetworkBuilder("bad", (2, 8, 1, 1))
+             .fc(8, tied_to="ghost").softmax().build())
+
+    def test_forward_tie_rejected(self):
+        with pytest.raises(GraphError, match="earlier"):
+            (NetworkBuilder("bad", (2, 8, 1, 1))
+             .fc(8, name="a", tied_to="b").tanh()
+             .fc(8, name="b").softmax().build())
+
+    def test_spec_mismatch_rejected(self):
+        with pytest.raises(GraphError, match="specs differ"):
+            (NetworkBuilder("bad", (2, 8, 1, 1))
+             .fc(8, name="a").tanh()
+             .fc(16, name="b", tied_to="a").softmax().build())
+
+    def test_transitive_tie_resolves_to_root(self):
+        net = (NetworkBuilder("chain", (2, 8, 1, 1))
+               .fc(8, name="a").tanh()
+               .fc(8, name="b", tied_to="a").tanh()
+               .fc(8, name="c", tied_to="b").tanh()
+               .fc(4).softmax().build())
+        assert net.node("c").weight_root == net.node("a").index
+
+    def test_tied_gradients_accumulate(self):
+        """dW of the shared layer reflects BOTH uses (nonzero even if one
+        use alone would produce a different value)."""
+        net = self.build_tied()
+        runtime = TrainingRuntime(net, TransferPolicy.none(), seed=0,
+                                  learning_rate=1e-9)
+        images, labels = make_batch((2, 8, 1, 1), 4, 0)
+        runtime.train_step(images, labels)
+        shared = net.node("shared").index
+        dw = runtime.device.get(f"dW{shared}")
+        assert np.abs(dw).sum() > 0
+        # The tied node has no gradient buffer of its own.
+        assert not runtime.device.contains(f"dW{net.node('again').index}")
+
+    def test_tied_weights_stay_identical_through_training(self):
+        net = self.build_tied()
+        runtime = TrainingRuntime(net, TransferPolicy.none(), seed=0,
+                                  learning_rate=0.05)
+        images, labels = make_batch((2, 8, 1, 1), 4, 0)
+        for _ in range(3):
+            runtime.train_step(images, labels)
+        assert runtime.weights("shared") is runtime.weights("again")
+
+
+class TestUnrolledRNN:
+    def test_structure(self):
+        net = build_unrolled_rnn(timesteps=4, input_dim=8, hidden_dim=16,
+                                 num_classes=4, batch_size=2)
+        slices = net.layers_of_kind(LayerKind.SLICE)
+        assert len(slices) == 4
+        # One W_xh + one W_hh own parameters; all other recurrences tie.
+        fc_nodes = net.layers_of_kind(LayerKind.FC)
+        owners = [n for n in fc_nodes if not n.is_weight_tied]
+        assert {n.name for n in owners} == {"W_xh", "W_hh", "head"}
+
+    def test_input_packs_sequence(self):
+        net = build_unrolled_rnn(timesteps=4, input_dim=8, batch_size=2)
+        assert net.input_node.output_spec.shape == (2, 32, 1, 1)
+
+    def test_memory_grows_with_sequence_length(self):
+        short = evaluate(build_unrolled_rnn(4, 32, 64, 10, 16),
+                         policy="none", algo="m")
+        long = evaluate(build_unrolled_rnn(32, 32, 64, 10, 16),
+                        policy="none", algo="m")
+        assert long.managed_max_bytes > short.managed_max_bytes * 2.5
+
+    def test_vdnn_cuts_average_usage_with_sequence_length(self):
+        """The Figure-15 effect, with sequence length as depth: offload
+        drains the camped per-timestep activations during forward, so
+        the *average* footprint drops and PCIe traffic scales with T."""
+        short = evaluate(build_unrolled_rnn(4, 32, 64, 10, 16),
+                         policy="all", algo="m")
+        long = evaluate(build_unrolled_rnn(32, 32, 64, 10, 16),
+                        policy="all", algo="m")
+        base_long = evaluate(build_unrolled_rnn(32, 32, 64, 10, 16),
+                             policy="none", algo="m")
+        assert long.avg_usage_bytes < base_long.avg_usage_bytes
+        assert long.offload_bytes > short.offload_bytes
+
+    def test_training_bit_identical_under_offload(self):
+        def build():
+            return build_unrolled_rnn(6, 8, 16, 4, 4)
+        images, labels = make_batch((4, 48, 1, 1), 4, 0)
+        ref = TrainingRuntime(build(), TransferPolicy.none(), seed=0)
+        off = TrainingRuntime(build(), TransferPolicy.vdnn_all(), seed=0)
+        for _ in range(3):
+            a = ref.train_step(images, labels)
+            b = off.train_step(images, labels)
+            assert a.loss == b.loss
+            assert b.demand_fetch_count == 0
+        assert ref.parameter_fingerprint() == off.parameter_fingerprint()
+
+    def test_training_bit_identical_under_recompute(self):
+        def build():
+            return build_unrolled_rnn(6, 8, 16, 4, 4)
+        images, labels = make_batch((4, 48, 1, 1), 4, 0)
+        ref = TrainingRuntime(build(), TransferPolicy.none(), seed=0)
+        rec = TrainingRuntime(build(), TransferPolicy.none(), seed=0,
+                              recompute_segments=3)
+        for _ in range(3):
+            assert ref.train_step(images, labels).loss == \
+                rec.train_step(images, labels).loss
+
+    def test_rnn_learns(self):
+        """BPTT through tied weights actually reduces the loss."""
+        net = build_unrolled_rnn(6, 8, 16, 4, 8)
+        runtime = TrainingRuntime(net, TransferPolicy.vdnn_all(), seed=1,
+                                  learning_rate=0.1)
+        images, labels = make_batch((8, 48, 1, 1), 4, 0)
+        losses = [runtime.train_step(images, labels).loss for _ in range(15)]
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_unrolled_rnn(timesteps=0)
+        with pytest.raises(ValueError):
+            build_unrolled_rnn(hidden_dim=0)

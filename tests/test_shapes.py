@@ -1,0 +1,59 @@
+"""Tests for convolution/pooling shape arithmetic."""
+
+import pytest
+
+from repro.graph.shapes import conv_out_dim, pool_out_dim
+
+
+class TestConvOutDim:
+    def test_same_padding_3x3(self):
+        assert conv_out_dim(224, 3, 1, 1) == 224
+
+    def test_alexnet_conv1(self):
+        # 227x227 input, 11x11 kernel, stride 4, no pad -> 55.
+        assert conv_out_dim(227, 11, 4, 0) == 55
+
+    def test_googlenet_stem(self):
+        # 224, 7x7, stride 2, pad 3 -> 112.
+        assert conv_out_dim(224, 7, 2, 3) == 112
+
+    def test_pointwise(self):
+        assert conv_out_dim(14, 1, 1, 0) == 14
+
+    def test_floor_division(self):
+        assert conv_out_dim(5, 3, 2, 0) == 2
+
+    def test_non_positive_output_raises(self):
+        with pytest.raises(ValueError):
+            conv_out_dim(2, 5, 1, 0)
+
+
+class TestPoolOutDim:
+    def test_even_pooling(self):
+        assert pool_out_dim(224, 2, 2, 0) == 112
+
+    def test_ceil_mode_differs_from_conv(self):
+        # 112 -> 3x3 stride 2 pooling: Caffe ceil mode gives 56, not 55.
+        assert pool_out_dim(112, 3, 2, 0) == 56
+        assert conv_out_dim(112, 3, 2, 0) == 55
+
+    def test_googlenet_chain(self):
+        # The successive pool outputs of GoogLeNet: 112->56->28->14->7.
+        size = 112
+        for expected in (56, 28, 14):
+            size = pool_out_dim(size, 3, 2, 0)
+            assert size == expected
+
+    def test_padded_pooling(self):
+        assert pool_out_dim(4, 2, 2, 1) == 3
+
+    def test_padding_clip_rule(self):
+        # A window starting entirely inside the padding is clipped.
+        assert pool_out_dim(3, 2, 2, 1) == 2
+
+    def test_global_pooling(self):
+        assert pool_out_dim(7, 7, 1, 0) == 1
+
+    def test_non_positive_output_raises(self):
+        with pytest.raises(ValueError):
+            pool_out_dim(1, 5, 1, 0)

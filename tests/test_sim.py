@@ -1,0 +1,162 @@
+"""Tests for the two-stream simulation primitives and the power model."""
+
+import pytest
+
+from repro.hw import TITAN_X
+from repro.sim import (
+    COMPUTE_STREAM,
+    EventKind,
+    MEMORY_STREAM,
+    PowerModel,
+    SimStream,
+    Timeline,
+    TimelineEvent,
+    analyze_power,
+    make_stream_pair,
+)
+
+
+class TestTimeline:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            TimelineEvent("s", EventKind.FORWARD, "x", 1.0, 0.5)
+
+    def test_span_covers_all_events(self):
+        timeline = Timeline()
+        timeline.record("a", EventKind.FORWARD, "x", 0.0, 1.0)
+        timeline.record("b", EventKind.BACKWARD, "y", 2.0, 5.0)
+        assert timeline.span == 5.0
+        assert timeline.end_time == 5.0
+
+    def test_filters(self):
+        timeline = Timeline()
+        timeline.record("a", EventKind.FORWARD, "x", 0, 1, layer_index=3)
+        timeline.record("b", EventKind.OFFLOAD, "y", 0, 1, nbytes=100)
+        assert len(timeline.of_kind(EventKind.OFFLOAD)) == 1
+        assert len(timeline.on_stream("a")) == 1
+        assert len(timeline.for_layer(3)) == 1
+
+    def test_busy_time_merges_overlaps(self):
+        timeline = Timeline()
+        timeline.record("a", EventKind.FORWARD, "x", 0.0, 2.0)
+        timeline.record("a", EventKind.FORWARD, "y", 1.0, 3.0)
+        assert timeline.busy_time("a") == pytest.approx(3.0)
+
+    def test_busy_time_excludes_stalls(self):
+        timeline = Timeline()
+        timeline.record("a", EventKind.FORWARD, "x", 0.0, 1.0)
+        timeline.record("a", EventKind.STALL, "wait", 1.0, 2.0)
+        assert timeline.busy_time("a") == pytest.approx(1.0)
+
+    def test_transferred_bytes_defaults_to_offload_and_prefetch(self):
+        timeline = Timeline()
+        timeline.record("m", EventKind.OFFLOAD, "x", 0, 1, nbytes=10)
+        timeline.record("m", EventKind.PREFETCH, "x", 2, 3, nbytes=20)
+        timeline.record("c", EventKind.FORWARD, "k", 0, 1, nbytes=999)
+        assert timeline.transferred_bytes() == 30
+
+    def test_render_ascii_contains_streams(self):
+        timeline = Timeline()
+        timeline.record(COMPUTE_STREAM, EventKind.FORWARD, "conv", 0.0, 1.0)
+        art = timeline.render_ascii(width=60)
+        assert COMPUTE_STREAM in art
+
+    def test_render_empty(self):
+        assert "empty" in Timeline().render_ascii()
+
+
+class TestSimStream:
+    def test_in_order_execution(self):
+        _, _, timeline = make_stream_pair()
+        stream = SimStream("s", timeline)
+        first = stream.enqueue(EventKind.FORWARD, "a", 1.0)
+        second = stream.enqueue(EventKind.FORWARD, "b", 2.0)
+        assert second.start == first.end
+
+    def test_earliest_start_respected(self):
+        _, _, timeline = make_stream_pair()
+        stream = SimStream("s", timeline)
+        event = stream.enqueue(EventKind.FORWARD, "a", 1.0, earliest_start=5.0)
+        assert event.start == 5.0
+
+    def test_negative_duration_rejected(self):
+        _, _, timeline = make_stream_pair()
+        with pytest.raises(ValueError):
+            SimStream("s", timeline).enqueue(EventKind.FORWARD, "a", -1.0)
+
+    def test_wait_for_introduces_stall(self):
+        compute, memory, _ = make_stream_pair()
+        compute.enqueue(EventKind.FORWARD, "fwd", 1.0)
+        memory.enqueue(EventKind.OFFLOAD, "off", 3.0)
+        stall = compute.wait_for(memory)
+        assert stall == pytest.approx(2.0)
+        assert compute.ready_time == pytest.approx(3.0)
+
+    def test_wait_for_free_when_other_done(self):
+        compute, memory, _ = make_stream_pair()
+        compute.enqueue(EventKind.FORWARD, "fwd", 3.0)
+        memory.enqueue(EventKind.OFFLOAD, "off", 1.0)
+        assert compute.wait_for(memory) == 0.0
+
+    def test_wait_until(self):
+        compute, _, _ = make_stream_pair()
+        assert compute.wait_until(4.0) == pytest.approx(4.0)
+        assert compute.wait_until(2.0) == 0.0
+
+    def test_figure9_overlap_pattern(self):
+        """OFF(1) overlaps FWD(1); FWD(2) stalls until OFF(1) completes."""
+        compute, memory, _ = make_stream_pair()
+        fwd1 = compute.enqueue(EventKind.FORWARD, "1", 2.0)
+        off1 = memory.enqueue(EventKind.OFFLOAD, "1", 3.0,
+                              earliest_start=fwd1.start)
+        compute.wait_for(memory)
+        fwd2 = compute.enqueue(EventKind.FORWARD, "2", 2.0)
+        assert off1.start == fwd1.start       # overlapped
+        assert fwd2.start == off1.end         # stalled behind the offload
+
+
+class TestPowerModel:
+    def test_idle_timeline(self):
+        report = analyze_power(Timeline(), TITAN_X)
+        assert report.average_watts == PowerModel().idle_watts
+
+    def test_compute_raises_power(self):
+        timeline = Timeline()
+        timeline.record(COMPUTE_STREAM, EventKind.FORWARD, "k", 0.0, 1.0,
+                        nbytes=0)
+        report = analyze_power(timeline, TITAN_X)
+        model = PowerModel()
+        assert report.average_watts == pytest.approx(
+            model.idle_watts + model.compute_watts
+        )
+
+    def test_transfers_add_power(self):
+        base = Timeline()
+        base.record(COMPUTE_STREAM, EventKind.FORWARD, "k", 0.0, 1.0)
+        with_dma = Timeline()
+        with_dma.record(COMPUTE_STREAM, EventKind.FORWARD, "k", 0.0, 1.0)
+        with_dma.record(MEMORY_STREAM, EventKind.OFFLOAD, "o", 0.0, 1.0,
+                        nbytes=12_800_000_000)
+        p_base = analyze_power(base, TITAN_X)
+        p_dma = analyze_power(with_dma, TITAN_X)
+        assert p_dma.max_watts > p_base.max_watts
+
+    def test_max_at_least_average(self):
+        timeline = Timeline()
+        timeline.record(COMPUTE_STREAM, EventKind.FORWARD, "k", 0.0, 1.0)
+        timeline.record(COMPUTE_STREAM, EventKind.STALL, "s", 1.0, 2.0)
+        report = analyze_power(timeline, TITAN_X)
+        assert report.max_watts >= report.average_watts
+
+    def test_energy_consistent_with_average(self):
+        timeline = Timeline()
+        timeline.record(COMPUTE_STREAM, EventKind.FORWARD, "k", 0.0, 2.0)
+        report = analyze_power(timeline, TITAN_X)
+        assert report.energy_joules == pytest.approx(
+            report.average_watts * report.duration
+        )
+
+    def test_dram_utilization_clamped(self):
+        model = PowerModel()
+        assert model.instantaneous(True, 5.0, False) == \
+            model.instantaneous(True, 1.0, False)

@@ -1,0 +1,63 @@
+"""Tests for TensorSpec and unit helpers."""
+
+import pytest
+
+from repro.graph import FP32_BYTES, TensorRole, TensorSpec, gb, mb
+
+
+class TestTensorSpec:
+    def test_count_is_product_of_dims(self):
+        assert TensorSpec((2, 3, 4)).count == 24
+
+    def test_nbytes_scales_with_dtype(self):
+        assert TensorSpec((10,)).nbytes == 40
+        assert TensorSpec((10,), dtype_bytes=2).nbytes == 20
+
+    def test_default_dtype_is_fp32(self):
+        assert TensorSpec((1,)).dtype_bytes == FP32_BYTES == 4
+
+    def test_batch_is_leading_dim(self):
+        assert TensorSpec((7, 3, 2, 2)).batch == 7
+
+    def test_with_batch_replaces_leading_dim_only(self):
+        spec = TensorSpec((4, 3, 8, 8)).with_batch(16)
+        assert spec.shape == (16, 3, 8, 8)
+
+    def test_with_batch_preserves_dtype(self):
+        spec = TensorSpec((4, 2), dtype_bytes=8).with_batch(2)
+        assert spec.dtype_bytes == 8
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec(())
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((4, 0, 2))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((-1, 3))
+
+    def test_non_positive_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1,), dtype_bytes=0)
+
+    def test_specs_are_hashable_and_comparable(self):
+        assert TensorSpec((1, 2)) == TensorSpec((1, 2))
+        assert len({TensorSpec((1, 2)), TensorSpec((1, 2))}) == 1
+
+    def test_str_mentions_dims(self):
+        assert "2x3" in str(TensorSpec((2, 3)))
+
+
+class TestUnits:
+    def test_mb(self):
+        assert mb(1 << 20) == 1.0
+
+    def test_gb(self):
+        assert gb(1 << 30) == 1.0
+
+    def test_roles_cover_figure2(self):
+        values = {r.value for r in TensorRole}
+        assert values == {"X/Y", "dX/dY", "W", "dW", "WS"}
