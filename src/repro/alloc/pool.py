@@ -165,6 +165,21 @@ class PoolAllocator:
         return self.capacity - self._live_bytes
 
     @property
+    def largest_free_block(self) -> int:
+        """Largest contiguous free extent (what one alloc can get)."""
+        return max(self._free.values(), default=0)
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether :meth:`alloc` of ``nbytes`` would succeed right now.
+
+        Accounts for both alignment rounding and fragmentation — total
+        free bytes may exceed ``nbytes`` while no single hole does.
+        """
+        if nbytes < 0:
+            return False
+        return max(_align(nbytes), ALIGNMENT) <= self.largest_free_block
+
+    @property
     def live_allocations(self) -> List[Allocation]:
         return list(self._live.values())
 

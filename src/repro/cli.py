@@ -7,7 +7,8 @@ Commands:
 * ``sweep`` — the full Figure-11/14 policy sweep for one network;
 * ``capacity`` — max trainable batch per policy;
 * ``figures`` — regenerate one or all paper figures;
-* ``train-demo`` — run real numpy training under a memory budget.
+* ``train-demo`` — run real numpy training under a memory budget;
+* ``schedule`` — pack concurrent training jobs onto one virtualized GPU.
 """
 
 from __future__ import annotations
@@ -176,6 +177,45 @@ def _cmd_train_demo(args) -> int:
     return 0
 
 
+#: Default ``schedule`` workload: the paper's four headline ImageNet
+#: networks as four co-tenant jobs on one 12 GB TITAN X.
+DEFAULT_WORKLOAD = "alexnet:128:50,vgg16:64:50,resnet50:32:50,googlenet:128:50"
+
+
+def _cmd_schedule(args) -> int:
+    from .sched import Job, JobState, schedule_jobs, schedule_report
+
+    try:
+        jobs = [
+            Job.parse(spec, index)
+            for index, spec in enumerate(args.jobs.split(","))
+            if spec.strip()
+        ]
+    except (KeyError, ValueError) as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("no jobs given", file=sys.stderr)
+        return 2
+    budget = int(args.budget_gb * (1 << 30))
+    if budget <= 0:
+        print(f"budget must be positive, got {args.budget_gb} GB",
+              file=sys.stderr)
+        return 2
+    result = schedule_jobs(jobs, system=PAPER_SYSTEM, policy=args.policy,
+                           budget_bytes=budget)
+    print(schedule_report(result))
+    if args.trace:
+        from .sim import save_trace
+
+        save_trace(args.trace, result.timeline, result.usage,
+                   process_name=f"multi-tenant {args.policy}")
+        print(f"wrote {args.trace}")
+    finished = sum(1 for r in result.records
+                   if r.state is JobState.FINISHED)
+    return 0 if finished == len(result.records) else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +262,18 @@ def make_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--steps", type=int, default=5)
     p_demo.add_argument("--batch", type=int, default=8)
 
+    p_sched = sub.add_parser(
+        "schedule", help="pack concurrent training jobs onto one GPU")
+    p_sched.add_argument(
+        "--jobs", default=DEFAULT_WORKLOAD,
+        help="comma-separated job specs, each network[:batch[:iterations]]")
+    p_sched.add_argument("--policy", default="best_fit",
+                         choices=["fifo", "sjf", "best_fit"])
+    p_sched.add_argument("--budget-gb", type=float, default=12.0,
+                         help="shared GPU memory budget in GiB")
+    p_sched.add_argument("--trace", default=None,
+                         help="write a Chrome trace with one lane per job")
+
     return parser
 
 
@@ -233,6 +285,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "figures": _cmd_figures,
     "train-demo": _cmd_train_demo,
+    "schedule": _cmd_schedule,
 }
 
 

@@ -1,0 +1,47 @@
+"""Multi-tenant GPU scheduler: pack concurrent training jobs onto one
+virtualized GPU.
+
+vDNN frees 89-95% of a GPU's average memory usage (Section I); this
+subsystem spends that freed capacity on *co-location*: a shared pool, an
+admission controller walking the degradation ladder
+``base(p) -> conv(p) -> all(m) -> hybrid(recompute)``, pluggable queue
+policies (FIFO / SJF / memory-aware best-fit), and a contention model
+that splits compute time-slices and PCIe bandwidth across tenants.
+"""
+
+from .admission import LADDER, AdmissionController, RungEval, evaluate_ladder
+from .contention import ContentionModel
+from .job import Job, JobRecord, JobState
+from .policies import (
+    AdmissionPolicy,
+    BestFitPolicy,
+    FIFOPolicy,
+    ShortestJobFirstPolicy,
+    available_policies,
+    make_policy,
+)
+from .report import fleet_table, job_table, schedule_report
+from .scheduler import GPUScheduler, ScheduleResult, schedule_jobs
+
+__all__ = [
+    "LADDER",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BestFitPolicy",
+    "ContentionModel",
+    "FIFOPolicy",
+    "GPUScheduler",
+    "Job",
+    "JobRecord",
+    "JobState",
+    "RungEval",
+    "ScheduleResult",
+    "ShortestJobFirstPolicy",
+    "available_policies",
+    "evaluate_ladder",
+    "fleet_table",
+    "job_table",
+    "make_policy",
+    "schedule_jobs",
+    "schedule_report",
+]

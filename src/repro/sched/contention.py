@@ -1,0 +1,64 @@
+"""Contention model: how co-resident jobs share one GPU's resources.
+
+Two resources are contended when vDNN frees enough memory to co-locate
+jobs (the scenario Rhu et al.'s follow-up *Compressing DMA Engine* calls
+out: offload/prefetch traffic turns PCIe into the shared bottleneck):
+
+* **Compute** — SM time is time-sliced round-robin across every resident
+  job, so a job's per-iteration compute demand scales with the number of
+  tenants (plus an optional context-switch overhead per extra tenant).
+* **PCIe** — offload/prefetch DMA bandwidth is split evenly across the
+  jobs that actually generate transfer traffic; rungs with no offloading
+  (``base(p)``, ``hybrid``) neither suffer nor cause PCIe contention.
+
+A job's contended iteration time is the max of its scaled compute
+demand, its scaled PCIe demand, and its solo iteration latency (the
+overlap structure of the solo timeline is a hard lower bound).  This is
+a fluid approximation — exact enough to expose the scheduling effects
+that matter: packing compute-bound next to PCIe-bound jobs overlaps the
+two resources and raises aggregate throughput, while packing two jobs
+with the same bottleneck merely time-slices it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .admission import RungEval
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Splits compute time-slices and PCIe bandwidth across tenants.
+
+    Attributes:
+        timeslice_overhead: extra compute fraction per additional
+            co-resident job (kernel-launch interleaving, cache and
+            scheduler pollution).  0 models ideal preemption.
+    """
+
+    timeslice_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeslice_overhead < 0:
+            raise ValueError("timeslice_overhead cannot be negative")
+
+    def iteration_seconds(self, rungs: Sequence[RungEval]) -> List[float]:
+        """Contended per-iteration time for each co-resident rung."""
+        tenants = len(rungs)
+        pcie_users = sum(1 for r in rungs if r.pcie_seconds > 0)
+        overhead = 1.0 + self.timeslice_overhead * max(tenants - 1, 0)
+        contended = []
+        for rung in rungs:
+            compute = rung.compute_seconds * tenants * overhead
+            pcie = rung.pcie_seconds * pcie_users
+            contended.append(max(rung.iter_seconds, compute, pcie))
+        return contended
+
+    def slowdowns(self, rungs: Sequence[RungEval]) -> List[float]:
+        """Per-job slowdown factor vs. running alone."""
+        return [
+            contended / rung.iter_seconds if rung.iter_seconds > 0 else 1.0
+            for rung, contended in zip(rungs, self.iteration_seconds(rungs))
+        ]

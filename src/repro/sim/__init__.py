@@ -1,13 +1,15 @@
 """Two-stream execution simulation: timelines, streams, power."""
 
 from .power import PowerModel, PowerReport, analyze_power
-from .trace import save_trace, timeline_to_trace_events
+from .trace import JOB_STREAM_PREFIX, job_lane_name, save_trace, timeline_to_trace_events
 from .stream import COMPUTE_STREAM, MEMORY_STREAM, SimStream, make_stream_pair
 from .timeline import EventKind, Timeline, TimelineEvent
 
 __all__ = [
     "COMPUTE_STREAM",
     "EventKind",
+    "JOB_STREAM_PREFIX",
+    "job_lane_name",
     "MEMORY_STREAM",
     "PowerModel",
     "PowerReport",

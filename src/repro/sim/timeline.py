@@ -21,6 +21,7 @@ class EventKind(enum.Enum):
     PREFETCH = "PRE"
     STALL = "STALL"
     UPDATE = "UPD"
+    RUN = "RUN"        # one multi-tenant residency interval of a whole job
 
 
 @dataclass(frozen=True)

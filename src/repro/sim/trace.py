@@ -5,6 +5,12 @@ like the paper's Figure 9: one row per CUDA stream, offloads overlapping
 forward kernels, prefetches overlapping backward kernels, stalls shaded
 on the compute stream.  The memory curve is exported as counter events
 so the same trace shows pool occupancy over time.
+
+Multi-tenant schedules use one *process lane per job*: any stream named
+``job:<name>`` (the convention of :mod:`repro.sched.scheduler`) is
+promoted to its own trace process, so an N-job timeline renders as N
+stacked rows — one per tenant — instead of N threads crammed into one
+process group.
 """
 
 from __future__ import annotations
@@ -22,7 +28,18 @@ _CATEGORY = {
     EventKind.OFFLOAD: "transfer",
     EventKind.PREFETCH: "transfer",
     EventKind.STALL: "stall",
+    EventKind.RUN: "job",
 }
+
+#: Stream-name prefix that promotes a stream to its own process lane.
+JOB_STREAM_PREFIX = "job:"
+
+
+def job_lane_name(stream: str) -> Optional[str]:
+    """The job name of a per-job stream, or None for ordinary streams."""
+    if stream.startswith(JOB_STREAM_PREFIX):
+        return stream[len(JOB_STREAM_PREFIX):]
+    return None
 
 
 def timeline_to_trace_events(
@@ -30,25 +47,42 @@ def timeline_to_trace_events(
     usage: Optional[UsageTracker] = None,
     process_name: str = "vDNN",
 ) -> List[dict]:
-    """Convert a timeline (+ optional memory curve) to trace events."""
+    """Convert a timeline (+ optional memory curve) to trace events.
+
+    Ordinary streams become threads of process 0; ``job:<name>`` streams
+    each get a dedicated process (pid 1..N) named after the job, so
+    multi-tenant timelines render one row per job.
+    """
     streams = sorted({e.stream for e in timeline.events})
+    plain = [s for s in streams if job_lane_name(s) is None]
+    jobs = [s for s in streams if job_lane_name(s) is not None]
+
     events: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": 0,
         "args": {"name": process_name},
     }]
-    for tid, stream in enumerate(streams):
+    pid_of = {stream: 0 for stream in plain}
+    tid_of = {}
+    for tid, stream in enumerate(plain):
+        tid_of[stream] = tid
         events.append({
             "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
             "args": {"name": stream},
         })
-    tid_of = {stream: tid for tid, stream in enumerate(streams)}
+    for lane, stream in enumerate(jobs, start=1):
+        pid_of[stream] = lane
+        tid_of[stream] = 0
+        events.append({
+            "name": "process_name", "ph": "M", "pid": lane,
+            "args": {"name": job_lane_name(stream)},
+        })
 
     for event in timeline.events:
         events.append({
             "name": f"{event.kind.value} {event.label}",
-            "cat": _CATEGORY[event.kind],
+            "cat": _CATEGORY.get(event.kind, "sched"),
             "ph": "X",
-            "pid": 0,
+            "pid": pid_of[event.stream],
             "tid": tid_of[event.stream],
             "ts": event.start * 1e6,        # trace format uses microseconds
             "dur": event.duration * 1e6,

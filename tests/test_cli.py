@@ -73,3 +73,81 @@ class TestCommands:
         assert main(["train-demo", "--steps", "1", "--batch", "2",
                      "--policy", "none"]) == 0
         assert "offloads 0" in capsys.readouterr().out
+
+    def test_schedule_default_workload(self, capsys):
+        assert main(["schedule"]) == 0
+        out = capsys.readouterr().out
+        for fragment in ("Fleet metrics", "JCT", "queue delay",
+                         "pool high-water", "vgg16#1"):
+            assert fragment in out
+
+    def test_schedule_policies_and_budget(self, capsys):
+        for policy in ("fifo", "sjf", "best_fit"):
+            assert main(["schedule", "--policy", policy,
+                         "--jobs", "alexnet:16:5,alexnet:16:5",
+                         "--budget-gb", "4"]) == 0
+            assert policy in capsys.readouterr().out
+
+    def test_schedule_writes_job_lane_trace(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["schedule", "--jobs", "alexnet:16:5,alexnet:16:5",
+                     "--trace", str(path)]) == 0
+        trace = json.loads(path.read_text())
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["name"] == "process_name" and e["pid"] > 0}
+        assert lanes == {"alexnet#0", "alexnet#1"}
+
+    def test_schedule_rejected_job_exits_nonzero(self, capsys):
+        # 1/4 GB cannot hold vgg16:64 at any rung.
+        assert main(["schedule", "--jobs", "vgg16:64:5",
+                     "--budget-gb", "0.25"]) == 1
+        assert "rejected" in capsys.readouterr().out
+
+    def test_schedule_empty_jobs_is_usage_error(self, capsys):
+        assert main(["schedule", "--jobs", " "]) == 2
+
+    @pytest.mark.parametrize("jobs", [
+        "nosuchnet:8:5",        # unknown network
+        "alexnet:abc",          # non-integer batch
+        "alexnet:8:-3",         # non-positive iterations
+    ])
+    def test_schedule_bad_job_spec_is_usage_error(self, jobs, capsys):
+        assert main(["schedule", "--jobs", jobs]) == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_schedule_nonpositive_budget_is_usage_error(self, capsys):
+        assert main(["schedule", "--jobs", "alexnet:8:5",
+                     "--budget-gb", "0"]) == 2
+        assert "budget must be positive" in capsys.readouterr().err
+
+
+class TestSmokeEverySubcommand:
+    """Every subcommand exits 0 and prints something (cheap args)."""
+
+    @pytest.mark.parametrize("argv", [
+        ["networks"],
+        ["evaluate", "alexnet", "--batch", "8", "--policy", "base",
+         "--algo", "m"],
+        ["sweep", "alexnet", "--batch", "8"],
+        ["capacity", "alexnet", "--limit", "4"],
+        ["plan", "alexnet", "--batch", "8", "--dataset-size", "1024",
+         "--epochs", "1"],
+        ["figures", "headline"],
+        ["train-demo", "--steps", "1", "--batch", "2"],
+        ["schedule", "--jobs", "alexnet:8:5"],
+    ], ids=lambda argv: argv[0])
+    def test_subcommand_smoke(self, argv, capsys):
+        assert main(argv) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_every_registered_subcommand_is_smoked(self):
+        """Adding a subcommand without a smoke test fails here."""
+        from repro.cli import _COMMANDS
+
+        smoked = {
+            "networks", "evaluate", "sweep", "capacity", "plan",
+            "figures", "train-demo", "schedule",
+        }
+        assert smoked == set(_COMMANDS)

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.alloc import ALIGNMENT, PoolAllocator
 from repro.core import (
     AlgoConfig,
     LivenessAnalysis,
@@ -199,3 +200,89 @@ def test_property_tensor_spec_batch_rescale(shape, batch):
     spec = TensorSpec(tuple(shape))
     rescaled = spec.with_batch(batch)
     assert rescaled.count * shape[0] == spec.count * batch
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant pool allocator
+# ----------------------------------------------------------------------
+_TENANTS = 3
+
+#: One tenant operation: (tenant, is_alloc, size-or-pick).  ``size`` is
+#: the allocation request for allocs; ``pick`` selects which of the
+#: tenant's live blocks to free (modulo its live count) for frees.
+_pool_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=_TENANTS - 1),
+        st.booleans(),
+        st.integers(min_value=0, max_value=4096),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_pool_ops)
+def test_property_pool_multitenant_interleaved(ops):
+    """The shared pool survives interleaved traffic from N tenants.
+
+    Invariants, checked after every operation: the free list and the
+    live set tile the pool exactly (no block overlap), a freed block
+    cannot be freed again, live bytes never exceed capacity, and after
+    every tenant releases everything the pool coalesces back to one
+    free block spanning the whole capacity.
+    """
+    pool = PoolAllocator(capacity=64 * 1024)
+    live = {tenant: [] for tenant in range(_TENANTS)}
+
+    for tenant, is_alloc, value in ops:
+        if is_alloc:
+            try:
+                block = pool.alloc(value, tag=f"tenant{tenant}")
+            except MemoryError:
+                continue  # OOM under pressure is legal, corruption is not
+            live[tenant].append(block)
+        elif live[tenant]:
+            block = live[tenant].pop(value % len(live[tenant]))
+            pool.free(block)
+            # Double-free of the same handle must be refused.
+            with pytest.raises(ValueError):
+                pool.free(block)
+        pool.check_invariants()
+        assert 0 <= pool.live_bytes <= pool.capacity
+        assert pool.largest_free_block <= pool.free_bytes
+        # No two live blocks (any tenant) overlap.
+        spans = sorted(
+            (b.offset, b.offset + b.size)
+            for blocks in live.values() for b in blocks
+        )
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    # Tenants release in round-robin order: full coalescing must follow.
+    while any(live.values()):
+        for tenant in range(_TENANTS):
+            if live[tenant]:
+                pool.free(live[tenant].pop())
+                pool.check_invariants()
+    assert pool.live_bytes == 0
+    assert pool.largest_free_block == pool.capacity == pool.free_bytes
+    assert pool.fragmentation == 0.0
+    # And the empty pool can serve a capacity-sized allocation again.
+    whole = pool.alloc(pool.capacity)
+    assert whole.size == pool.capacity
+    pool.free(whole)
+
+
+@settings(max_examples=40, deadline=None)
+@given(nbytes=st.integers(min_value=0, max_value=128 * 1024))
+def test_property_pool_can_fit_matches_alloc(nbytes):
+    """``can_fit`` exactly predicts whether ``alloc`` succeeds."""
+    pool = PoolAllocator(capacity=64 * 1024)
+    pool.alloc(10 * ALIGNMENT)      # leave a dented pool, not pristine
+    fits = pool.can_fit(nbytes)
+    try:
+        pool.alloc(nbytes)
+        assert fits
+    except MemoryError:
+        assert not fits
