@@ -8,11 +8,22 @@ delay and the degradation rungs the admission controller picked — the
 multi-tenant counterpart of Figure 14's single-job performance story.
 """
 
+import os
+
+from repro.perf import SweepPoint, sweep as parallel_sweep
 from repro.sched import Job, schedule_jobs
 from repro.hw import PAPER_SYSTEM
 from repro.reporting import format_table, gb_str
 
 POLICIES = ("fifo", "sjf", "best_fit")
+
+#: Worker processes for the admission-ladder warm-up (the scheduler
+#: itself stays serial; override with REPRO_JOBS=1 to skip the warm-up).
+JOBS = int(os.environ.get("REPRO_JOBS", "2") or "1")
+
+#: The four degradation-ladder rungs the admission controller simulates
+#: per distinct (network, batch) — see repro.sched.admission.LADDER.
+LADDER_POINTS = (("base", "p"), ("conv", "p"), ("all", "m"), ("hybrid", "m"))
 
 #: (label, job specs) — mixes where memory pressure and PCIe contention
 #: stress the policies differently.
@@ -37,7 +48,26 @@ def _jobs(spec):
     ]
 
 
+def warm_ladders(jobs=JOBS):
+    """Simulate every distinct admission-ladder rung in parallel once.
+
+    Each scheduler run below then answers admission questions from
+    content-addressed cache hits, bit-identical to a cold serial run.
+    """
+    pairs = sorted({(network, batch)
+                    for _, spec in WORKLOADS
+                    for network, batch, _ in spec})
+    points = [
+        SweepPoint(network=network, batch=batch, policy=policy, algo=algo,
+                   system=PAPER_SYSTEM)
+        for network, batch in pairs
+        for policy, algo in LADDER_POINTS
+    ]
+    parallel_sweep(points, jobs=jobs)
+
+
 def sweep():
+    warm_ladders()
     rows = []
     for label, spec in WORKLOADS:
         for budget_gb in BUDGETS_GB:

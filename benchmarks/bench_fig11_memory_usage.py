@@ -10,8 +10,14 @@ memory-optimal and performance-optimal algorithms.  Asserted shape:
 * average savings of vDNN_all(m) fall in the paper's 73%-98% band.
 """
 
+import os
+
 from conftest import run_and_print
 from repro.reporting import fig11_memory_usage
+
+#: Worker processes for the policy sweep (results are bit-identical to
+#: a serial run; override with REPRO_JOBS=1 to force serial).
+JOBS = int(os.environ.get("REPRO_JOBS", "2") or "1")
 
 
 def _mb(cell):
@@ -19,7 +25,7 @@ def _mb(cell):
 
 
 def test_fig11_memory_usage(benchmark, capsys):
-    result = run_and_print(benchmark, capsys, fig11_memory_usage)
+    result = run_and_print(benchmark, capsys, fig11_memory_usage, jobs=JOBS)
     by_net = {}
     for network, config, avg, mx, savings, trainable in result.rows:
         by_net.setdefault(network, {})[config.rstrip("*")] = {

@@ -9,12 +9,18 @@ Asserted shape, per the paper:
 * performance-optimal configurations beat their memory-optimal twins.
 """
 
+import os
+
 from conftest import run_and_print
 from repro.reporting import fig14_performance
 
+#: Worker processes for the policy sweep (results are bit-identical to
+#: a serial run; override with REPRO_JOBS=1 to force serial).
+JOBS = int(os.environ.get("REPRO_JOBS", "2") or "1")
+
 
 def test_fig14_performance(benchmark, capsys):
-    result = run_and_print(benchmark, capsys, fig14_performance)
+    result = run_and_print(benchmark, capsys, fig14_performance, jobs=JOBS)
     by_net = {}
     for network, config, _, normalized in result.rows:
         by_net.setdefault(network, {})[config.rstrip("*")] = float(normalized)

@@ -5,12 +5,18 @@ VGG-16 (256) — a 28 GB workload — trainable on a 12 GB Titan X under
 vDNN at a bounded performance cost vs. an oracular GPU.
 """
 
+import os
+
 from conftest import run_and_print
 from repro.reporting import headline
 
+#: Worker processes for the simulation fan-out (results are bit-identical
+#: to a serial run; override with REPRO_JOBS=1 to force serial).
+JOBS = int(os.environ.get("REPRO_JOBS", "2") or "1")
+
 
 def test_headline_claims(benchmark, capsys):
-    result = run_and_print(benchmark, capsys, headline)
+    result = run_and_print(benchmark, capsys, headline, jobs=JOBS)
     rows = {r[0]: r for r in result.rows}
 
     for name in ("AlexNet(128)", "OverFeat(128)", "GoogLeNet(128)"):

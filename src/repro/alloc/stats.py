@@ -41,6 +41,13 @@ class UsageTracker:
             )
         self._samples.append(UsageSample(time, live_bytes))
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UsageTracker):
+            return NotImplemented
+        return self._samples == other._samples
+
+    __hash__ = None  # mutable container; value-equal, not hashable
+
     # ------------------------------------------------------------------
     @property
     def samples(self) -> List[UsageSample]:

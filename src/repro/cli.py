@@ -72,7 +72,7 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_sweep(args) -> int:
     network = build(args.network, args.batch)
-    sweep = compare_policies(network)
+    sweep = compare_policies(network, jobs=args.jobs)
     oracle = oracular_baseline(network)
     rows = []
     for key in ("all(m)", "all(p)", "conv(m)", "conv(p)", "dyn",
@@ -122,17 +122,18 @@ def _cmd_plan(args) -> int:
 def _cmd_figures(args) -> int:
     from .reporting import figures as fig_mod
 
+    jobs = args.jobs
     drivers = {
         "fig01": lambda: fig_mod.fig01_baseline_usage(),
         "fig04": lambda: fig_mod.fig04_breakdown(),
         "fig05": lambda: fig_mod.fig05_per_layer(build("vgg16", 256)),
         "fig06": lambda: fig_mod.fig06_reuse_distance(build("vgg16", 64)),
-        "fig11": lambda: fig_mod.fig11_memory_usage(),
+        "fig11": lambda: fig_mod.fig11_memory_usage(jobs=jobs),
         "fig12": lambda: fig_mod.fig12_offload_size(),
         "fig13": lambda: fig_mod.fig13_dram_bandwidth(build("vgg16", 256)),
-        "fig14": lambda: fig_mod.fig14_performance(),
+        "fig14": lambda: fig_mod.fig14_performance(jobs=jobs),
         "fig15": lambda: fig_mod.fig15_very_deep(),
-        "headline": lambda: fig_mod.headline(),
+        "headline": lambda: fig_mod.headline(jobs=jobs),
     }
     wanted = drivers if args.figure == "all" else {args.figure: drivers[args.figure]}
     for name, driver in wanted.items():
@@ -235,6 +236,9 @@ def make_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="full policy sweep")
     p_sweep.add_argument("network", choices=available())
     p_sweep.add_argument("--batch", type=int, default=None)
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for the sweep "
+                              "(default $REPRO_JOBS or 1)")
 
     p_cap = sub.add_parser("capacity", help="max trainable batch per policy")
     p_cap.add_argument("network", choices=available())
@@ -254,6 +258,9 @@ def make_parser() -> argparse.ArgumentParser:
                                 "headline"])
     p_fig.add_argument("--out", default=None,
                        help="directory to write <figure>.txt files into")
+    p_fig.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for sweep-backed figures "
+                            "(default $REPRO_JOBS or 1)")
 
     p_demo = sub.add_parser("train-demo",
                             help="real numpy training under a policy")

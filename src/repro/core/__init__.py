@@ -2,6 +2,7 @@
 
 from .algo_config import AlgoConfig
 from .api import compare_policies, evaluate, oracular_baseline
+from .cached import cached_baseline, cached_recompute, cached_vdnn
 from .capacity import CapacityReport, capacity_report, max_trainable_batch
 from .paging import PagingReport, paging_vs_vdnn, simulate_page_migration
 from .parallel import (
@@ -45,6 +46,9 @@ __all__ = [
     "TransferPolicy",
     "UntrainableError",
     "baseline_allocation_bytes",
+    "cached_baseline",
+    "cached_recompute",
+    "cached_vdnn",
     "capacity_report",
     "compare_policies",
     "evaluate",

@@ -13,6 +13,14 @@ Typical use::
 ``"dyn"``; ``algo`` accepts ``"m"`` (memory-optimal) or ``"p"``
 (performance-optimal).  ``compare_policies`` reproduces one network's
 column group of the paper's Figures 11/14.
+
+Every entry point consults the content-addressed simulation cache
+(:mod:`repro.perf`): identical (network, system, policy, algo) points
+are simulated once and replayed from pickled results afterwards.  Pass
+``use_cache=False`` (or set ``REPRO_NO_CACHE=1``) to force fresh
+simulation; results are bit-identical either way.  ``compare_policies``
+additionally accepts ``jobs`` to fan its seven configurations out
+across worker processes.
 """
 
 from __future__ import annotations
@@ -22,8 +30,9 @@ from typing import Dict, List, Optional
 from ..graph.network import Network
 from ..hw.config import PAPER_SYSTEM, SystemConfig
 from .algo_config import AlgoConfig
+from .cached import cached_baseline, cached_vdnn
 from .dynamic import simulate_dynamic
-from .executor import IterationResult, simulate_baseline, simulate_vdnn
+from .executor import IterationResult
 from .policy import TransferPolicy
 
 _POLICIES = ("all", "conv", "dyn", "base", "none")
@@ -43,31 +52,35 @@ def evaluate(
     system: Optional[SystemConfig] = None,
     policy: str = "dyn",
     algo: str = "p",
+    use_cache: Optional[bool] = None,
 ) -> IterationResult:
     """Simulate one training iteration of ``network`` under a policy."""
     system = system or PAPER_SYSTEM
     if policy not in _POLICIES:
         raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
     if policy == "dyn":
-        return simulate_dynamic(network, system)
+        return simulate_dynamic(network, system, use_cache=use_cache)
     algos = _algo_config(network, algo)
     if policy == "base":
-        return simulate_baseline(network, system, algos)
+        return cached_baseline(network, system, algos, use_cache=use_cache)
     transfer = {
         "all": TransferPolicy.vdnn_all,
         "conv": TransferPolicy.vdnn_conv,
         "none": TransferPolicy.none,
     }[policy]()
-    return simulate_vdnn(network, system, transfer, algos)
+    return cached_vdnn(network, system, transfer, algos, use_cache=use_cache)
 
 
 def oracular_baseline(
-    network: Network, system: Optional[SystemConfig] = None
+    network: Network,
+    system: Optional[SystemConfig] = None,
+    use_cache: Optional[bool] = None,
 ) -> IterationResult:
     """The paper's oracle: baseline(p) on a capacity-unlimited GPU."""
     system = (system or PAPER_SYSTEM).with_oracular_gpu()
-    return simulate_baseline(
-        network, system, AlgoConfig.performance_optimal(network)
+    return cached_baseline(
+        network, system, AlgoConfig.performance_optimal(network),
+        use_cache=use_cache,
     )
 
 
@@ -75,19 +88,54 @@ def compare_policies(
     network: Network,
     system: Optional[SystemConfig] = None,
     include_dynamic: bool = True,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
 ) -> Dict[str, IterationResult]:
     """One network's full policy x algorithm sweep (Figures 11/14).
 
     Keys follow the paper's column labels: ``all(m)``, ``all(p)``,
     ``conv(m)``, ``conv(p)``, ``dyn``, ``base(m)``, ``base(p)``.
+
+    With ``jobs > 1`` the configurations are simulated concurrently in
+    worker processes (warming the cache), then assembled serially from
+    cache hits — same results, less wall time.
     """
     system = system or PAPER_SYSTEM
+
+    from ..perf.sweep import SweepPoint, resolve_jobs, sweep
+
+    if resolve_jobs(jobs) > 1 and cache_is_on(use_cache):
+        points = [
+            SweepPoint(network=network, policy=policy, algo=algo,
+                       system=system)
+            for policy in ("all", "conv") for algo in _ALGOS
+        ]
+        if include_dynamic:
+            points.append(
+                SweepPoint(network=network, policy="dyn", system=system))
+        points += [
+            SweepPoint(network=network, policy="base", algo=algo,
+                       system=system)
+            for algo in _ALGOS
+        ]
+        sweep(points, jobs=jobs, use_cache=use_cache)
+
     results: Dict[str, IterationResult] = {}
     for policy in ("all", "conv"):
         for algo in _ALGOS:
-            results[f"{policy}({algo})"] = evaluate(network, system, policy, algo)
+            results[f"{policy}({algo})"] = evaluate(
+                network, system, policy, algo, use_cache=use_cache)
     if include_dynamic:
-        results["dyn"] = evaluate(network, system, "dyn")
+        results["dyn"] = evaluate(network, system, "dyn",
+                                  use_cache=use_cache)
     for algo in _ALGOS:
-        results[f"base({algo})"] = evaluate(network, system, "base", algo)
+        results[f"base({algo})"] = evaluate(
+            network, system, "base", algo, use_cache=use_cache)
     return results
+
+
+def cache_is_on(use_cache: Optional[bool] = None) -> bool:
+    """Whether the simulation cache applies (flag, then environment)."""
+    from ..perf.cache import cache_enabled
+
+    return cache_enabled(use_cache)

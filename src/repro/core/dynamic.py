@@ -30,7 +30,8 @@ from typing import List, Optional, Tuple
 from ..graph.network import Network
 from ..hw.config import SystemConfig
 from .algo_config import AlgoConfig
-from .executor import IterationResult, simulate_vdnn
+from .cached import cached_vdnn, dynamic_key
+from .executor import IterationResult
 from .policy import TransferPolicy
 
 
@@ -71,8 +72,11 @@ def _probe(
     algos: AlgoConfig,
     description: str,
     passes: List[ProfilingPass],
+    use_cache: Optional[bool] = None,
 ) -> IterationResult:
-    result = simulate_vdnn(network, system, policy, algos)
+    # Each profiling pass is one content-addressed simulation point:
+    # repeated planning over the same network replays passes as hits.
+    result = cached_vdnn(network, system, policy, algos, use_cache=use_cache)
     passes.append(ProfilingPass(
         description=description,
         policy=policy,
@@ -90,6 +94,7 @@ def _greedy_downgrade(
     policy: TransferPolicy,
     passes: List[ProfilingPass],
     max_probes: int = 64,
+    use_cache: Optional[bool] = None,
 ) -> Optional[Tuple[AlgoConfig, IterationResult]]:
     """Pass-3 greedy: shrink the most workspace-hungry layers until fit.
 
@@ -104,6 +109,7 @@ def _greedy_downgrade(
         result = _probe(
             network, system, policy, algos,
             f"greedy[{policy.describe()}] probe {probe_index}", passes,
+            use_cache=use_cache,
         )
         if result.trainable:
             return algos, result
@@ -125,7 +131,11 @@ def _greedy_downgrade(
     return None
 
 
-def plan_dynamic(network: Network, system: SystemConfig) -> DynamicPlan:
+def plan_dynamic(
+    network: Network,
+    system: SystemConfig,
+    use_cache: Optional[bool] = None,
+) -> DynamicPlan:
     """Run the vDNN_dyn profiling passes and return the adopted plan."""
     passes: List[ProfilingPass] = []
     memory_optimal = AlgoConfig.memory_optimal(network)
@@ -134,7 +144,7 @@ def plan_dynamic(network: Network, system: SystemConfig) -> DynamicPlan:
     # Pass 1: trainability probe — vDNN_all, memory-optimal.
     feasibility = _probe(
         network, system, TransferPolicy.vdnn_all(), memory_optimal,
-        "pass1: vDNN_all(m) feasibility", passes,
+        "pass1: vDNN_all(m) feasibility", passes, use_cache=use_cache,
     )
     if not feasibility.trainable:
         raise UntrainableError(
@@ -146,7 +156,7 @@ def plan_dynamic(network: Network, system: SystemConfig) -> DynamicPlan:
     # Pass 2: fastest algorithms, no offloading at all.
     best = _probe(
         network, system, TransferPolicy.none(), performance_optimal,
-        "pass2: no-offload(p)", passes,
+        "pass2: no-offload(p)", passes, use_cache=use_cache,
     )
     if best.trainable:
         return DynamicPlan(TransferPolicy.none(), performance_optimal, best, passes)
@@ -155,14 +165,15 @@ def plan_dynamic(network: Network, system: SystemConfig) -> DynamicPlan:
     for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
         result = _probe(
             network, system, policy, performance_optimal,
-            f"pass2b: {policy.describe()}(p)", passes,
+            f"pass2b: {policy.describe()}(p)", passes, use_cache=use_cache,
         )
         if result.trainable:
             return DynamicPlan(policy, performance_optimal, result, passes)
 
     # Pass 3: greedy per-layer algorithm downgrades.
     for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
-        greedy = _greedy_downgrade(network, system, policy, passes)
+        greedy = _greedy_downgrade(network, system, policy, passes,
+                                   use_cache=use_cache)
         if greedy is not None:
             algos, result = greedy
             return DynamicPlan(policy, algos, result, passes)
@@ -171,10 +182,31 @@ def plan_dynamic(network: Network, system: SystemConfig) -> DynamicPlan:
     return DynamicPlan(TransferPolicy.vdnn_all(), memory_optimal, feasibility, passes)
 
 
-def simulate_dynamic(network: Network, system: SystemConfig) -> IterationResult:
-    """Convenience: run vDNN_dyn and relabel the adopted result."""
-    plan = plan_dynamic(network, system)
+def simulate_dynamic(
+    network: Network,
+    system: SystemConfig,
+    use_cache: Optional[bool] = None,
+) -> IterationResult:
+    """Convenience: run vDNN_dyn and relabel the adopted result.
+
+    The adopted (already relabeled) result is itself cached under a
+    ``dynamic`` point, so a warm ``evaluate(..., policy="dyn")`` skips
+    the whole profiling ladder; a cold run still benefits from any
+    previously cached individual passes.
+    """
+    from ..perf.cache import cache_enabled, get_cache
+
+    enabled = cache_enabled(use_cache)
+    key = dynamic_key(network, system) if enabled else None
+    if enabled:
+        cached = get_cache().get(key)
+        if cached is not None:
+            return cached
+
+    plan = plan_dynamic(network, system, use_cache=use_cache)
     result = plan.result
     result.policy_label = "vDNN_dyn"
     result.algo_label = plan.algos.label
+    if enabled:
+        get_cache().put(key, result)
     return result

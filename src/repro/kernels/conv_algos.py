@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 from ..graph.layer import Conv2D
 from ..graph.tensor import FP32_BYTES, TensorSpec
@@ -84,14 +85,59 @@ def _fft_dims(h: int, w: int, kernel: int) -> tuple:
     return fh + (fh % 2), fw + (fw % 2)
 
 
-def algo_applicable(algo: ConvAlgo, layer: Conv2D) -> bool:
-    """Whether cuDNN supports this algorithm for the layer's geometry."""
+@lru_cache(maxsize=4096)
+def _applicable(algo: ConvAlgo, kernel: int, stride: int) -> bool:
     if algo in (ConvAlgo.FFT, ConvAlgo.FFT_TILING):
-        if layer.stride != 1:
+        if stride != 1:
             return False
-        if algo is ConvAlgo.FFT_TILING and layer.kernel > _FFT_TILE:
+        if algo is ConvAlgo.FFT_TILING and kernel > _FFT_TILE:
             return False
     return True
+
+
+def algo_applicable(algo: ConvAlgo, layer: Conv2D) -> bool:
+    """Whether cuDNN supports this algorithm for the layer's geometry."""
+    return _applicable(algo, layer.kernel, layer.stride)
+
+
+@lru_cache(maxsize=16384)
+def _workspace_bytes(
+    algo: ConvAlgo,
+    kernel: int,
+    out_channels: int,
+    input_spec: TensorSpec,
+    output_spec: TensorSpec,
+) -> int:
+    n, c, h, w = input_spec.shape
+    k = out_channels
+    _, _, oh, ow = output_spec.shape
+
+    if algo in (ConvAlgo.IMPLICIT_GEMM, ConvAlgo.DIRECT):
+        return 0
+
+    if algo is ConvAlgo.IMPLICIT_PRECOMP_GEMM:
+        # Precomputed input-index tiles: one int per (output pixel, tap).
+        return oh * ow * kernel * kernel * FP32_BYTES
+
+    if algo is ConvAlgo.GEMM:
+        # im2col lowering of one image: (C*kh*kw) x (oh*ow) matrix of
+        # input-precision elements.
+        return c * kernel * kernel * oh * ow * input_spec.dtype_bytes
+
+    complex_bytes = 2 * input_spec.dtype_bytes
+    if algo is ConvAlgo.FFT:
+        fh, fw = _fft_dims(h, w, kernel)
+        planes = n * c + n * k + c * k  # X^, Y^ and W^ frequency planes
+        return planes * fh * (fw // 2 + 1) * complex_bytes
+
+    # FFT_TILING: same three transforms but over 32x32 tiles, so the
+    # frequency planes are tile-sized and the X^/Y^ terms stay bounded.
+    fh, fw = _fft_dims(_FFT_TILE, _FFT_TILE, kernel)
+    tiles_h = -(-h // _FFT_TILE)
+    tiles_w = -(-w // _FFT_TILE)
+    batch_planes = min(n, 32) * c + min(n, 32) * k  # processed in chunks
+    planes = batch_planes * tiles_h * tiles_w + c * k
+    return planes * fh * (fw // 2 + 1) * complex_bytes
 
 
 def workspace_bytes(
@@ -103,36 +149,15 @@ def workspace_bytes(
             f"{algo.value} is not applicable to layer {layer.name!r} "
             f"(kernel={layer.kernel}, stride={layer.stride})"
         )
-    n, c, h, w = input_spec.shape
-    k = layer.out_channels
-    _, _, oh, ow = output_spec.shape
+    return _workspace_bytes(algo, layer.kernel, layer.out_channels, input_spec, output_spec)
 
-    if algo in (ConvAlgo.IMPLICIT_GEMM, ConvAlgo.DIRECT):
-        return 0
 
-    if algo is ConvAlgo.IMPLICIT_PRECOMP_GEMM:
-        # Precomputed input-index tiles: one int per (output pixel, tap).
-        return oh * ow * layer.kernel * layer.kernel * FP32_BYTES
-
-    if algo is ConvAlgo.GEMM:
-        # im2col lowering of one image: (C*kh*kw) x (oh*ow) matrix of
-        # input-precision elements.
-        return c * layer.kernel * layer.kernel * oh * ow * input_spec.dtype_bytes
-
-    complex_bytes = 2 * input_spec.dtype_bytes
-    if algo is ConvAlgo.FFT:
-        fh, fw = _fft_dims(h, w, layer.kernel)
-        planes = n * c + n * k + c * k  # X^, Y^ and W^ frequency planes
-        return planes * fh * (fw // 2 + 1) * complex_bytes
-
-    # FFT_TILING: same three transforms but over 32x32 tiles, so the
-    # frequency planes are tile-sized and the X^/Y^ terms stay bounded.
-    fh, fw = _fft_dims(_FFT_TILE, _FFT_TILE, layer.kernel)
-    tiles_h = -(-h // _FFT_TILE)
-    tiles_w = -(-w // _FFT_TILE)
-    batch_planes = min(n, 32) * c + min(n, 32) * k  # processed in chunks
-    planes = batch_planes * tiles_h * tiles_w + c * k
-    return planes * fh * (fw // 2 + 1) * complex_bytes
+@lru_cache(maxsize=4096)
+def _time_multiplier(algo: ConvAlgo, kernel: int) -> float:
+    mult = _TIME_MULTIPLIER[algo]
+    if algo in (ConvAlgo.FFT, ConvAlgo.FFT_TILING) and kernel == 1:
+        mult = 1.20  # transforms buy nothing for pointwise convolutions
+    return mult
 
 
 def time_multiplier(algo: ConvAlgo, layer: Conv2D) -> float:
@@ -141,10 +166,28 @@ def time_multiplier(algo: ConvAlgo, layer: Conv2D) -> float:
     FFT's advantage shrinks for 1x1 kernels (no arithmetic saving) and
     for very small feature maps where transform overhead dominates.
     """
-    mult = _TIME_MULTIPLIER[algo]
-    if algo in (ConvAlgo.FFT, ConvAlgo.FFT_TILING) and layer.kernel == 1:
-        mult = 1.20  # transforms buy nothing for pointwise convolutions
-    return mult
+    return _time_multiplier(algo, layer.kernel)
+
+
+@lru_cache(maxsize=16384)
+def _profile_algorithms(
+    kernel: int,
+    stride: int,
+    out_channels: int,
+    input_spec: TensorSpec,
+    output_spec: TensorSpec,
+) -> Tuple[AlgoProfile, ...]:
+    profiles = [
+        AlgoProfile(
+            algo=algo,
+            workspace_bytes=_workspace_bytes(algo, kernel, out_channels, input_spec, output_spec),
+            time_multiplier=_time_multiplier(algo, kernel),
+        )
+        for algo in ConvAlgo
+        if _applicable(algo, kernel, stride)
+    ]
+    profiles.sort(key=lambda p: (p.time_multiplier, p.workspace_bytes))
+    return tuple(profiles)
 
 
 def profile_algorithms(
@@ -154,18 +197,14 @@ def profile_algorithms(
 
     Mirrors cuDNN's find-algorithm API: the caller gets every candidate
     with its workspace size and can pick under a memory budget.
+    Profiles are memoized on the layer geometry — every VGG-16 batch-64
+    probe in a sweep reuses one computed table.
     """
-    profiles = [
-        AlgoProfile(
-            algo=algo,
-            workspace_bytes=workspace_bytes(algo, layer, input_spec, output_spec),
-            time_multiplier=time_multiplier(algo, layer),
+    return list(
+        _profile_algorithms(
+            layer.kernel, layer.stride, layer.out_channels, input_spec, output_spec
         )
-        for algo in ConvAlgo
-        if algo_applicable(algo, layer)
-    ]
-    profiles.sort(key=lambda p: (p.time_multiplier, p.workspace_bytes))
-    return profiles
+    )
 
 
 def performance_optimal_algo(

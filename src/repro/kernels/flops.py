@@ -15,6 +15,7 @@ device-DRAM traffic.  Counts use the standard conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..graph.layer import (
     Conv2D,
@@ -37,6 +38,17 @@ class KernelCost:
         return KernelCost(self.flops + other.flops, self.dram_bytes + other.dram_bytes)
 
 
+@lru_cache(maxsize=65536)
+def _gemm_cost(flops: float, dram_bytes: float) -> KernelCost:
+    """Memoized KernelCost constructor for the math-kernel (CONV/FC) paths.
+
+    The counts themselves are one multiplication, but sweeps recompute
+    the same layer costs thousands of times; interning the results keeps
+    each distinct cost a single shared immutable object.
+    """
+    return KernelCost(flops, dram_bytes)
+
+
 def forward_cost(node: NetworkNode, input_spec) -> KernelCost:
     """Cost of the layer's forward kernel."""
     out = node.output_spec
@@ -49,7 +61,7 @@ def forward_cost(node: NetworkNode, input_spec) -> KernelCost:
         c = input_spec.shape[1]
         flops = 2.0 * n * k * c * layer.kernel * layer.kernel * oh * ow
         dram = input_spec.nbytes + out.nbytes + node.weight_tensor_bytes
-        return KernelCost(flops, dram)
+        return _gemm_cost(flops, dram)
 
     if kind is LayerKind.FC:
         n = out.batch
@@ -57,7 +69,7 @@ def forward_cost(node: NetworkNode, input_spec) -> KernelCost:
         out_features = out.shape[1]
         flops = 2.0 * n * in_features * out_features
         dram = input_spec.nbytes + out.nbytes + node.weight_tensor_bytes
-        return KernelCost(flops, dram)
+        return _gemm_cost(flops, dram)
 
     if kind is LayerKind.POOL:
         layer = node.layer

@@ -13,6 +13,7 @@ first layer).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from ..graph.network import Network, NetworkNode
@@ -37,6 +38,27 @@ class KernelTiming:
         return self.dram_bytes / self.seconds if self.seconds > 0 else 0.0
 
 
+@lru_cache(maxsize=65536)
+def _roofline(
+    flops: float,
+    dram_bytes: float,
+    time_multiplier: float,
+    effective_flops: float,
+    effective_bandwidth: float,
+) -> KernelTiming:
+    """Pure roofline formula, memoized on its scalar inputs.
+
+    A policy sweep evaluates the same (layer cost, GPU) pairs hundreds of
+    times — once per policy x algorithm x probe — so the hit rate is high.
+    """
+    math_time = flops / effective_flops * time_multiplier
+    memory_time = dram_bytes / effective_bandwidth
+    return KernelTiming(
+        seconds=max(math_time, memory_time) + KERNEL_LAUNCH_OVERHEAD,
+        dram_bytes=dram_bytes,
+    )
+
+
 class LatencyModel:
     """Computes per-layer kernel timings for one GPU."""
 
@@ -50,11 +72,12 @@ class LatencyModel:
         return node.output_spec
 
     def _roofline(self, cost: KernelCost, time_multiplier: float) -> KernelTiming:
-        math_time = cost.flops / self.gpu.effective_flops * time_multiplier
-        memory_time = cost.dram_bytes / self.gpu.effective_bandwidth
-        return KernelTiming(
-            seconds=max(math_time, memory_time) + KERNEL_LAUNCH_OVERHEAD,
-            dram_bytes=cost.dram_bytes,
+        return _roofline(
+            cost.flops,
+            cost.dram_bytes,
+            time_multiplier,
+            self.gpu.effective_flops,
+            self.gpu.effective_bandwidth,
         )
 
     # ------------------------------------------------------------------

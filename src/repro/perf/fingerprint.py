@@ -1,0 +1,133 @@
+"""Canonical, process-stable fingerprints for simulation points.
+
+A *simulation point* is everything that determines an
+:class:`~repro.core.executor.IterationResult`: the network (topology,
+shapes, dtypes), the :class:`~repro.hw.config.SystemConfig`, the
+transfer policy and the per-layer convolution-algorithm configuration.
+Two points that would simulate identically must fingerprint identically
+— across processes, interpreter restarts and ``PYTHONHASHSEED`` values —
+so fingerprints are sha256 digests of *canonical JSON*: sorted keys,
+no object identities, no ``repr`` of live objects, enums reduced to
+their values, sets sorted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Optional
+
+from ..graph.network import Network
+
+
+def _canon(value: Any) -> Any:
+    """Reduce ``value`` to JSON-serializable canonical form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr-based JSON floats are deterministic in CPython >= 3.1.
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__name__, "value": _canon(value.value)}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_canon(v) for v in value),
+                      key=lambda v: json.dumps(v, sort_keys=True))
+    if isinstance(value, dict):
+        return {
+            str(key): _canon(value[key])
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, Network):
+        return network_signature(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        body = {
+            f.name: _canon(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.compare
+        }
+        body["__class__"] = type(value).__name__
+        return body
+    raise TypeError(
+        f"cannot canonicalize {type(value).__name__!r} for fingerprinting"
+    )
+
+
+def network_signature(network: Network) -> dict:
+    """Canonical description of a network's topology, shapes and dtypes.
+
+    Built only from declared structure (layer parameters, wiring) and
+    inferred facts (output/weight specs, storage aliasing, regions) —
+    never from object identities — so two independently constructed
+    identical networks produce equal signatures.
+    """
+    return {
+        "__class__": "Network",
+        "name": network.name,
+        "layers": [
+            {
+                "layer": _canon(node.layer),
+                "output": _canon(node.output_spec),
+                "weight": _canon(node.weight_spec),
+                "bias": _canon(node.bias_spec),
+                "producers": list(node.producers),
+                "storage_index": node.storage_index,
+                "weight_root": node.weight_root,
+                "feature_extraction": node.is_feature_extraction,
+            }
+            for node in network
+        ],
+    }
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text hashed by :func:`fingerprint`."""
+    return json.dumps(_canon(value), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(value: Any) -> str:
+    """sha256 hex digest of ``value``'s canonical JSON."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def fingerprint_network(network: Network) -> str:
+    """The network's content digest, memoized on the (immutable) instance.
+
+    Point keys are computed on every cache lookup, so they must cost far
+    less than the simulation they stand in for; canonicalizing a deep
+    network's full signature each time would not.  The digest itself is
+    still pure content — two independently built identical networks get
+    equal digests, each paying the canonicalization once.
+    """
+    cached = getattr(network, "_repro_fingerprint", None)
+    if cached is None:
+        cached = fingerprint(network_signature(network))
+        network._repro_fingerprint = cached
+    return cached
+
+
+def fingerprint_point(
+    kind: str,
+    network: Network,
+    system: Any,
+    policy: Any = None,
+    algos: Any = None,
+    extra: Optional[dict] = None,
+) -> str:
+    """Fingerprint one simulation point.
+
+    ``kind`` namespaces the simulator entry (``"vdnn"``, ``"baseline"``,
+    ``"recompute"``, ``"dynamic"``); ``extra`` carries any additional
+    simulator parameters (e.g. a recompute segment count).
+    """
+    return fingerprint({
+        "kind": kind,
+        "network": fingerprint_network(network),
+        "system": system,
+        "policy": policy,
+        "algos": algos,
+        "extra": extra,
+    })

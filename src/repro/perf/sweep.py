@@ -1,0 +1,157 @@
+"""Parallel sweep executor: fan independent simulation points across processes.
+
+A sweep is a list of :class:`SweepPoint` — each one simulation of a
+(network, policy, algo, system) combination.  Points are independent, so
+they fan out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+each worker returns ``(cache key, pickled IterationResult)`` and the
+parent merges the blobs into its own content-addressed cache before
+unpickling the ordered result list.  Downstream serial code (figure
+tables, admission ladders) then reads every point as a cache hit, which
+is what makes parallel output **bit-identical** to serial output: the
+same simulator produced the same bytes, only the executing process
+differed.
+
+``jobs <= 1`` degrades to a plain serial loop with no pickling round
+trip at all.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .cache import cache_enabled, get_cache
+
+#: Default worker count for parallel sweeps (1 = serial).
+ENV_JOBS = "REPRO_JOBS"
+
+#: Policies a sweep point accepts: the public ``evaluate`` policies plus
+#: ``hybrid`` (sqrt(L) recompute), the admission ladder's last rung.
+POINT_POLICIES = ("all", "conv", "dyn", "base", "none", "hybrid")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation point of a sweep.
+
+    ``network`` is either a zoo key (with optional ``batch``) or an
+    already-built :class:`~repro.graph.network.Network`; zoo keys are the
+    cheap-to-pickle form preferred for cross-process sweeps.
+    """
+
+    network: Union[str, "object"]
+    policy: str = "dyn"
+    algo: str = "p"
+    batch: Optional[int] = None
+    system: Optional["object"] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POINT_POLICIES:
+            raise ValueError(
+                f"policy must be one of {POINT_POLICIES}, got {self.policy!r}"
+            )
+
+    def build_network(self):
+        if isinstance(self.network, str):
+            from ..zoo import build
+
+            return build(self.network, self.batch)
+        return self.network
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else serial."""
+    if jobs is None:
+        jobs = int(os.environ.get(ENV_JOBS, "1") or "1")
+    return max(1, jobs)
+
+
+def point_key(point: SweepPoint) -> str:
+    """The content-addressed cache key this point's result is stored under.
+
+    Computed identically in workers and in the parent, which is the
+    parity that lets a parallel warm-up serve later serial reads.
+    """
+    from ..core import cached as core_cached
+    from ..core.algo_config import AlgoConfig
+    from ..core.policy import TransferPolicy
+    from ..hw.config import PAPER_SYSTEM
+
+    network = point.build_network()
+    system = point.system or PAPER_SYSTEM
+    if point.policy == "dyn":
+        return core_cached.dynamic_key(network, system)
+    if point.policy == "hybrid":
+        return core_cached.recompute_key(
+            network, system, AlgoConfig.memory_optimal(network))
+    algos = (AlgoConfig.memory_optimal(network) if point.algo == "m"
+             else AlgoConfig.performance_optimal(network))
+    if point.policy == "base":
+        return core_cached.baseline_key(network, system, algos)
+    policy = {"all": TransferPolicy.vdnn_all,
+              "conv": TransferPolicy.vdnn_conv,
+              "none": TransferPolicy.none}[point.policy]()
+    return core_cached.vdnn_key(network, system, policy, algos)
+
+
+def _simulate_point(point: SweepPoint):
+    """Run one point through the (cache-aware) simulators."""
+    from ..core.algo_config import AlgoConfig
+    from ..core.api import evaluate
+    from ..core.cached import cached_recompute
+    from ..hw.config import PAPER_SYSTEM
+
+    network = point.build_network()
+    system = point.system or PAPER_SYSTEM
+    if point.policy == "hybrid":
+        return cached_recompute(
+            network, system, AlgoConfig.memory_optimal(network))
+    return evaluate(network, system, point.policy, point.algo)
+
+
+def _worker_run_point(point: SweepPoint) -> Tuple[str, bytes]:
+    """Process-pool entry: simulate and ship the result back as bytes."""
+    result = _simulate_point(point)
+    return point_key(point), pickle.dumps(result, pickle.HIGHEST_PROTOCOL)
+
+
+def sweep(
+    points: Sequence[SweepPoint],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> List:
+    """Simulate every point, fanning out across ``jobs`` processes.
+
+    Results come back in point order.  With ``jobs > 1`` each worker's
+    pickled result is merged into the parent cache, so any subsequent
+    serial evaluation of the same point is a cache hit.
+    """
+    points = list(points)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(points) <= 1:
+        return [_simulate_point(p) for p in points]
+
+    cache = get_cache() if cache_enabled(use_cache) else None
+    # Points the parent cache already holds don't fan out at all.
+    results: List = [None] * len(points)
+    pending: List[int] = []
+    for index, point in enumerate(points):
+        hit = cache.get(point_key(point)) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append(index)
+
+    if pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            for index, (key, blob) in zip(
+                pending,
+                pool.map(_worker_run_point, [points[i] for i in pending]),
+            ):
+                if cache is not None:
+                    cache.put_blob(key, blob)
+                results[index] = pickle.loads(blob)
+    return results

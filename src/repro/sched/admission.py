@@ -32,9 +32,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.algo_config import AlgoConfig
-from ..core.executor import IterationResult, simulate_baseline, simulate_vdnn
+from ..core.cached import cached_baseline, cached_recompute, cached_vdnn
+from ..core.executor import IterationResult
 from ..core.policy import TransferPolicy
-from ..core.recompute import simulate_recompute
 from ..hw.config import PAPER_SYSTEM, SystemConfig
 from ..sim.stream import COMPUTE_STREAM, MEMORY_STREAM
 from .job import Job
@@ -76,16 +76,22 @@ def _distill(rung: str, result: IterationResult) -> RungEval:
 
 
 def evaluate_ladder(network, system: SystemConfig) -> List[RungEval]:
-    """Run the four rung simulations for one network, ladder order."""
+    """Run the four rung simulations for one network, ladder order.
+
+    Each rung goes through the content-addressed simulation cache
+    (:mod:`repro.core.cached`), so N co-tenant jobs training the same
+    (network, batch) — and repeated scheduler runs over one workload —
+    reuse a single simulation per rung.
+    """
     performance = AlgoConfig.performance_optimal(network)
     memory = AlgoConfig.memory_optimal(network)
     return [
-        _distill("base(p)", simulate_baseline(network, system, performance)),
-        _distill("conv(p)", simulate_vdnn(
+        _distill("base(p)", cached_baseline(network, system, performance)),
+        _distill("conv(p)", cached_vdnn(
             network, system, TransferPolicy.vdnn_conv(), performance)),
-        _distill("all(m)", simulate_vdnn(
+        _distill("all(m)", cached_vdnn(
             network, system, TransferPolicy.vdnn_all(), memory)),
-        _distill("hybrid", simulate_recompute(network, system, memory)),
+        _distill("hybrid", cached_recompute(network, system, memory)),
     ]
 
 

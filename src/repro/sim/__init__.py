@@ -3,10 +3,11 @@
 from .power import PowerModel, PowerReport, analyze_power
 from .trace import JOB_STREAM_PREFIX, job_lane_name, save_trace, timeline_to_trace_events
 from .stream import COMPUTE_STREAM, MEMORY_STREAM, SimStream, make_stream_pair
-from .timeline import EventKind, Timeline, TimelineEvent
+from .timeline import EmptyTimelineError, EventKind, Timeline, TimelineEvent
 
 __all__ = [
     "COMPUTE_STREAM",
+    "EmptyTimelineError",
     "EventKind",
     "JOB_STREAM_PREFIX",
     "job_lane_name",

@@ -45,14 +45,32 @@ class TimelineEvent:
         return self.end - self.start
 
 
+class EmptyTimelineError(ValueError):
+    """Raised when time bounds are requested from an event-less timeline."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "timeline is empty: no events have been recorded, so it has "
+            "no time bounds"
+        )
+
+
 class Timeline:
-    """Append-only event log with simple analytics."""
+    """Append-only event log with simple analytics.
+
+    Time bounds (``t0``/``t1``) are tracked incrementally on append, so
+    ``span``/``end_time``/``render_ascii`` never rescan the whole log.
+    Timelines compare equal when they hold equal event sequences.
+    """
 
     def __init__(self) -> None:
         self._events: List[TimelineEvent] = []
+        self._t0: Optional[float] = None
+        self._t1: Optional[float] = None
 
     def add(self, event: TimelineEvent) -> TimelineEvent:
         self._events.append(event)
+        self._extend_bounds(event)
         return self
 
     def record(
@@ -67,7 +85,21 @@ class Timeline:
     ) -> TimelineEvent:
         event = TimelineEvent(stream, kind, label, start, end, nbytes, layer_index)
         self._events.append(event)
+        self._extend_bounds(event)
         return event
+
+    def _extend_bounds(self, event: TimelineEvent) -> None:
+        if self._t0 is None or event.start < self._t0:
+            self._t0 = event.start
+        if self._t1 is None or event.end > self._t1:
+            self._t1 = event.end
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timeline):
+            return NotImplemented
+        return self._events == other._events
+
+    __hash__ = None  # mutable container; value-equal, not hashable
 
     # ------------------------------------------------------------------
     @property
@@ -75,15 +107,29 @@ class Timeline:
         return list(self._events)
 
     @property
+    def t0(self) -> float:
+        """Earliest event start; raises :class:`EmptyTimelineError` when empty."""
+        if self._t0 is None:
+            raise EmptyTimelineError()
+        return self._t0
+
+    @property
+    def t1(self) -> float:
+        """Latest event end; raises :class:`EmptyTimelineError` when empty."""
+        if self._t1 is None:
+            raise EmptyTimelineError()
+        return self._t1
+
+    @property
     def span(self) -> float:
-        """End-to-end wall time covered by the log."""
-        if not self._events:
+        """End-to-end wall time covered by the log (0 when empty)."""
+        if self._t0 is None:
             return 0.0
-        return max(e.end for e in self._events) - min(e.start for e in self._events)
+        return self._t1 - self._t0
 
     @property
     def end_time(self) -> float:
-        return max((e.end for e in self._events), default=0.0)
+        return self._t1 if self._t1 is not None else 0.0
 
     def of_kind(self, *kinds: EventKind) -> List[TimelineEvent]:
         return [e for e in self._events if e.kind in kinds]
@@ -118,8 +164,7 @@ class Timeline:
         """Render a Figure-9 style two-row timeline as ASCII art."""
         if not self._events:
             return "(empty timeline)"
-        t0 = min(e.start for e in self._events)
-        t1 = max(e.end for e in self._events)
+        t0, t1 = self.t0, self.t1
         scale = (width - 1) / (t1 - t0) if t1 > t0 else 0.0
 
         names = list(streams) if streams else sorted({e.stream for e in self._events})

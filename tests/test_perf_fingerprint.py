@@ -1,0 +1,125 @@
+"""Tests for canonical simulation-point fingerprints.
+
+The cache is only sound if (a) identical points always collide and
+(b) any parameter that changes the simulation changes the digest —
+across processes and hash seeds.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.algo_config import AlgoConfig
+from repro.core.policy import TransferPolicy
+from repro.hw import PAPER_SYSTEM
+from repro.perf import (
+    canonical_json,
+    fingerprint,
+    fingerprint_network,
+    fingerprint_point,
+)
+from repro.zoo import build
+
+
+class TestNetworkFingerprint:
+    def test_identical_builds_fingerprint_identically(self):
+        assert fingerprint_network(build("alexnet", 64)) == \
+            fingerprint_network(build("alexnet", 64))
+
+    def test_memoized_digest_matches_fresh_digest(self):
+        network = build("alexnet", 64)
+        first = fingerprint_network(network)   # computes + memoizes
+        assert fingerprint_network(network) == first
+        assert fingerprint_network(build("alexnet", 64)) == first
+
+    def test_different_networks_differ(self):
+        assert fingerprint_network(build("alexnet", 64)) != \
+            fingerprint_network(build("vgg16", 64))
+
+    def test_batch_size_perturbs_digest(self):
+        assert fingerprint_network(build("alexnet", 64)) != \
+            fingerprint_network(build("alexnet", 65))
+
+    def test_dtype_perturbs_digest(self):
+        fp32 = build("alexnet", 64)
+        fp16 = fp32.with_dtype_bytes(2)
+        assert fingerprint_network(fp32) != fingerprint_network(fp16)
+
+
+class TestPointFingerprint:
+    def _point(self, **overrides):
+        defaults = dict(
+            kind="vdnn",
+            network=build("alexnet", 64),
+            system=PAPER_SYSTEM,
+            policy=TransferPolicy.vdnn_all(),
+            algos=AlgoConfig.memory_optimal(build("alexnet", 64)),
+        )
+        defaults.update(overrides)
+        return fingerprint_point(**defaults)
+
+    def test_identical_points_collide(self):
+        assert self._point() == self._point()
+
+    def test_system_memory_perturbs_digest(self):
+        assert self._point() != self._point(
+            system=PAPER_SYSTEM.with_gpu_memory(6 << 30))
+
+    def test_policy_perturbs_digest(self):
+        assert self._point() != self._point(policy=TransferPolicy.vdnn_conv())
+
+    def test_algos_perturb_digest(self):
+        network = build("alexnet", 64)
+        assert self._point() != self._point(
+            algos=AlgoConfig.performance_optimal(network))
+
+    def test_kind_namespaces_simulators(self):
+        assert self._point() != self._point(kind="baseline")
+
+    def test_extra_parameters_perturb_digest(self):
+        assert self._point(extra={"segment_count": 4}) != \
+            self._point(extra={"segment_count": 5})
+
+
+class TestCanonicalJson:
+    def test_dict_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == \
+            canonical_json({"b": 2, "a": 1})
+
+    def test_set_order_is_irrelevant(self):
+        assert fingerprint({3, 1, 2}) == fingerprint({2, 3, 1})
+
+    def test_live_objects_are_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json(object())
+
+
+def _digest_in_subprocess(hash_seed: str) -> str:
+    """Fingerprint one point in a child interpreter with a fixed seed."""
+    code = (
+        "from repro.perf import fingerprint_point\n"
+        "from repro.hw import PAPER_SYSTEM\n"
+        "from repro.core.algo_config import AlgoConfig\n"
+        "from repro.zoo import build\n"
+        "net = build('alexnet', 32)\n"
+        "print(fingerprint_point('baseline', net, PAPER_SYSTEM,\n"
+        "                        algos=AlgoConfig.memory_optimal(net)))\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src")]
+        + env.get("PYTHONPATH", "").split(os.pathsep))
+    output = subprocess.run(
+        [sys.executable, "-c", code], env=env,
+        capture_output=True, text=True, check=True,
+    )
+    return output.stdout.strip()
+
+
+def test_fingerprints_stable_across_processes_and_hash_seeds():
+    digest_a = _digest_in_subprocess("0")
+    digest_b = _digest_in_subprocess("1")
+    assert digest_a == digest_b
+    assert len(digest_a) == 64  # sha256 hex

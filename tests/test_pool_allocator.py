@@ -165,6 +165,67 @@ class TestPlacementStrategies:
         assert pool.live_bytes == 0
 
 
+class TestBestFitTightestHole:
+    """Best fit must take the *smallest* fitting hole, ties by offset.
+
+    Regression tests for the fragmentation bug where placement picked a
+    larger hole while a snugger one existed, splitting big extents and
+    shrinking ``largest_free_block`` needlessly.
+    """
+
+    def test_mid_sized_request_spares_the_large_hole(self):
+        pool = PoolAllocator(16384)
+        a = pool.alloc(8192)           # offset 0
+        b = pool.alloc(1024)           # offset 8192 (separator)
+        c = pool.alloc(6144)           # offset 9216
+        d = pool.alloc(1024)           # offset 15360 (separator)
+        pool.free(a)                   # hole: 8192 @ 0
+        pool.free(c)                   # hole: 6144 @ 9216
+        block = pool.alloc(4096)
+        # Must carve the 6144 hole, leaving the 8192 extent whole.
+        assert block.offset == 9216
+        assert pool.largest_free_block == 8192
+        pool.check_invariants()
+        pool.free(b)
+        pool.free(d)
+
+    def test_equal_size_holes_tie_break_by_lowest_offset(self):
+        pool = PoolAllocator(8 * ALIGNMENT)
+        blocks = [pool.alloc(ALIGNMENT) for _ in range(8)]
+        pool.free(blocks[1])
+        pool.free(blocks[5])           # two equal 1-granule holes
+        assert pool.alloc(ALIGNMENT).offset == 1 * ALIGNMENT
+        assert pool.alloc(ALIGNMENT).offset == 5 * ALIGNMENT
+
+    def test_largest_free_block_tracks_alloc_and_free(self):
+        pool = PoolAllocator(16 * ALIGNMENT)
+        assert pool.largest_free_block == 16 * ALIGNMENT
+        a = pool.alloc(4 * ALIGNMENT)
+        assert pool.largest_free_block == 12 * ALIGNMENT
+        b = pool.alloc(12 * ALIGNMENT)
+        assert pool.largest_free_block == 0
+        assert not pool.can_fit(1)
+        pool.free(a)
+        assert pool.largest_free_block == 4 * ALIGNMENT
+        pool.free(b)
+        assert pool.largest_free_block == 16 * ALIGNMENT
+
+    def test_index_survives_interleaved_stress(self):
+        pool = PoolAllocator(1 << 18)
+        import random
+
+        rng = random.Random(3)
+        live = []
+        for step in range(600):
+            if live and (rng.random() < 0.45 or not pool.can_fit(4096)):
+                pool.free(live.pop(rng.randrange(len(live))))
+            else:
+                live.append(pool.alloc(rng.choice((256, 1024, 4096))))
+            if step % 50 == 0:
+                pool.check_invariants()
+        pool.check_invariants()
+
+
 class TestStats:
     def test_counters(self):
         pool = PoolAllocator(1 << 20)

@@ -5,6 +5,7 @@ import pytest
 from repro.hw import TITAN_X
 from repro.sim import (
     COMPUTE_STREAM,
+    EmptyTimelineError,
     EventKind,
     MEMORY_STREAM,
     PowerModel,
@@ -63,6 +64,43 @@ class TestTimeline:
 
     def test_render_empty(self):
         assert "empty" in Timeline().render_ascii()
+
+    def test_empty_timeline_bounds_raise_clear_error(self):
+        timeline = Timeline()
+        with pytest.raises(EmptyTimelineError, match="no events"):
+            timeline.t0
+        with pytest.raises(EmptyTimelineError, match="no time bounds"):
+            timeline.t1
+        # EmptyTimelineError stays catchable as the ValueError it was.
+        with pytest.raises(ValueError):
+            timeline.t0
+        assert timeline.span == 0.0
+        assert timeline.end_time == 0.0
+
+    def test_incremental_bounds_match_event_scan(self):
+        timeline = Timeline()
+        intervals = [(3.0, 4.0), (0.5, 2.0), (1.0, 6.0), (5.0, 5.5)]
+        for start, end in intervals:
+            timeline.record("a", EventKind.FORWARD, "x", start, end)
+            events = timeline.events
+            assert timeline.t0 == min(e.start for e in events)
+            assert timeline.t1 == max(e.end for e in events)
+            assert timeline.span == timeline.t1 - timeline.t0
+
+    def test_add_extends_bounds_like_record(self):
+        timeline = Timeline()
+        timeline.add(TimelineEvent("a", EventKind.FORWARD, "x", 2.0, 3.0))
+        timeline.add(TimelineEvent("a", EventKind.FORWARD, "y", 0.0, 1.0))
+        assert timeline.t0 == 0.0
+        assert timeline.t1 == 3.0
+
+    def test_timelines_compare_by_events(self):
+        first, second = Timeline(), Timeline()
+        for timeline in (first, second):
+            timeline.record("a", EventKind.FORWARD, "x", 0.0, 1.0)
+        assert first == second
+        second.record("a", EventKind.BACKWARD, "y", 1.0, 2.0)
+        assert first != second
 
 
 class TestSimStream:
