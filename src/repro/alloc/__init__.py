@@ -1,12 +1,14 @@
 """Memory allocators: device pool (cnmem-style), pinned host, usage stats."""
 
 from .pinned import PinnedBuffer, PinnedHostAllocator, PinnedMemoryError
-from .pool import ALIGNMENT, Allocation, OutOfMemoryError, PoolAllocator
+from .pool import (ALIGNMENT, Allocation, DoubleFreeError, OutOfMemoryError,
+                   PoolAllocator)
 from .stats import UsageSample, UsageTracker
 
 __all__ = [
     "ALIGNMENT",
     "Allocation",
+    "DoubleFreeError",
     "OutOfMemoryError",
     "PinnedBuffer",
     "PinnedHostAllocator",

@@ -65,6 +65,26 @@ class Allocation:
     freed: bool = field(default=False, compare=False)
 
 
+class DoubleFreeError(ValueError):
+    """Raised when an already-released block is freed again.
+
+    Carries the block's placement so the schedule sanitizer (and humans
+    reading a traceback) can say *which* allocation was freed twice, not
+    just that one was.
+    """
+
+    def __init__(self, allocation: "Allocation"):
+        self.offset = allocation.offset
+        self.size = allocation.size
+        self.tag = allocation.tag
+        super().__init__(
+            f"double free of block at offset {allocation.offset} "
+            f"({allocation.size} bytes"
+            + (f", tag {allocation.tag!r}" if allocation.tag else "")
+            + ")"
+        )
+
+
 def _align(nbytes: int) -> int:
     return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
 
@@ -155,7 +175,7 @@ class PoolAllocator:
     def free(self, allocation: Allocation) -> None:
         """Return a block to the pool, coalescing with free neighbours."""
         if allocation.freed:
-            raise ValueError(f"double free of block at offset {allocation.offset}")
+            raise DoubleFreeError(allocation)
         stored = self._live.pop(allocation.offset, None)
         if stored is not allocation:
             raise ValueError(

@@ -1,0 +1,63 @@
+"""Static analysis of generated schedules: the vDNN schedule sanitizer.
+
+Three passes over already-generated artifacts (no re-simulation):
+
+* :mod:`~repro.analysis.hb` — happens-before race detection over
+  :class:`~repro.analysis.trace.ScheduleTrace` (HB0xx rules);
+* :mod:`~repro.analysis.safety` — symbolic replay of the allocation
+  schedule against pool semantics (MS1xx rules);
+* :mod:`~repro.analysis.lint` — AST lint of the repo source for
+  reproducibility invariants (LINT2xx rules).
+
+:mod:`~repro.analysis.verify` drives the trace passes over simulations
+(``repro verify``); :func:`~repro.analysis.verify.verify_schedule`
+covers the multi-tenant scheduler (MT3xx rules).
+
+Attribute access is lazy (PEP 562): ``repro.core.executor`` imports
+:mod:`repro.analysis.trace` while :mod:`repro.analysis.verify` imports
+``repro.core`` — eager re-exports here would close that cycle.
+"""
+
+from __future__ import annotations
+
+#: public name -> defining submodule
+_EXPORTS = {
+    "Diagnostic": "diagnostics",
+    "Report": "diagnostics",
+    "Severity": "diagnostics",
+    "RULES": "diagnostics",
+    "render_reports_json": "diagnostics",
+    "ScheduleTrace": "trace",
+    "TraceOp": "trace",
+    "OpKind": "trace",
+    "HOST_STREAM": "trace",
+    "HBGraph": "hb",
+    "check_races": "hb",
+    "check_memory_safety": "safety",
+    "analyze_trace": "verify",
+    "verify_result": "verify",
+    "verify_point": "verify",
+    "verify_zoo": "verify",
+    "verify_schedule": "verify",
+    "SWEEP_POLICIES": "verify",
+    "lint_paths": "lint",
+    "lint_file": "lint",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,216 @@
+"""Structured diagnostics shared by every analysis pass.
+
+Each finding is one :class:`Diagnostic`: a rule id from the
+:data:`RULES` catalog, a severity, a human-readable message, and
+references back to the evidence (trace ops, timeline events, source
+locations).  Passes append diagnostics to a :class:`Report`, which
+renders them as text for humans or JSON for CI, and decides the process
+exit status (any ERROR fails the gate).
+
+Rule-id namespaces:
+
+* ``HB0xx`` — happens-before races (:mod:`repro.analysis.hb`);
+* ``MS1xx`` — memory-safety violations (:mod:`repro.analysis.safety`);
+* ``MT3xx`` — multi-tenant shared-pool schedules
+  (:func:`repro.analysis.verify.verify_schedule`);
+* ``LINT2xx`` — repo source lint (:mod:`repro.analysis.lint`).
+
+A diagnostic can be suppressed in source with ``# repro: allow(RULE)``
+(lint rules) or filtered by rule id when rendering (see
+:meth:`Report.without`); suppression is deliberate and visible, never
+silent.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ERROR fails the verify/lint gates."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 10, "warning": 20, "error": 30}[self.value]
+
+
+#: rule id -> (default severity, one-line description).  docs/analysis.md
+#: renders this catalog; keep the two in sync.
+RULES: Dict[str, Tuple[Severity, str]] = {
+    # -- happens-before races ------------------------------------------
+    "HB001": (Severity.ERROR,
+              "conflicting accesses to one buffer on different streams "
+              "with no happens-before ordering"),
+    "HB002": (Severity.ERROR,
+              "pool block released before its offload transfer is "
+              "guaranteed complete (missing end-of-layer sync)"),
+    "HB003": (Severity.ERROR,
+              "backward kernel reads a prefetched buffer with no "
+              "ordering edge from the prefetch transfer (missing "
+              "prefetch sync)"),
+    "HB004": (Severity.WARNING,
+              "prefetch issued outside the Fig. 10 CONV-bounded search "
+              "window (X restored too far ahead of its first use)"),
+    # -- memory safety --------------------------------------------------
+    "MS101": (Severity.ERROR,
+              "buffer used (kernel or DMA) while it has no live pool "
+              "allocation (use-after-release or use-before-alloc)"),
+    "MS102": (Severity.ERROR,
+              "buffer freed while not live (double free)"),
+    "MS103": (Severity.ERROR,
+              "non-persistent block still live at iteration end (leak)"),
+    "MS104": (Severity.ERROR,
+              "allocation overlaps bytes another live buffer holds, or "
+              "bytes an in-flight transfer may still be reading"),
+    "MS105": (Severity.ERROR,
+              "feature map released before its last forward consumer "
+              "ran, or discarded without offload while backward still "
+              "needs it (refcount gate of Fig. 3 violated)"),
+    # -- multi-tenant shared pool ---------------------------------------
+    "MT301": (Severity.ERROR,
+              "shared-pool occupancy exceeds the memory budget"),
+    "MT302": (Severity.ERROR,
+              "one job's residency intervals overlap in time"),
+    "MT303": (Severity.ERROR,
+              "pool bytes still live after every job finished "
+              "(job allocation leaked)"),
+    "MT304": (Severity.ERROR,
+              "inconsistent job record (finish before admit, rejected "
+              "job with residency, finished job without admission)"),
+    # -- source lint ----------------------------------------------------
+    "LINT201": (Severity.ERROR,
+                "json.dumps without sort_keys=True in a fingerprint "
+                "path (cache keys must be canonical)"),
+    "LINT202": (Severity.ERROR,
+                "json.dumps with default=str/repr (enums would "
+                "serialize by name/repr, not by value)"),
+    "LINT203": (Severity.ERROR,
+                "wall-clock or unseeded randomness in a pure "
+                "simulation module (breaks replay/caching)"),
+    "LINT204": (Severity.ERROR,
+                "float == / != on a byte/latency quantity (compare "
+                "with a tolerance, or against a literal-zero sentinel)"),
+}
+
+
+def rule_severity(rule: str) -> Severity:
+    return RULES[rule][0]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass."""
+
+    rule: str
+    severity: Severity
+    message: str
+    subject: str = ""              # network/config label, or file for lint
+    location: str = ""             # "file:line" for lint findings
+    refs: Tuple[str, ...] = ()     # evidence: trace-op / event references
+
+    @classmethod
+    def make(cls, rule: str, message: str, subject: str = "",
+             location: str = "", refs: Iterable[str] = ()) -> "Diagnostic":
+        """Build a diagnostic with the rule's catalog severity."""
+        return cls(rule=rule, severity=rule_severity(rule), message=message,
+                   subject=subject, location=location, refs=tuple(refs))
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+            "refs": list(self.refs),
+        }
+
+    def render(self) -> str:
+        where = f"{self.location}: " if self.location else ""
+        refs = f"  [{'; '.join(self.refs)}]" if self.refs else ""
+        return (f"{self.severity.value.upper():7s} {self.rule} "
+                f"{where}{self.message}{refs}")
+
+
+@dataclass
+class Report:
+    """Diagnostics from one analysis run over one subject."""
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, rule: str, message: str, location: str = "",
+            refs: Iterable[str] = ()) -> Diagnostic:
+        diagnostic = Diagnostic.make(rule, message, subject=self.subject,
+                                     location=location, refs=refs)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when the subject passed the gate (no ERROR findings)."""
+        return not self.errors
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    def without(self, *rules: str) -> "Report":
+        """A copy with the given rule ids filtered out (suppression)."""
+        return Report(self.subject, [
+            d for d in self.diagnostics if d.rule not in rules
+        ])
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def render_text(self) -> str:
+        status = "ok" if self.ok else f"FAIL ({len(self.errors)} error(s))"
+        lines = [f"{self.subject or '(unnamed)'}: {status}"]
+        for diagnostic in sorted(
+                self.diagnostics,
+                key=lambda d: (-d.severity.rank, d.rule, d.location)):
+            lines.append("  " + diagnostic.render())
+        return "\n".join(lines)
+
+
+def render_reports_json(reports: List[Report]) -> str:
+    """Aggregate JSON for a batch of reports (the ``--format json`` CLI)."""
+    payload = {
+        "ok": all(r.ok for r in reports),
+        "errors": sum(len(r.errors) for r in reports),
+        "warnings": sum(len(r.warnings) for r in reports),
+        "reports": [r.to_dict() for r in reports],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

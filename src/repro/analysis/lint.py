@@ -1,0 +1,247 @@
+"""AST lint for the repo's reproducibility invariants (pass 3).
+
+Run as ``python -m repro.analysis.lint [paths...]``.  Unlike the trace
+passes, this one reads *source*, because the bugs it guards against are
+invisible at runtime until a cache silently goes stale:
+
+* **LINT201** — ``json.dumps`` without ``sort_keys=True`` inside a
+  fingerprint path.  Fingerprints key the simulation result cache; dict
+  ordering must never leak into them.
+* **LINT202** — ``json.dumps(..., default=str)`` (or ``repr``): enums
+  would serialize by their ``str()``/``repr()`` form instead of their
+  stable ``.value``, so renaming a member would silently re-key caches.
+* **LINT203** — wall-clock reads (``time.time()`` & friends) or
+  unseeded module-level ``random`` calls inside a pure simulation
+  module.  Simulated time must come from the simulation; host time or
+  hidden RNG state breaks replay and cache hits.  ``random.Random(seed)``
+  instances are fine.
+* **LINT204** — ``==`` / ``!=`` between byte/latency quantities.  These
+  are accumulated floats; exact comparison is only legitimate against a
+  literal ``0``/``0.0``/``None`` sentinel (which is exempt).
+
+A finding is suppressed by putting ``# repro: allow(RULE)`` on the
+offending line.  Suppressions are visible in the diff; that is the
+point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List, Sequence, Set
+
+from .diagnostics import Diagnostic, Report, render_reports_json
+
+#: Files whose json.dumps calls feed cache fingerprints (LINT201 scope).
+FINGERPRINT_PATHS = (
+    "perf/fingerprint.py",
+    "perf/cache.py",
+    "core/cached.py",
+)
+
+#: Packages whose modules must be pure functions of their inputs
+#: (LINT203 scope).  ``numerics`` (host-side reference math) and
+#: ``profiler`` (wall-clock by design) are deliberately out.
+PURE_PACKAGES = ("sim", "alloc", "core", "sched", "kernels", "hw",
+                 "graph", "perf")
+
+#: Wall-clock entry points LINT203 rejects in pure modules.
+_CLOCK_CALLS = {("time", "time"), ("time", "monotonic"),
+                ("time", "perf_counter"), ("time", "process_time"),
+                ("datetime", "now"), ("datetime", "utcnow")}
+
+#: Identifier substrings marking a byte/latency quantity (LINT204).
+_QUANTITY = re.compile(
+    r"(bytes|seconds|latency|bandwidth|duration|throughput)", re.IGNORECASE)
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\(([A-Z]+\d+)\)")
+
+
+def _suppressions(source: str) -> dict:
+    """line number -> set of rule ids allowed on that line."""
+    allowed: dict = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _ALLOW.finditer(line):
+            allowed.setdefault(lineno, set()).add(match.group(1))
+    return allowed
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.allowed = _suppressions(source)
+        self.in_fingerprint_path = any(rel.endswith(p)
+                                       for p in FINGERPRINT_PATHS)
+        parts = Path(rel).parts
+        if "repro" in parts:
+            # Anchor on the package component so out-of-tree checkouts
+            # and absolute paths scope identically.
+            package = parts[len(parts) - 1 - parts[::-1].index("repro") + 1:]
+        else:
+            package = parts
+        self.pure = len(package) >= 2 and package[0] in PURE_PACKAGES
+        self.diagnostics: List[Diagnostic] = []
+
+    def report(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if rule in self.allowed.get(lineno, set()):
+            return
+        self.diagnostics.append(Diagnostic.make(
+            rule, message, subject=self.rel,
+            location=f"{self.rel}:{lineno}"))
+
+    # ------------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            self._check_module_call(node, func.value.id, func.attr)
+        self.generic_visit(node)
+
+    def _check_module_call(self, node: ast.Call, module: str,
+                           name: str) -> None:
+        if module == "json" and name == "dumps":
+            self._check_dumps(node)
+        if not self.pure:
+            return
+        if (module, name) in _CLOCK_CALLS:
+            self.report(
+                "LINT203", node,
+                f"wall-clock read {module}.{name}() in a pure simulation "
+                f"module; simulated time must come from the simulation")
+        elif module == "random" and name != "Random":
+            self.report(
+                "LINT203", node,
+                f"module-level random.{name}() in a pure simulation "
+                f"module; use a seeded random.Random instance")
+        elif module == "random" and name == "Random" and not node.args \
+                and not node.keywords:
+            self.report(
+                "LINT203", node,
+                "random.Random() without a seed in a pure simulation "
+                "module; pass an explicit seed")
+
+    def _check_dumps(self, node: ast.Call) -> None:
+        keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        if self.in_fingerprint_path:
+            sort_keys = keywords.get("sort_keys")
+            if not (isinstance(sort_keys, ast.Constant)
+                    and sort_keys.value is True):
+                self.report(
+                    "LINT201", node,
+                    "json.dumps in a fingerprint path must pass "
+                    "sort_keys=True (cache keys must be canonical)")
+        default = keywords.get("default")
+        if isinstance(default, ast.Name) and default.id in ("str", "repr"):
+            self.report(
+                "LINT202", node,
+                f"json.dumps(default={default.id}) serializes enums by "
+                f"{default.id}(); serialize by .value instead")
+
+    # ------------------------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                self._check_quantity_eq(node, left, right)
+        self.generic_visit(node)
+
+    def _check_quantity_eq(self, node: ast.Compare, left: ast.AST,
+                           right: ast.AST) -> None:
+        if _is_zero_or_none(left) or _is_zero_or_none(right):
+            return
+        for side in (left, right):
+            name = _identifier(side)
+            if name and _QUANTITY.search(name):
+                self.report(
+                    "LINT204", node,
+                    f"exact ==/!= on quantity {name!r}; compare with a "
+                    f"tolerance (accumulated floats are not exact)")
+                return
+
+    def finish(self) -> List[Diagnostic]:
+        return self.diagnostics
+
+
+def _identifier(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _is_zero_or_none(node: ast.AST) -> bool:
+    """Literal 0 / 0.0 / None: the legitimate exact sentinels."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None
+        or (isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool) and node.value == 0))
+
+
+# ----------------------------------------------------------------------
+def lint_file(path: Path, root: Path) -> List[Diagnostic]:
+    """Lint one source file; ``root`` anchors the relative path."""
+    try:
+        rel = str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        rel = str(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [Diagnostic.make(
+            "LINT203", f"file does not parse: {error}",
+            subject=rel, location=f"{rel}:{error.lineno or 0}")]
+    linter = _Linter(path, rel, source)
+    linter.visit(tree)
+    return linter.finish()
+
+
+def default_root() -> Path:
+    """The ``src/`` directory this installation of repro lives in."""
+    return Path(__file__).resolve().parents[2]
+
+
+def lint_paths(paths: Sequence[Path], root: Path = None) -> Report:
+    """Lint every ``.py`` file under the given paths into one report."""
+    root = root or default_root()
+    seen: Set[Path] = set()
+    report = Report(subject="lint")
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            resolved = file.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            report.extend(lint_file(file, root))
+    return report
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="AST lint for reproducibility invariants "
+                    "(LINT201-LINT204)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: the repro "
+                             "package)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [default_root() / "repro"]
+    report = lint_paths(paths)
+    if args.format == "json":
+        print(render_reports_json([report]))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

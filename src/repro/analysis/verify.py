@@ -1,0 +1,209 @@
+"""The schedule sanitizer driver: simulate once, then verify statically.
+
+``verify_point`` runs one (network, policy, algo) simulation with
+``verify=True`` — the executor records a :class:`ScheduleTrace`
+alongside its timeline — and feeds the trace to both analysis passes
+(:mod:`repro.analysis.hb` and :mod:`repro.analysis.safety`).  No
+re-simulation happens per rule: the passes are pure functions of the
+already-generated artifacts.
+
+``verify_zoo`` sweeps every zoo network across the paper's policy grid
+{base, vDNN_conv, vDNN_all, vDNN_dyn} x {m, p} (dynamic picks its own
+algorithms, so it contributes one point), optionally fanning points out
+over worker processes — the CI ``verify-sweep`` gate.
+
+``verify_schedule`` checks the multi-tenant scheduler's shared-pool
+schedules (MT3xx rules): budget never exceeded, residency intervals
+well-formed, no job allocation leaked, lifecycle records consistent.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.algo_config import AlgoConfig
+from ..core.dynamic import UntrainableError, plan_dynamic
+from ..core.executor import IterationResult, simulate_baseline, simulate_vdnn
+from ..core.liveness import LivenessAnalysis
+from ..core.policy import TransferPolicy
+from ..graph.network import Network
+from ..hw.config import PAPER_SYSTEM, SystemConfig
+from ..sched.scheduler import ScheduleResult
+from ..sim.timeline import EventKind
+from .diagnostics import Report
+from .hb import HBGraph, check_races
+from .safety import check_memory_safety
+from .trace import ScheduleTrace
+
+#: The CI sweep grid: the four paper policies; dynamic selects its own
+#: algorithm configuration, so it is one point instead of two.
+SWEEP_POLICIES: Tuple[Tuple[str, str], ...] = (
+    ("base", "m"), ("base", "p"),
+    ("conv", "m"), ("conv", "p"),
+    ("all", "m"), ("all", "p"),
+    ("dyn", "-"),
+)
+
+
+def analyze_trace(
+    trace: ScheduleTrace,
+    network: Optional[Network] = None,
+    liveness: Optional[LivenessAnalysis] = None,
+    subject: str = "",
+) -> Report:
+    """Run both trace passes (races, memory safety) over one trace."""
+    report = Report(subject=subject)
+    hb = HBGraph(trace)
+    report.extend(check_races(trace, hb, network=network, subject=subject))
+    report.extend(check_memory_safety(trace, hb, liveness=liveness,
+                                      subject=subject))
+    return report
+
+
+def verify_result(result: IterationResult,
+                  network: Optional[Network] = None,
+                  subject: str = "") -> Report:
+    """Verify an executor result that carries a schedule trace."""
+    subject = subject or f"{result.network_name} {result.label}"
+    if result.schedule_trace is None:
+        raise ValueError(
+            f"{subject}: result carries no schedule trace; re-run the "
+            f"simulation with verify=True")
+    if result.failure and "pinned" in result.failure:
+        # The iteration aborted mid-flight: the trace is truncated, so
+        # its dangling lifetimes are artifacts, not leaks.
+        return Report(subject=f"{subject} (aborted: {result.failure})")
+    liveness = LivenessAnalysis(network) if network is not None else None
+    return analyze_trace(result.schedule_trace, network=network,
+                         liveness=liveness, subject=subject)
+
+
+def verify_point(
+    network: Network,
+    policy: str = "all",
+    algo: str = "p",
+    system: Optional[SystemConfig] = None,
+) -> Report:
+    """Simulate one configuration with tracing on, then verify it."""
+    system = system or PAPER_SYSTEM
+    subject = f"{network.name} {policy}({algo})"
+    if policy == "base":
+        algos = _algos(network, algo)
+        result = simulate_baseline(network, system, algos, verify=True)
+    elif policy == "dyn":
+        subject = f"{network.name} dyn"
+        try:
+            plan = plan_dynamic(network, system)
+        except UntrainableError:
+            # Nothing to verify: the planner found no feasible schedule,
+            # so no schedule exists to be racy or unsafe.
+            return Report(subject=f"{subject} (untrainable, skipped)")
+        result = simulate_vdnn(network, system, plan.policy, plan.algos,
+                               verify=True)
+    else:
+        transfer = {
+            "all": TransferPolicy.vdnn_all,
+            "conv": TransferPolicy.vdnn_conv,
+            "none": TransferPolicy.none,
+        }[policy]()
+        result = simulate_vdnn(network, system, transfer,
+                               _algos(network, algo), verify=True)
+    return verify_result(result, network=network, subject=subject)
+
+
+def _algos(network: Network, algo: str) -> AlgoConfig:
+    if algo == "m":
+        return AlgoConfig.memory_optimal(network)
+    return AlgoConfig.performance_optimal(network)
+
+
+# ----------------------------------------------------------------------
+# Zoo sweep (the CI gate)
+# ----------------------------------------------------------------------
+def _verify_point_task(task: Tuple[str, Optional[int], str, str]) -> Report:
+    """Worker entry: build the network in-process and verify one point."""
+    from ..zoo import build
+
+    name, batch, policy, algo = task
+    return verify_point(build(name, batch), policy=policy, algo=algo)
+
+
+def verify_zoo(
+    names: Optional[Sequence[str]] = None,
+    batch: Optional[int] = None,
+    jobs: int = 1,
+    policies: Sequence[Tuple[str, str]] = SWEEP_POLICIES,
+) -> List[Report]:
+    """Verify every (network, policy, algo) point of the sweep grid."""
+    from ..zoo import available
+
+    names = list(names) if names else available()
+    tasks = [(name, batch, policy, algo)
+             for name in names for policy, algo in policies]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(_verify_point_task, tasks))
+    return [_verify_point_task(task) for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant shared-pool schedules
+# ----------------------------------------------------------------------
+def verify_schedule(result: ScheduleResult, subject: str = "") -> Report:
+    """Check one multi-tenant schedule's shared-pool invariants."""
+    report = Report(subject=subject or f"multi-tenant {result.policy}")
+
+    if result.peak_pool_bytes > result.budget_bytes:
+        report.add(
+            "MT301",
+            f"pool high-water {result.peak_pool_bytes} bytes exceeds "
+            f"budget {result.budget_bytes} bytes")
+
+    # Independent of the usage samples: reconstruct concurrent occupancy
+    # from the per-job RUN intervals and sweep the boundaries.
+    boundaries = []
+    for event in result.timeline.of_kind(EventKind.RUN):
+        boundaries.append((event.start, event.nbytes))
+        boundaries.append((event.end, -event.nbytes))
+    occupancy, worst = 0, 0
+    for _time, delta in sorted(boundaries):
+        occupancy += delta
+        worst = max(worst, occupancy)
+    if worst > result.budget_bytes:
+        report.add(
+            "MT301",
+            f"concurrent job footprints reach {worst} bytes, over the "
+            f"{result.budget_bytes}-byte budget")
+
+    for record in result.records:
+        intervals = sorted((start, end) for start, end, _n in record.residency)
+        for (s0, e0), (s1, _e1) in zip(intervals, intervals[1:]):
+            if s1 < e0:
+                report.add(
+                    "MT302",
+                    f"job {record.job.name} residency [{s1}, ...) starts "
+                    f"before [{s0}, {e0}) ends")
+        if record.state.value == "finished":
+            if record.admit_time is None:
+                report.add(
+                    "MT304",
+                    f"job {record.job.name} finished without admission")
+            elif record.finish_time is not None \
+                    and record.finish_time < record.admit_time:
+                report.add(
+                    "MT304",
+                    f"job {record.job.name} finishes at "
+                    f"{record.finish_time} before its admission at "
+                    f"{record.admit_time}")
+        elif record.state.value == "rejected" and record.residency:
+            report.add(
+                "MT304",
+                f"rejected job {record.job.name} has residency intervals")
+
+    if result.final_pool_live_bytes:
+        report.add(
+            "MT303",
+            f"{result.final_pool_live_bytes} bytes still live in the "
+            f"shared pool after the last event")
+    return report

@@ -8,7 +8,9 @@ Commands:
 * ``capacity`` — max trainable batch per policy;
 * ``figures`` — regenerate one or all paper figures;
 * ``train-demo`` — run real numpy training under a memory budget;
-* ``schedule`` — pack concurrent training jobs onto one virtualized GPU.
+* ``schedule`` — pack concurrent training jobs onto one virtualized GPU;
+* ``verify`` — run the schedule sanitizer (race + memory-safety passes)
+  over simulated schedules; see docs/analysis.md.
 """
 
 from __future__ import annotations
@@ -217,6 +219,47 @@ def _cmd_schedule(args) -> int:
     return 0 if finished == len(result.records) else 1
 
 
+def _cmd_verify(args) -> int:
+    from .analysis.diagnostics import render_reports_json
+    from .analysis.verify import (SWEEP_POLICIES, verify_point,
+                                  verify_schedule, verify_zoo)
+
+    reports = []
+    if args.all_zoo:
+        reports.extend(verify_zoo(batch=args.batch, jobs=args.jobs))
+        # The multi-tenant scheduler's shared-pool schedules, one per
+        # admission policy over the headline workload.
+        from .sched import Job, schedule_jobs
+
+        jobs = [Job.parse(spec, index)
+                for index, spec in enumerate(DEFAULT_WORKLOAD.split(","))]
+        for policy in ("fifo", "sjf", "best_fit"):
+            result = schedule_jobs(jobs, system=PAPER_SYSTEM, policy=policy)
+            reports.append(verify_schedule(result))
+    elif args.network:
+        network = build(args.network, args.batch)
+        if args.policy:
+            reports.append(verify_point(network, args.policy, args.algo))
+        else:
+            for policy, algo in SWEEP_POLICIES:
+                reports.append(verify_point(network, policy, algo))
+    else:
+        print("verify: give a network or --all-zoo", file=sys.stderr)
+        return 2
+
+    ok = all(r.ok for r in reports)
+    if args.format == "json":
+        print(render_reports_json(reports))
+    else:
+        for report in reports:
+            print(report.render_text())
+        errors = sum(len(r.errors) for r in reports)
+        warnings = sum(len(r.warnings) for r in reports)
+        print(f"\n{len(reports)} schedule(s) verified: "
+              f"{errors} error(s), {warnings} warning(s)")
+    return 0 if ok else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +324,24 @@ def make_parser() -> argparse.ArgumentParser:
     p_sched.add_argument("--trace", default=None,
                          help="write a Chrome trace with one lane per job")
 
+    p_verify = sub.add_parser(
+        "verify", help="run the schedule sanitizer over simulated plans")
+    p_verify.add_argument("network", nargs="?", choices=available(),
+                          help="verify one network (default: whole sweep "
+                               "grid for it)")
+    p_verify.add_argument("--batch", type=int, default=None)
+    p_verify.add_argument("--policy", default=None,
+                          choices=["all", "conv", "none", "base", "dyn"],
+                          help="verify one policy point instead of the grid")
+    p_verify.add_argument("--algo", default="p", choices=["m", "p"])
+    p_verify.add_argument("--all-zoo", action="store_true",
+                          help="verify every zoo network x policy point "
+                               "plus the multi-tenant schedules")
+    p_verify.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the sweep")
+    p_verify.add_argument("--format", choices=["text", "json"],
+                          default="text")
+
     return parser
 
 
@@ -293,6 +354,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "train-demo": _cmd_train_demo,
     "schedule": _cmd_schedule,
+    "verify": _cmd_verify,
 }
 
 

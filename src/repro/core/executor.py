@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from ..alloc.pinned import PinnedHostAllocator, PinnedMemoryError
 from ..alloc.pool import Allocation, PoolAllocator
 from ..alloc.stats import UsageTracker
+from ..analysis.trace import ScheduleTrace
 from ..graph.layer import LayerKind
 from ..graph.network import Network
 from ..hw.config import SystemConfig
@@ -77,6 +78,11 @@ class IterationResult:
     pinned_peak_bytes: int
     compute_stall_seconds: float
     offloaded_layers: List[int] = field(default_factory=list)
+    #: Populated only when the simulation ran with ``verify=True``; the
+    #: schedule sanitizer's input (see :mod:`repro.analysis`).  Excluded
+    #: from equality: tracing must not change what a result *is*.
+    schedule_trace: Optional[ScheduleTrace] = field(
+        default=None, compare=False, repr=False)
 
     @property
     def max_usage_bytes(self) -> int:
@@ -136,6 +142,7 @@ def simulate_baseline(
     network: Network,
     system: SystemConfig,
     algos: AlgoConfig,
+    verify: bool = False,
 ) -> IterationResult:
     """One iteration under the network-wide allocation policy."""
     latency = LatencyModel(system.gpu)
@@ -147,19 +154,37 @@ def simulate_baseline(
     usage = UsageTracker()
     usage.record(0.0, total)
 
+    # Baseline has one network-wide reservation and one stream: the
+    # trace degenerates to alloc / kernels / free, but running it through
+    # the sanitizer still checks the MS1xx lifetime rules.
+    trace = ScheduleTrace() if verify else None
+    if trace is not None:
+        trace.alloc("NET", total, label="network-wide")
+
     for index in network.forward_schedule():
         node = network[index]
         if node.kind is LayerKind.INPUT:
             continue
         timing = latency.forward(network, node, algos.profile(node))
-        compute.enqueue(EventKind.FORWARD, node.name, timing.seconds,
-                        nbytes=int(timing.dram_bytes), layer_index=index)
+        event = compute.enqueue(EventKind.FORWARD, node.name, timing.seconds,
+                                nbytes=int(timing.dram_bytes), layer_index=index)
+        if trace is not None:
+            trace.kernel(node.name, compute.name, reads=("NET",),
+                         writes=("NET",), layer=index, phase="fwd",
+                         start=event.start, end=event.end)
     for index in network.backward_schedule():
         node = network[index]
         timing = latency.backward(network, node, algos.profile(node))
-        compute.enqueue(EventKind.BACKWARD, node.name, timing.seconds,
-                        nbytes=int(timing.dram_bytes), layer_index=index)
+        event = compute.enqueue(EventKind.BACKWARD, node.name, timing.seconds,
+                                nbytes=int(timing.dram_bytes), layer_index=index)
+        if trace is not None:
+            trace.kernel(node.name, compute.name, reads=("NET",),
+                         writes=("NET",), layer=index, phase="bwd",
+                         start=event.start, end=event.end)
 
+    if trace is not None:
+        trace.free("NET", compute.name, label="network-wide", phase="end",
+                   start=timeline.end_time)
     usage.record(timeline.end_time, total)
     trainable = total <= system.gpu.memory_bytes
     return IterationResult(
@@ -183,6 +208,7 @@ def simulate_baseline(
         prefetch_bytes=0,
         pinned_peak_bytes=0,
         compute_stall_seconds=0.0,
+        schedule_trace=trace,
     )
 
 
@@ -200,6 +226,7 @@ class _VDNNSimulation:
         algos: AlgoConfig,
         bounded_prefetch_window: bool = True,
         sync_after_offload: bool = True,
+        verify: bool = False,
     ):
         self.network = network
         self.system = system
@@ -207,6 +234,11 @@ class _VDNNSimulation:
         self.algos = algos
         self.bounded_prefetch_window = bounded_prefetch_window
         self.sync_after_offload = sync_after_offload
+        self.trace: Optional[ScheduleTrace] = ScheduleTrace() if verify else None
+        # pool offset -> (trace buffer id, storage owner) of the live
+        # block there; offsets are unique among live blocks, so this maps
+        # every Allocation back to its trace identity at free time.
+        self._traced: Dict[int, tuple] = {}
 
         self.latency = LatencyModel(system.gpu)
         self.liveness = LivenessAnalysis(network)
@@ -237,24 +269,61 @@ class _VDNNSimulation:
     def _sample(self) -> None:
         self.usage.record(self.compute.ready_time, self.pool.live_bytes)
 
-    def _alloc(self, owner: int, nbytes: int, tag: str) -> Allocation:
+    def _alloc(self, owner: int, nbytes: int, tag: str,
+               buffer: str = "", layer: int = -1, towner: int = -1,
+               persistent: bool = False) -> Allocation:
+        """Pool allocation; ``buffer``/``towner`` name it in the trace.
+
+        ``towner`` is the storage-owner layer recorded for feature/
+        gradient buffers (the refcount-gate rule keys on it); workspace
+        and weight blocks pass -1 so the gate never applies to them.
+        """
         allocation = self.pool.alloc(nbytes, tag)
         self._sample()
+        if self.trace is not None and buffer:
+            self.trace.alloc(
+                buffer, nbytes, offset=allocation.offset,
+                size=allocation.size, label=tag, layer=layer,
+                owner=towner, persistent=persistent,
+                start=self.compute.ready_time,
+            )
+            self._traced[allocation.offset] = (buffer, towner)
         return allocation
 
-    def _free(self, allocation: Allocation) -> None:
+    def _free(self, allocation: Allocation, layer: int = -1,
+              phase: str = "") -> None:
+        if self.trace is not None:
+            buffer, towner = self._traced.pop(allocation.offset, ("", -1))
+            if buffer:
+                self.trace.free(
+                    buffer, self.compute.name, offset=allocation.offset,
+                    size=allocation.size, label=allocation.tag,
+                    layer=layer, owner=towner, phase=phase,
+                    start=self.compute.ready_time,
+                )
         self.pool.free(allocation)
         self._sample()
 
     def _stall(self, label: str, layer_index: int) -> None:
         """Synchronize compute behind memory, logging any wasted time."""
         before = self.compute.ready_time
+        if self.trace is not None:
+            # Always traced, even when it costs nothing: a free sync is
+            # still the ordering edge the later release depends on.
+            self.trace.sync(self.memory.name, label=label,
+                            layer=layer_index, start=before)
         stall = self.compute.wait_for(self.memory)
         if stall > 0:
             self.stall_seconds += stall
             self.timeline.record(
                 self.compute.name, EventKind.STALL, label,
                 before, before + stall, layer_index=layer_index,
+            )
+        if self.trace is not None:
+            self.timeline.record(
+                self.compute.name, EventKind.SYNC, label,
+                before + max(stall, 0.0), before + max(stall, 0.0),
+                layer_index=layer_index,
             )
 
     # -- persistent allocations ----------------------------------------
@@ -271,8 +340,12 @@ class _VDNNSimulation:
             if not node.weight_bytes:
                 continue
             if node.is_feature_extraction:
-                self._alloc(node.index, node.weight_bytes, f"W[{node.name}]")
-                self._alloc(node.index, node.weight_bytes, f"dW[{node.name}]")
+                self._alloc(node.index, node.weight_bytes, f"W[{node.name}]",
+                            buffer=f"W{node.index}", layer=node.index,
+                            persistent=True)
+                self._alloc(node.index, node.weight_bytes, f"dW[{node.name}]",
+                            buffer=f"dW{node.index}", layer=node.index,
+                            persistent=True)
             else:
                 self.external_bytes += 2 * node.weight_bytes
             persistent += 2 * node.weight_bytes
@@ -291,7 +364,9 @@ class _VDNNSimulation:
         if not node.in_place:
             storage = self.liveness.storage_of(index)
             self.device[storage.owner] = self._alloc(
-                storage.owner, storage.nbytes, f"Y[{node.name}]"
+                storage.owner, storage.nbytes, f"Y[{node.name}]",
+                buffer=f"Y{storage.owner}", layer=index,
+                towner=storage.owner,
             )
 
         if node.kind is LayerKind.INPUT:
@@ -300,13 +375,27 @@ class _VDNNSimulation:
         workspace: Optional[Allocation] = None
         ws_bytes = self.algos.workspace_bytes(node)
         if ws_bytes:
-            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]")
+            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]",
+                                    buffer=f"WSf{index}", layer=index)
 
         timing = self.latency.forward(self.network, node, self.algos.profile(node))
         fwd = self.compute.enqueue(
             EventKind.FORWARD, node.name, timing.seconds,
             nbytes=int(timing.dram_bytes), layer_index=index,
         )
+        fwd_op = None
+        if self.trace is not None:
+            reads = [f"Y{s.owner}" for s in self.liveness.input_storages(index)]
+            if node.weight_bytes and node.is_feature_extraction:
+                reads.append(f"W{index}")
+            own = self.liveness.storage_of(index)
+            writes = [f"Y{own.owner}"]
+            if workspace is not None:
+                writes.append(f"WSf{index}")
+            fwd_op = self.trace.kernel(
+                node.name, self.compute.name, reads=reads, writes=writes,
+                layer=index, phase="fwd", start=fwd.start, end=fwd.end,
+            )
 
         # Offload/release any input storage whose last consumer we are
         # (the refcount gate of Figure 3).
@@ -320,13 +409,14 @@ class _VDNNSimulation:
             else:
                 # Dead after forward: release without any transfer
                 # (the black-X arrows of Figure 7).
-                self._free(self.device.pop(storage.owner))
+                self._free(self.device.pop(storage.owner),
+                           layer=index, phase="fwd")
 
         if offloads:
             for storage in offloads:
                 buffer = self.pinned.alloc(storage.nbytes, f"host[{storage.owner}]")
                 self.host_buffers[storage.owner] = buffer
-                self.memory.enqueue(
+                transfer = self.memory.enqueue(
                     EventKind.OFFLOAD,
                     self.network[storage.owner].name,
                     self.system.pcie.dma_time(storage.nbytes),
@@ -334,6 +424,20 @@ class _VDNNSimulation:
                     nbytes=storage.nbytes,
                     layer_index=index,
                 )
+                if self.trace is not None:
+                    # The DMA starts no earlier than the trigger kernel,
+                    # i.e. after everything before it on compute: the
+                    # event-wait edge that keeps the producer ordered
+                    # before the transfer that reads its output.
+                    self.trace.offload(
+                        f"Y{storage.owner}", self.memory.name,
+                        nbytes=storage.nbytes,
+                        label=f"off[{self.network[storage.owner].name}]",
+                        layer=index, owner=storage.owner, target_layer=index,
+                        wait_stream=self.compute.name,
+                        wait_pos=fwd_op.pos - 1,
+                        start=transfer.start, end=transfer.end,
+                    )
                 self.offload_bytes += storage.nbytes
             self.offloaded_at[index] = offloads
             self.state.mark_offloaded(index)
@@ -342,10 +446,11 @@ class _VDNNSimulation:
             if self.sync_after_offload:
                 self._stall(f"offload-sync {node.name}", index)
             for storage in offloads:
-                self._free(self.device.pop(storage.owner))
+                self._free(self.device.pop(storage.owner),
+                           layer=index, phase="fwd")
 
         if workspace is not None:
-            self._free(workspace)
+            self._free(workspace, layer=index, phase="fwd")
 
     # -- backward pass ---------------------------------------------------
     def run_backward(self) -> None:
@@ -367,9 +472,10 @@ class _VDNNSimulation:
     def _restore_on_demand(self, storage: StorageInfo, index: int) -> None:
         """Blocking prefetch for data the scheduler failed to stage."""
         self.device[storage.owner] = self._alloc(
-            storage.owner, storage.nbytes, f"X[{storage.owner}](demand)"
+            storage.owner, storage.nbytes, f"X[{storage.owner}](demand)",
+            buffer=f"Y{storage.owner}", layer=index, towner=storage.owner,
         )
-        self.memory.enqueue(
+        transfer = self.memory.enqueue(
             EventKind.PREFETCH,
             self.network[storage.owner].name + "(demand)",
             self.system.pcie.dma_time(storage.nbytes),
@@ -377,6 +483,16 @@ class _VDNNSimulation:
             nbytes=storage.nbytes,
             layer_index=index,
         )
+        if self.trace is not None:
+            self.trace.prefetch(
+                f"Y{storage.owner}", self.memory.name,
+                nbytes=storage.nbytes,
+                label=f"pre[{self.network[storage.owner].name}](demand)",
+                layer=index, owner=storage.owner,
+                wait_stream=self.compute.name,
+                wait_pos=self.trace.position(self.compute.name),
+                demand=True, start=transfer.start, end=transfer.end,
+            )
         self.prefetch_bytes += storage.nbytes
         self._stall(f"demand-fetch {storage.owner}", index)
         self.pinned.free(self.host_buffers.pop(storage.owner))
@@ -395,13 +511,16 @@ class _VDNNSimulation:
             if storage.needs_gradient and storage.gradient_alloc_at == index \
                     and storage.owner not in self.gradients:
                 self.gradients[storage.owner] = self._alloc(
-                    storage.owner, storage.nbytes, f"dY[{storage.owner}]"
+                    storage.owner, storage.nbytes, f"dY[{storage.owner}]",
+                    buffer=f"dY{storage.owner}", layer=index,
+                    towner=storage.owner,
                 )
 
         workspace: Optional[Allocation] = None
         ws_bytes = self.algos.workspace_bytes(node)
         if ws_bytes:
-            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]")
+            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]",
+                                    buffer=f"WSb{index}", layer=index)
 
         # Figure 10: launch (at most) one prefetch overlapped with this
         # backward kernel.
@@ -416,9 +535,11 @@ class _VDNNSimulation:
                 if self.restored.get(storage.owner):
                     continue
                 self.device[storage.owner] = self._alloc(
-                    storage.owner, storage.nbytes, f"X[{storage.owner}](pre)"
+                    storage.owner, storage.nbytes, f"X[{storage.owner}](pre)",
+                    buffer=f"Y{storage.owner}", layer=index,
+                    towner=storage.owner,
                 )
-                self.memory.enqueue(
+                transfer = self.memory.enqueue(
                     EventKind.PREFETCH,
                     self.network[storage.owner].name,
                     self.system.pcie.dma_time(storage.nbytes),
@@ -426,16 +547,45 @@ class _VDNNSimulation:
                     nbytes=storage.nbytes,
                     layer_index=index,
                 )
+                if self.trace is not None:
+                    self.trace.prefetch(
+                        f"Y{storage.owner}", self.memory.name,
+                        nbytes=storage.nbytes,
+                        label=f"pre[{self.network[storage.owner].name}]",
+                        layer=index, owner=storage.owner,
+                        target_layer=prefetch_target,
+                        wait_stream=self.compute.name,
+                        wait_pos=self.trace.position(self.compute.name),
+                        start=transfer.start, end=transfer.end,
+                    )
                 self.prefetch_bytes += storage.nbytes
                 self.pinned.free(self.host_buffers.pop(storage.owner))
                 self.restored[storage.owner] = True
                 launched_prefetch = True
 
         timing = self.latency.backward(self.network, node, self.algos.profile(node))
-        self.compute.enqueue(
+        bwd = self.compute.enqueue(
             EventKind.BACKWARD, node.name, timing.seconds,
             nbytes=int(timing.dram_bytes), layer_index=index,
         )
+        if self.trace is not None:
+            own = self.liveness.storage_of(index)
+            reads = [f"Y{s.owner}" for s in self._required_storages(index)]
+            if own.owner in self.gradients:
+                reads.append(f"dY{own.owner}")
+            if node.weight_bytes and node.is_feature_extraction:
+                reads.append(f"W{index}")
+            writes = [f"dY{s.owner}"
+                      for s in self.liveness.input_storages(index)
+                      if s.owner in self.gradients and s.owner != own.owner]
+            if node.weight_bytes and node.is_feature_extraction:
+                writes.append(f"dW{index}")
+            if workspace is not None:
+                writes.append(f"WSb{index}")
+            self.trace.kernel(
+                node.name, self.compute.name, reads=reads, writes=writes,
+                layer=index, phase="bwd", start=bwd.start, end=bwd.end,
+            )
 
         # "Any prefetch operation launched during layer(n)'s backward
         # computation is guaranteed to be ready before layer(n-1)'s."
@@ -447,22 +597,22 @@ class _VDNNSimulation:
             if storage.needed_backward and storage.backward_release_after == index:
                 allocation = self.device.pop(storage.owner, None)
                 if allocation is not None:
-                    self._free(allocation)
+                    self._free(allocation, layer=index, phase="bwd")
             if storage.needs_gradient and storage.gradient_release_after == index:
                 allocation = self.gradients.pop(storage.owner, None)
                 if allocation is not None:
-                    self._free(allocation)
+                    self._free(allocation, layer=index, phase="bwd")
 
         if workspace is not None:
-            self._free(workspace)
+            self._free(workspace, layer=index, phase="bwd")
 
     def _release_remaining(self) -> None:
         """Free anything still live (e.g. the input batch's storage)."""
         for allocation in list(self.device.values()):
-            self._free(allocation)
+            self._free(allocation, phase="end")
         self.device.clear()
         for allocation in list(self.gradients.values()):
-            self._free(allocation)
+            self._free(allocation, phase="end")
         self.gradients.clear()
 
 
@@ -473,6 +623,7 @@ def simulate_vdnn(
     algos: AlgoConfig,
     bounded_prefetch_window: bool = True,
     sync_after_offload: bool = True,
+    verify: bool = False,
 ) -> IterationResult:
     """One training iteration under the vDNN memory manager.
 
@@ -486,6 +637,10 @@ def simulate_vdnn(
         sync_after_offload: disable for the end-of-layer-sync ablation
             (release then happens at the same point but compute no
             longer waits — an *unsafe* configuration kept for study).
+        verify: record a :class:`~repro.analysis.trace.ScheduleTrace` of
+            every alloc/free/kernel/transfer/sync on the result, for the
+            schedule sanitizer (``repro verify``).  Debug-only: traced
+            runs bypass the result cache.
 
     Returns:
         The :class:`IterationResult`; ``trainable`` reflects whether the
@@ -495,6 +650,7 @@ def simulate_vdnn(
         network, system, policy, algos,
         bounded_prefetch_window=bounded_prefetch_window,
         sync_after_offload=sync_after_offload,
+        verify=verify,
     )
     failure: Optional[str] = None
     persistent = sim.allocate_persistent()
@@ -534,4 +690,5 @@ def simulate_vdnn(
         pinned_peak_bytes=sim.pinned.peak_bytes,
         compute_stall_seconds=sim.stall_seconds,
         offloaded_layers=sim.offloaded_layers,
+        schedule_trace=sim.trace,
     )

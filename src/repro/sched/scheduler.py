@@ -63,6 +63,9 @@ class ScheduleResult:
     records: List[JobRecord]
     timeline: Timeline
     usage: UsageTracker
+    #: Pool bytes still reserved after the last event — the schedule
+    #: sanitizer's leak check (MT303); 0 on a clean run.
+    final_pool_live_bytes: int = 0
 
     # -- per-class views -----------------------------------------------
     @property
@@ -302,6 +305,7 @@ class GPUScheduler:
             records=list(self.records),
             timeline=self.timeline,
             usage=self.usage,
+            final_pool_live_bytes=self.pool.live_bytes,
         )
 
 

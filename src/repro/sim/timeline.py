@@ -22,6 +22,7 @@ class EventKind(enum.Enum):
     STALL = "STALL"
     UPDATE = "UPD"
     RUN = "RUN"        # one multi-tenant residency interval of a whole job
+    SYNC = "SYNC"      # zero-duration stream join (recorded in verify mode)
 
 
 @dataclass(frozen=True)

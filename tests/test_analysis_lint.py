@@ -1,0 +1,134 @@
+"""AST lint rules over synthetic snippets, plus the repo-clean gate."""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import lint_file, lint_paths
+
+
+def lint_snippet(tmp_path, source, rel="repro/sim/snippet.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_file(path, tmp_path)
+
+
+def rules(findings):
+    return sorted(d.rule for d in findings)
+
+
+class TestFingerprintRules:
+    REL = "repro/perf/fingerprint.py"
+
+    def test_dumps_without_sort_keys_fires_lint201(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import json\nx = json.dumps({})\n", rel=self.REL)
+        assert rules(findings) == ["LINT201"]
+
+    def test_dumps_with_sort_keys_false_fires_lint201(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import json\nx = json.dumps({}, sort_keys=False)\n",
+            rel=self.REL)
+        assert rules(findings) == ["LINT201"]
+
+    def test_canonical_dumps_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import json\nx = json.dumps({}, sort_keys=True)\n",
+            rel=self.REL)
+        assert findings == []
+
+    def test_unsorted_dumps_outside_fingerprint_paths_is_allowed(
+            self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import json\nx = json.dumps({})\n",
+            rel="repro/reporting/render.py")
+        assert findings == []
+
+    def test_default_str_fires_lint202_anywhere(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import json\nx = json.dumps({}, default=str)\n",
+            rel="repro/reporting/render.py")
+        assert rules(findings) == ["LINT202"]
+
+
+class TestPurityRules:
+    def test_wall_clock_in_pure_module_fires_lint203(self, tmp_path):
+        findings = lint_snippet(tmp_path, "import time\nt = time.time()\n")
+        assert rules(findings) == ["LINT203"]
+
+    def test_module_level_random_fires_lint203(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import random\nr = random.random()\n")
+        assert rules(findings) == ["LINT203"]
+
+    def test_unseeded_random_instance_fires_lint203(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import random\nrng = random.Random()\n")
+        assert rules(findings) == ["LINT203"]
+
+    def test_seeded_random_instance_is_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import random\nrng = random.Random(1234)\n")
+        assert findings == []
+
+    def test_wall_clock_outside_pure_packages_is_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import time\nt = time.time()\n",
+            rel="repro/profiler/wall.py")
+        assert findings == []
+
+
+class TestQuantityComparisonRule:
+    def test_float_eq_on_quantity_fires_lint204(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "def f(a, b):\n    return a.latency_seconds == b\n")
+        assert rules(findings) == ["LINT204"]
+
+    def test_neq_on_bytes_fires_lint204(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "def f(a, b):\n    return a.live_bytes != b.nbytes\n")
+        assert rules(findings) == ["LINT204"]
+
+    def test_zero_sentinel_comparison_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(a):\n"
+            "    return a.stall_seconds == 0 or a.total_seconds == 0.0\n")
+        assert findings == []
+
+    def test_none_sentinel_comparison_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "def f(a):\n    return a.finish_seconds != None\n")
+        assert findings == []
+
+    def test_non_quantity_names_are_not_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "def f(a, b):\n    return a.name == b.name\n")
+        assert findings == []
+
+
+class TestSuppression:
+    def test_allow_comment_suppresses_the_rule_on_that_line(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\nt = time.time()  # repro: allow(LINT203)\n")
+        assert findings == []
+
+    def test_allow_comment_for_a_different_rule_does_not(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\nt = time.time()  # repro: allow(LINT204)\n")
+        assert rules(findings) == ["LINT203"]
+
+
+class TestRepoGate:
+    def test_repo_source_is_lint_clean(self):
+        package = Path(repro.__file__).parent
+        report = lint_paths([package])
+        assert report.ok, report.render_text()
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        findings = lint_file(path, tmp_path)
+        assert len(findings) == 1 and "does not parse" in findings[0].message

@@ -1,0 +1,139 @@
+"""Memory-safety replay rules over hand-built traces.
+
+Known-bad fixtures, one per MS1xx rule, each asserting the rule fires
+exactly once (and nothing else fires that the defect doesn't imply).
+"""
+
+from conftest import make_linear_cnn
+
+from repro.analysis.safety import check_memory_safety
+from repro.analysis.trace import ScheduleTrace
+from repro.core.liveness import LivenessAnalysis
+from repro.sim.stream import COMPUTE_STREAM, MEMORY_STREAM
+
+
+def rules(findings):
+    return [d.rule for d in findings]
+
+
+class TestLifetimeRules:
+    def test_clean_lifetime_is_silent(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 64, offset=0, size=256)
+        t.kernel("k", COMPUTE_STREAM, reads=("Y0",))
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=256)
+        assert check_memory_safety(t) == []
+
+    def test_use_after_release_fires_ms101_once(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 64, offset=0, size=256)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=256)
+        t.kernel("k1", COMPUTE_STREAM, reads=("Y0",))
+        t.kernel("k2", COMPUTE_STREAM, reads=("Y0",))  # deduped per buffer
+        findings = check_memory_safety(t)
+        assert rules(findings).count("MS101") == 1
+
+    def test_double_free_fires_ms102_once(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 64, offset=0, size=256)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=256)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=256)
+        assert rules(check_memory_safety(t)) == ["MS102"]
+
+    def test_leaked_block_fires_ms103_once(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 64, offset=0, size=256)
+        t.kernel("k", COMPUTE_STREAM, reads=("Y0",))
+        assert rules(check_memory_safety(t)) == ["MS103"]
+
+    def test_persistent_blocks_are_not_leaks(self):
+        t = ScheduleTrace()
+        t.alloc("W1", 64, offset=0, size=256, persistent=True)
+        assert check_memory_safety(t) == []
+
+
+class TestOverlapRules:
+    def test_overlapping_live_ranges_fire_ms104_once(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 512, offset=0, size=512)
+        t.alloc("Y1", 512, offset=256, size=512)   # intersects [0, 512)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=512)
+        t.free("Y1", COMPUTE_STREAM, offset=256, size=512)
+        findings = check_memory_safety(t)
+        assert rules(findings) == ["MS104"]
+
+    def test_disjoint_live_ranges_are_fine(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 512, offset=0, size=512)
+        t.alloc("Y1", 512, offset=512, size=512)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=512)
+        t.free("Y1", COMPUTE_STREAM, offset=512, size=512)
+        assert check_memory_safety(t) == []
+
+    def test_reuse_under_inflight_offload_fires_ms104(self):
+        """Release raced the DMA, pool recycled the bytes: corruption."""
+        t = ScheduleTrace()
+        t.alloc("Y0", 512, offset=0, size=512)
+        t.offload("Y0", MEMORY_STREAM, nbytes=512)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=512)  # no sync first
+        t.alloc("Y1", 512, offset=0, size=512)             # lands on hot bytes
+        t.free("Y1", COMPUTE_STREAM, offset=0, size=512)
+        findings = check_memory_safety(t)
+        assert rules(findings).count("MS104") == 1
+
+    def test_sync_cools_the_range_before_reuse(self):
+        t = ScheduleTrace()
+        t.alloc("Y0", 512, offset=0, size=512)
+        t.offload("Y0", MEMORY_STREAM, nbytes=512)
+        t.sync(MEMORY_STREAM)
+        t.free("Y0", COMPUTE_STREAM, offset=0, size=512)
+        t.alloc("Y1", 512, offset=0, size=512)
+        t.free("Y1", COMPUTE_STREAM, offset=0, size=512)
+        assert check_memory_safety(t) == []
+
+
+class TestRefcountGate:
+    """MS105 needs the network's liveness to know the release gates."""
+
+    def setup_method(self):
+        self.network = make_linear_cnn()
+        self.liveness = LivenessAnalysis(self.network)
+        # A storage some later forward layer still reads.
+        self.storage = next(
+            s for s in self.liveness.all_storages()
+            if s.forward_release_at > s.owner and s.needed_backward)
+
+    def test_release_before_last_consumer_fires_ms105_once(self):
+        s = self.storage
+        t = ScheduleTrace()
+        t.alloc(f"Y{s.owner}", s.nbytes, owner=s.owner)
+        # Freed in the forward pass without the gate kernel ever issuing.
+        t.free(f"Y{s.owner}", COMPUTE_STREAM, owner=s.owner, phase="fwd")
+        findings = check_memory_safety(t, liveness=self.liveness)
+        assert rules(findings).count("MS105") == 1
+
+    def test_discard_without_offload_fires_ms105_once(self):
+        s = self.storage
+        t = ScheduleTrace()
+        t.alloc(f"Y{s.owner}", s.nbytes, owner=s.owner)
+        t.kernel("gate", COMPUTE_STREAM, reads=(f"Y{s.owner}",),
+                 layer=s.forward_release_at, phase="fwd")
+        # Gate satisfied, but backward still needs the data and no
+        # offload staged it to the host.
+        t.free(f"Y{s.owner}", COMPUTE_STREAM, owner=s.owner, phase="fwd",
+               layer=s.forward_release_at)
+        findings = check_memory_safety(t, liveness=self.liveness)
+        assert rules(findings).count("MS105") == 1
+
+    def test_offload_then_release_at_gate_is_clean(self):
+        s = self.storage
+        t = ScheduleTrace()
+        t.alloc(f"Y{s.owner}", s.nbytes, owner=s.owner)
+        t.kernel("gate", COMPUTE_STREAM, reads=(f"Y{s.owner}",),
+                 layer=s.forward_release_at, phase="fwd")
+        t.offload(f"Y{s.owner}", MEMORY_STREAM, nbytes=s.nbytes,
+                  owner=s.owner)
+        t.sync(MEMORY_STREAM)
+        t.free(f"Y{s.owner}", COMPUTE_STREAM, owner=s.owner, phase="fwd",
+               layer=s.forward_release_at)
+        assert check_memory_safety(t, liveness=self.liveness) == []

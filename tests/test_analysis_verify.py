@@ -1,0 +1,145 @@
+"""End-to-end sanitizer runs over real executor and scheduler output.
+
+The clean half of the contract: every schedule the executor actually
+produces must verify with zero findings.  The mutation half: breaking
+one safety mechanism (a sync point, the Fig. 10 window bound) must make
+the verifier flag the mutant while the untouched schedule stays clean.
+"""
+
+import pytest
+from conftest import make_fork_join_cnn, make_linear_cnn
+
+from repro.analysis.hb import check_races
+from repro.analysis.trace import OpKind
+from repro.analysis.verify import (analyze_trace, verify_point,
+                                   verify_result, verify_schedule)
+from repro.core.algo_config import AlgoConfig
+from repro.core.executor import simulate_baseline, simulate_vdnn
+from repro.core.policy import TransferPolicy
+from repro.sched.job import Job
+from repro.sched.scheduler import schedule_jobs
+
+
+def traced_vdnn(network, system, **kwargs):
+    return simulate_vdnn(
+        network, system, TransferPolicy.vdnn_all(),
+        AlgoConfig.performance_optimal(network), verify=True, **kwargs)
+
+
+class TestCleanSchedules:
+    @pytest.mark.parametrize("policy", ["base", "conv", "all", "dyn"])
+    def test_linear_network_verifies_clean(self, system, policy):
+        report = verify_point(make_linear_cnn(), policy, "p", system)
+        assert report.ok and not report.warnings, report.render_text()
+
+    @pytest.mark.parametrize("policy", ["base", "conv", "all", "dyn"])
+    def test_fork_join_network_verifies_clean(self, system, policy):
+        report = verify_point(make_fork_join_cnn(), policy, "m", system)
+        assert report.ok and not report.warnings, report.render_text()
+
+    def test_untraced_result_is_rejected(self, system, linear_cnn):
+        result = simulate_vdnn(linear_cnn, system, TransferPolicy.vdnn_all(),
+                               AlgoConfig.performance_optimal(linear_cnn))
+        assert result.schedule_trace is None
+        with pytest.raises(ValueError, match="no schedule trace"):
+            verify_result(result, linear_cnn)
+
+    def test_tracing_does_not_perturb_the_simulation(self, system,
+                                                     linear_cnn):
+        algos = AlgoConfig.performance_optimal(linear_cnn)
+        plain = simulate_vdnn(linear_cnn, system,
+                              TransferPolicy.vdnn_all(), algos)
+        traced = simulate_vdnn(linear_cnn, system,
+                               TransferPolicy.vdnn_all(), algos, verify=True)
+        # The timeline gains zero-duration SYNC markers; every simulated
+        # quantity must be bit-identical.
+        assert traced.total_time == plain.total_time
+        assert traced.managed_max_bytes == plain.managed_max_bytes
+        assert traced.managed_avg_bytes == plain.managed_avg_bytes
+        assert traced.compute_stall_seconds == plain.compute_stall_seconds
+        assert traced.offload_bytes == plain.offload_bytes
+        assert traced.prefetch_bytes == plain.prefetch_bytes
+        assert traced.usage.samples == plain.usage.samples
+
+    def test_baseline_trace_covers_whole_iteration(self, system, linear_cnn):
+        result = simulate_baseline(
+            linear_cnn, system, AlgoConfig.memory_optimal(linear_cnn),
+            verify=True)
+        trace = result.schedule_trace
+        kernels = trace.of_kind(OpKind.KERNEL)
+        # forward + backward kernel per non-input layer
+        assert len(kernels) == 2 * (len(linear_cnn) - 1)
+        assert verify_result(result, linear_cnn).ok
+
+
+class TestMutations:
+    def test_dropping_offload_sync_flags_hb002(self, system, deep_cnn):
+        result = traced_vdnn(deep_cnn, system, sync_after_offload=False)
+        report = verify_result(result, deep_cnn, subject="nosync")
+        assert any(d.rule == "HB002" for d in report.errors)
+
+    def test_unbounded_prefetch_window_flags_hb004(self, system, deep_cnn):
+        result = traced_vdnn(deep_cnn, system,
+                             bounded_prefetch_window=False)
+        report = verify_result(result, deep_cnn, subject="unbounded")
+        # A window violation is a WARNING: eager restore wastes memory
+        # but corrupts nothing, exactly Fig. 10's distinction.
+        assert report.ok
+        assert any(d.rule == "HB004" for d in report.warnings)
+
+    def test_bounded_window_has_no_hb004(self, system, deep_cnn):
+        result = traced_vdnn(deep_cnn, system)
+        report = verify_result(result, deep_cnn)
+        assert not report.by_rule("HB004")
+
+    def test_surgically_removing_one_sync_flags_the_mutant(self, system,
+                                                           deep_cnn):
+        result = traced_vdnn(deep_cnn, system)
+        clean = result.schedule_trace
+        assert check_races(clean) == []
+        sync_seq = next(op.seq for op in clean.of_kind(OpKind.SYNC)
+                        if "offload-sync" in op.label)
+        mutant = clean.without(sync_seq)
+        findings = check_races(mutant)
+        assert any(d.rule in ("HB001", "HB002") for d in findings)
+
+    def test_untouched_trace_stays_clean(self, system, deep_cnn):
+        result = traced_vdnn(deep_cnn, system)
+        report = analyze_trace(result.schedule_trace, network=deep_cnn,
+                               subject="untouched")
+        assert report.ok and not report.warnings
+
+
+class TestMultiTenant:
+    def make_result(self):
+        jobs = [Job(name=f"j{i}", network="alexnet", iterations=5,
+                    submit_time=0.0) for i in range(3)]
+        return schedule_jobs(jobs)
+
+    def test_clean_schedule_verifies(self):
+        report = verify_schedule(self.make_result())
+        assert report.ok, report.render_text()
+
+    def test_leaked_pool_bytes_fire_mt303(self):
+        result = self.make_result()
+        result.final_pool_live_bytes = 4096
+        assert verify_schedule(result).by_rule("MT303")
+
+    def test_budget_excess_fires_mt301(self):
+        result = self.make_result()
+        result.budget_bytes = 1  # shrink after the fact
+        report = verify_schedule(result)
+        assert report.by_rule("MT301")
+
+    def test_finish_before_admit_fires_mt304(self):
+        result = self.make_result()
+        record = result.finished[0]
+        record.finish_time = record.admit_time - 1.0
+        assert verify_schedule(result).by_rule("MT304")
+
+    def test_overlapping_residency_fires_mt302(self):
+        result = self.make_result()
+        record = result.finished[0]
+        (start, end, tenants) = record.residency[0]
+        record.residency.append((start, end, tenants))  # duplicate interval
+        assert verify_schedule(result).by_rule("MT302")

@@ -122,6 +122,35 @@ class TestCommands:
                      "--budget-gb", "0"]) == 2
         assert "budget must be positive" in capsys.readouterr().err
 
+    def test_verify_one_point_text(self, capsys):
+        assert main(["verify", "alexnet", "--policy", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "all(p): ok" in out
+        assert "0 error(s)" in out
+
+    def test_verify_network_grid_covers_all_policies(self, capsys):
+        assert main(["verify", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        for point in ("base(m)", "conv(p)", "all(m)", "dyn"):
+            assert point in out
+        assert "7 schedule(s) verified" in out
+
+    def test_verify_format_json(self, capsys):
+        import json
+
+        assert main(["verify", "alexnet", "--policy", "base",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        report = payload["reports"][0]
+        assert report["subject"].endswith("base(p)")
+        assert report["diagnostics"] == []
+
+    def test_verify_without_target_is_usage_error(self, capsys):
+        assert main(["verify"]) == 2
+        assert "--all-zoo" in capsys.readouterr().err
+
 
 class TestSmokeEverySubcommand:
     """Every subcommand exits 0 and prints something (cheap args)."""
@@ -137,6 +166,7 @@ class TestSmokeEverySubcommand:
         ["figures", "headline"],
         ["train-demo", "--steps", "1", "--batch", "2"],
         ["schedule", "--jobs", "alexnet:8:5"],
+        ["verify", "alexnet", "--policy", "all"],
     ], ids=lambda argv: argv[0])
     def test_subcommand_smoke(self, argv, capsys):
         assert main(argv) == 0
@@ -148,6 +178,6 @@ class TestSmokeEverySubcommand:
 
         smoked = {
             "networks", "evaluate", "sweep", "capacity", "plan",
-            "figures", "train-demo", "schedule",
+            "figures", "train-demo", "schedule", "verify",
         }
         assert smoked == set(_COMMANDS)

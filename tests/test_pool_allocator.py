@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.alloc import ALIGNMENT, OutOfMemoryError, PoolAllocator
+from repro.alloc import (ALIGNMENT, DoubleFreeError, OutOfMemoryError,
+                         PoolAllocator)
 
 
 class TestBasics:
@@ -76,6 +77,24 @@ class TestFreeAndCoalesce:
         pool.free(block)
         with pytest.raises(ValueError, match="double free"):
             pool.free(block)
+
+    def test_double_free_error_carries_block_context(self):
+        pool = PoolAllocator(1 << 20)
+        filler = pool.alloc(512)  # push the block off offset 0
+        block = pool.alloc(128, tag="Y[conv_2]")
+        pool.free(block)
+        with pytest.raises(DoubleFreeError) as excinfo:
+            pool.free(block)
+        error = excinfo.value
+        assert error.offset == block.offset == filler.size
+        assert error.size == block.size
+        assert error.tag == "Y[conv_2]"
+        assert "Y[conv_2]" in str(error)
+        assert f"offset {block.offset}" in str(error)
+
+    def test_double_free_error_is_a_value_error(self):
+        # Callers catching the historical ValueError keep working.
+        assert issubclass(DoubleFreeError, ValueError)
 
     def test_foreign_block_rejected(self):
         pool_a = PoolAllocator(1 << 20)
