@@ -1,0 +1,152 @@
+"""Extension: resilience under deterministic fault injection.
+
+vDNN's transfer machinery assumes a perfect machine; `repro.faults`
+breaks that assumption on purpose.  This bench sweeps fault severities
+over the executor (transient DMA failures, degraded + jittered PCIe)
+and the multi-tenant scheduler (mid-run budget shrinks, evictions) and
+reports the two resilience headlines:
+
+* **recovery rate** — the fraction of injected faults absorbed by
+  retry/backoff, degradation or deferral rather than failing work;
+* **goodput under degradation** — faulted throughput relative to the
+  same run on the perfect machine.
+"""
+
+from repro.core.algo_config import AlgoConfig
+from repro.core.executor import simulate_vdnn
+from repro.core.policy import TransferPolicy
+from repro.faults import FaultSpec
+from repro.hw import PAPER_SYSTEM
+from repro.reporting import format_table
+from repro.sched import Job, schedule_jobs
+from repro.zoo import build
+
+#: (label, spec) severity ladder for the executor sweep.
+SEVERITIES = [
+    ("clean", "none"),
+    ("mild", "dma=0.05,jitter=0.05"),
+    ("moderate", "dma=0.2,pcie=0.7,jitter=0.1"),
+    ("hostile", "dma=0.4,pcie=0.5,jitter=0.2,retries=6"),
+]
+
+NETWORKS = [("alexnet", 64), ("vgg16", 32)]
+SEEDS = (7, 11)
+
+SCHED_FAULTS = [
+    ("clean", "none"),
+    ("shrink", "shrink@10=0.5"),
+    ("evict", "evict@5=vgg16#1"),
+    ("storm", "shrink@10=0.5,evict@5=vgg16#1,evict@15=resnet50#2"),
+]
+
+SCHED_JOBS = [
+    ("vgg16", 64, 40), ("resnet50", 32, 40),
+    ("alexnet", 128, 40), ("googlenet", 128, 40),
+]
+
+
+def _simulate(network, spec, seed):
+    return simulate_vdnn(
+        network, PAPER_SYSTEM, TransferPolicy.vdnn_all(),
+        AlgoConfig.performance_optimal(network),
+        faults=None if spec is None else spec, fault_seed=seed,
+    )
+
+
+def executor_sweep():
+    rows = []
+    for name, batch in NETWORKS:
+        network = build(name, batch)
+        clean = _simulate(network, None, 0)
+        for label, text in SEVERITIES:
+            spec = FaultSpec.parse(text)
+            for seed in SEEDS:
+                result = _simulate(network, spec, seed)
+                report = result.fault_report
+                goodput = (clean.total_time / result.total_time
+                           if result.trainable and result.total_time > 0
+                           else 0.0)
+                rows.append([
+                    f"{name}:{batch}", label, seed,
+                    "yes" if result.trainable else "NO",
+                    report.total_faults, report.retries,
+                    f"{report.recovery_rate:.0%}",
+                    f"{goodput:.2f}x",
+                ])
+    return rows
+
+
+def scheduler_sweep():
+    rows = []
+    for label, text in SCHED_FAULTS:
+        spec = FaultSpec.parse(text)
+        jobs = [Job(f"{network}#{index + 1}", network, batch,
+                    iterations=iters)
+                for index, (network, batch, iters) in enumerate(SCHED_JOBS)]
+        result = schedule_jobs(
+            jobs, system=PAPER_SYSTEM, budget_bytes=12 * (1 << 30),
+            faults=spec if spec.enabled else None, fault_seed=7,
+        )
+        report = result.fault_report
+        rows.append([
+            label,
+            f"{len(result.finished)}/{len(result.records)}",
+            len(result.evicted),
+            f"{result.aggregate_throughput:,.2f} it/s",
+            report.total_faults if report else 0,
+            f"{report.recovery_rate:.0%}" if report else "100%",
+        ])
+    return rows
+
+
+def test_ext_fault_recovery_executor(benchmark, capsys):
+    rows = benchmark.pedantic(executor_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["network", "severity", "seed", "done", "faults", "retries",
+             "recovery", "goodput"],
+            rows,
+            title="Extension: executor resilience "
+                  "(fault severity x network x seed)",
+        ) + "\n")
+
+    by_key = {(r[0], r[1], r[2]): r for r in rows}
+    for name, batch in NETWORKS:
+        for seed in SEEDS:
+            clean = by_key[(f"{name}:{batch}", "clean", seed)]
+            # Zero faults => goodput is exactly 1.0 (bit-identical run).
+            assert clean[4] == 0 and clean[7] == "1.00x"
+            # Mild degradation is fully absorbed by retry/backoff.
+            mild = by_key[(f"{name}:{batch}", "mild", seed)]
+            assert mild[3] == "yes" and mild[6] == "100%"
+    # Goodput is monotone non-increasing in severity on every run that
+    # completed: degradation costs time, it never creates it.
+    for name, batch in NETWORKS:
+        for seed in SEEDS:
+            goodputs = [
+                float(by_key[(f"{name}:{batch}", label, seed)][7][:-1])
+                for label, _ in SEVERITIES
+                if by_key[(f"{name}:{batch}", label, seed)][3] == "yes"
+            ]
+            assert all(a >= b - 1e-9
+                       for a, b in zip(goodputs, goodputs[1:]))
+
+
+def test_ext_fault_recovery_scheduler(benchmark, capsys):
+    rows = benchmark.pedantic(scheduler_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["faults", "done", "evicted", "throughput", "injected",
+             "recovery"],
+            rows,
+            title="Extension: scheduler resilience "
+                  "(shrinks + evictions, seed 7)",
+        ) + "\n")
+
+    by_label = {r[0]: r for r in rows}
+    assert by_label["clean"][4] == 0
+    # Single-fault scenarios recover completely: every evicted job is
+    # readmitted along the degradation ladder and finishes.
+    for label in ("shrink", "evict"):
+        assert by_label[label][5] == "100%"
+        assert by_label[label][1] == by_label["clean"][1]

@@ -204,6 +204,47 @@ class PoolAllocator:
         for allocation in list(self._live.values()):
             self.free(allocation)
 
+    def blockers_above(self, boundary: int) -> List[Allocation]:
+        """Live blocks extending past ``boundary``, highest offset first.
+
+        These are the allocations a caller must free (e.g. by evicting
+        their owners) before :meth:`shrink` to ``boundary`` can succeed.
+        """
+        return sorted(
+            (a for a in self._live.values() if a.offset + a.size > boundary),
+            key=lambda a: -a.offset,
+        )
+
+    def shrink(self, new_capacity: int) -> None:
+        """Reduce the pool to ``new_capacity`` bytes (mid-run budget cut).
+
+        Only free space can be surrendered: raises ``ValueError`` while
+        any live block extends past the new boundary — callers evict the
+        :meth:`blockers_above` first.  Free blocks beyond the boundary
+        are dropped and a straddling one is truncated.
+        """
+        if new_capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        if new_capacity > self.capacity:
+            raise ValueError(
+                f"shrink cannot grow the pool "
+                f"({new_capacity} > {self.capacity} bytes)"
+            )
+        if new_capacity == self.capacity:
+            return
+        blockers = self.blockers_above(new_capacity)
+        if blockers:
+            raise ValueError(
+                f"cannot shrink to {new_capacity} bytes: {len(blockers)} "
+                f"live block(s) extend past the new boundary"
+            )
+        for offset in [o for o in self._free_offsets
+                       if o + self._free[o] > new_capacity]:
+            self._remove_free(offset)
+            if offset < new_capacity:
+                self._add_free(offset, new_capacity - offset)
+        self.capacity = new_capacity
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -11,6 +11,9 @@ Commands:
 * ``schedule`` — pack concurrent training jobs onto one virtualized GPU;
 * ``verify`` — run the schedule sanitizer (race + memory-safety passes)
   over simulated schedules; see docs/analysis.md.
+* ``faults`` — simulate under deterministic fault injection (degraded
+  PCIe, transient DMA failures, pinned pressure) and report recovery;
+  ``evaluate`` and ``schedule`` also accept ``--faults``/``--fault-seed``.
 """
 
 from __future__ import annotations
@@ -25,10 +28,18 @@ from .core import (
     evaluate,
     oracular_baseline,
 )
+from .faults import FaultSpec, FaultSpecError
 from .graph import gb
 from .hw import PAPER_SYSTEM
 from .reporting import format_table, gb_str, ms_str, pct_str
 from .zoo import available, build
+
+
+def _parse_faults(args) -> Optional[FaultSpec]:
+    """Parse ``--faults``; raises SystemExit-friendly FaultSpecError."""
+    if not getattr(args, "faults", None):
+        return None
+    return FaultSpec.parse(args.faults)
 
 
 def _cmd_networks(_args) -> int:
@@ -51,7 +62,19 @@ def _cmd_networks(_args) -> int:
 
 def _cmd_evaluate(args) -> int:
     network = build(args.network, args.batch)
-    result = evaluate(network, policy=args.policy, algo=args.algo)
+    try:
+        faults = _parse_faults(args)
+    except FaultSpecError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = evaluate(network, policy=args.policy, algo=args.algo,
+                          faults=faults, fault_seed=args.fault_seed)
+    except ValueError as exc:
+        if faults is None:
+            raise
+        print(f"faults: {exc}", file=sys.stderr)
+        return 2
     oracle = oracular_baseline(network)
     rows = [
         ["trainable", "yes" if result.trainable else
@@ -69,6 +92,12 @@ def _cmd_evaluate(args) -> int:
         ["metric", "value"], rows,
         title=f"{network.name} under {result.label}",
     ))
+    if result.fault_report is not None:
+        print()
+        print(f"Faults (spec {result.fault_report.spec.label}, "
+              f"seed {result.fault_report.seed}):")
+        for line in result.fault_report.summary_lines():
+            print(f"  {line}")
     return 0 if result.trainable else 1
 
 
@@ -205,8 +234,14 @@ def _cmd_schedule(args) -> int:
         print(f"budget must be positive, got {args.budget_gb} GB",
               file=sys.stderr)
         return 2
+    try:
+        faults = _parse_faults(args)
+    except FaultSpecError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
     result = schedule_jobs(jobs, system=PAPER_SYSTEM, policy=args.policy,
-                           budget_bytes=budget)
+                           budget_bytes=budget, faults=faults,
+                           fault_seed=args.fault_seed)
     print(schedule_report(result))
     if args.trace:
         from .sim import save_trace
@@ -217,6 +252,61 @@ def _cmd_schedule(args) -> int:
     finished = sum(1 for r in result.records
                    if r.state is JobState.FINISHED)
     return 0 if finished == len(result.records) else 1
+
+
+def _cmd_faults(args) -> int:
+    """Resilience probe: one faulted iteration, its recovery report."""
+    from .analysis.verify import verify_result
+
+    try:
+        spec = FaultSpec.parse(args.spec)
+    except FaultSpecError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    network = build(args.network, args.batch)
+    result = evaluate(network, policy=args.policy, algo=args.algo,
+                      verify=args.verify, faults=spec,
+                      fault_seed=args.seed)
+    report = result.fault_report
+
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        clean = evaluate(network, policy=args.policy, algo=args.algo)
+        goodput = (clean.total_time / result.total_time
+                   if result.total_time > 0 else 0.0)
+        rows = [
+            ["fault spec", spec.label],
+            ["seed", str(args.seed)],
+            ["completed", "yes" if result.trainable else
+             f"NO ({result.failure})"],
+            ["faults injected", str(report.total_faults)],
+            ["dma retries", str(report.retries)],
+            ["recovery rate", f"{report.recovery_rate:.1%}"],
+            ["iteration time", ms_str(result.total_time)],
+            ["goodput vs fault-free", f"{goodput:.2f}x"],
+        ]
+        for outcome in sorted(report.outcomes):
+            rows.append([f"  outcome: {outcome}",
+                         str(report.outcomes[outcome])])
+        print(format_table(
+            ["metric", "value"], rows,
+            title=f"{network.name} under {result.label} with faults",
+        ))
+
+    ok = result.trainable
+    if args.verify:
+        sanitizer = verify_result(result, network=network)
+        print()
+        print(sanitizer.render_text())
+        ok = ok and sanitizer.ok
+    if args.trace:
+        from .sim import save_trace
+
+        save_trace(args.trace, result.timeline, result.usage,
+                   process_name=f"{network.name} faulted")
+        print(f"wrote {args.trace}")
+    return 0 if ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -275,6 +365,10 @@ def make_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--policy", default="dyn",
                         choices=["all", "conv", "none", "base", "dyn"])
     p_eval.add_argument("--algo", default="p", choices=["m", "p"])
+    p_eval.add_argument("--faults", default=None,
+                        help="fault spec, e.g. dma=0.1,pcie=0.5,jitter=0.2")
+    p_eval.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the deterministic fault stream")
 
     p_sweep = sub.add_parser("sweep", help="full policy sweep")
     p_sweep.add_argument("network", choices=available())
@@ -323,6 +417,31 @@ def make_parser() -> argparse.ArgumentParser:
                          help="shared GPU memory budget in GiB")
     p_sched.add_argument("--trace", default=None,
                          help="write a Chrome trace with one lane per job")
+    p_sched.add_argument("--faults", default=None,
+                         help="fault spec with timed events, e.g. "
+                              "shrink@10=0.5,evict@5=vgg16#1")
+    p_sched.add_argument("--fault-seed", type=int, default=0,
+                         help="seed recorded on the fault report")
+
+    p_faults = sub.add_parser(
+        "faults", help="simulate under deterministic fault injection")
+    p_faults.add_argument("network", choices=available())
+    p_faults.add_argument("--batch", type=int, default=None)
+    p_faults.add_argument("--policy", default="all",
+                          choices=["all", "conv", "dyn"])
+    p_faults.add_argument("--algo", default="p", choices=["m", "p"])
+    p_faults.add_argument("--spec",
+                          default="dma=0.05,pcie=0.7,jitter=0.1",
+                          help="fault spec (see docs/architecture.md)")
+    p_faults.add_argument("--seed", type=int, default=0,
+                          help="seed for the deterministic fault stream")
+    p_faults.add_argument("--json", action="store_true",
+                          help="print the FaultReport as JSON")
+    p_faults.add_argument("--verify", action="store_true",
+                          help="run the schedule sanitizer on the "
+                               "faulted trace")
+    p_faults.add_argument("--trace", default=None,
+                          help="write a Chrome trace of the faulted run")
 
     p_verify = sub.add_parser(
         "verify", help="run the schedule sanitizer over simulated plans")
@@ -355,6 +474,7 @@ _COMMANDS = {
     "train-demo": _cmd_train_demo,
     "schedule": _cmd_schedule,
     "verify": _cmd_verify,
+    "faults": _cmd_faults,
 }
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..faults import FaultSpec
 from ..graph.network import Network
 from ..hw.config import PAPER_SYSTEM, SystemConfig
 from .algo_config import AlgoConfig
@@ -53,11 +54,47 @@ def evaluate(
     policy: str = "dyn",
     algo: str = "p",
     use_cache: Optional[bool] = None,
+    verify: bool = False,
+    faults: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
 ) -> IterationResult:
-    """Simulate one training iteration of ``network`` under a policy."""
+    """Simulate one training iteration of ``network`` under a policy.
+
+    ``faults`` injects a deterministic :class:`~repro.faults.FaultSpec`
+    into the vDNN transfer machinery.  Faulted (and traced) runs always
+    simulate fresh — the content-addressed cache only stores perfect-
+    machine results, so it can never replay a faulted run as clean or
+    vice versa.  ``base`` has no transfer machinery to fault: asking for
+    it is a usage error rather than a silent no-op.
+    """
     system = system or PAPER_SYSTEM
     if policy not in _POLICIES:
         raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+    if faults is not None or verify:
+        from .dynamic import plan_dynamic
+        from .executor import simulate_baseline, simulate_vdnn
+
+        if policy == "base":
+            if faults is not None:
+                raise ValueError(
+                    "the baseline policy performs no offload/prefetch "
+                    "transfers; fault injection applies to vDNN policies "
+                    "(all, conv, dyn)")
+            return simulate_baseline(
+                network, system, _algo_config(network, algo), verify=verify)
+        if policy == "dyn":
+            plan = plan_dynamic(network, system, use_cache=use_cache)
+            return simulate_vdnn(
+                network, system, plan.policy, plan.algos, verify=verify,
+                faults=faults, fault_seed=fault_seed)
+        transfer = {
+            "all": TransferPolicy.vdnn_all,
+            "conv": TransferPolicy.vdnn_conv,
+            "none": TransferPolicy.none,
+        }[policy]()
+        return simulate_vdnn(
+            network, system, transfer, _algo_config(network, algo),
+            verify=verify, faults=faults, fault_seed=fault_seed)
     if policy == "dyn":
         return simulate_dynamic(network, system, use_cache=use_cache)
     algos = _algo_config(network, algo)

@@ -31,6 +31,7 @@ from ..alloc.pinned import PinnedHostAllocator, PinnedMemoryError
 from ..alloc.pool import Allocation, PoolAllocator
 from ..alloc.stats import UsageTracker
 from ..analysis.trace import ScheduleTrace
+from ..faults import DMAAbortError, FaultInjector, FaultReport, FaultSpec, make_injector
 from ..graph.layer import LayerKind
 from ..graph.network import Network
 from ..hw.config import SystemConfig
@@ -82,6 +83,12 @@ class IterationResult:
     #: schedule sanitizer's input (see :mod:`repro.analysis`).  Excluded
     #: from equality: tracing must not change what a result *is*.
     schedule_trace: Optional[ScheduleTrace] = field(
+        default=None, compare=False, repr=False)
+    #: Populated only when the simulation ran under fault injection; the
+    #: audit trail of every injected fault and its resolution.  Excluded
+    #: from equality like the trace (a report of what happened, not part
+    #: of what the result *is*).
+    fault_report: Optional[FaultReport] = field(
         default=None, compare=False, repr=False)
 
     @property
@@ -227,6 +234,7 @@ class _VDNNSimulation:
         bounded_prefetch_window: bool = True,
         sync_after_offload: bool = True,
         verify: bool = False,
+        faults: Optional[FaultInjector] = None,
     ):
         self.network = network
         self.system = system
@@ -234,6 +242,7 @@ class _VDNNSimulation:
         self.algos = algos
         self.bounded_prefetch_window = bounded_prefetch_window
         self.sync_after_offload = sync_after_offload
+        self.faults = faults
         self.trace: Optional[ScheduleTrace] = ScheduleTrace() if verify else None
         # pool offset -> (trace buffer id, storage owner) of the live
         # block there; offsets are unique among live blocks, so this maps
@@ -243,7 +252,11 @@ class _VDNNSimulation:
         self.latency = LatencyModel(system.gpu)
         self.liveness = LivenessAnalysis(network)
         self.pool = PoolAllocator(_UNBOUNDED)
-        self.pinned = PinnedHostAllocator(system.host.max_pinned_bytes)
+        pinned_capacity = system.host.max_pinned_bytes
+        if faults is not None and faults.spec.pinned_budget_factor != 1.0:
+            pinned_capacity = int(
+                pinned_capacity * faults.spec.pinned_budget_factor)
+        self.pinned = PinnedHostAllocator(pinned_capacity)
         self.compute, self.memory, self.timeline = make_stream_pair()
         self.usage = UsageTracker()
         self.state = PrefetchState.for_network(network)
@@ -325,6 +338,56 @@ class _VDNNSimulation:
                 before + max(stall, 0.0), before + max(stall, 0.0),
                 layer_index=layer_index,
             )
+
+    # -- DMA with fault injection --------------------------------------
+    def _transfer(self, kind, label: str, nbytes: int,
+                  earliest_start: float, layer_index: int,
+                  fault_kind: str):
+        """Enqueue one DMA on ``stream_memory``, retrying under faults.
+
+        Without an injector this is exactly one :meth:`SimStream.enqueue`
+        at the link's nominal rate.  With one, each attempt draws a
+        (possibly degraded/jittered) duration and may transiently fail;
+        a failed attempt occupies the engine for its full duration (the
+        error surfaces at completion), then the retry backs off
+        exponentially on the same stream before re-attempting, up to
+        ``max_dma_attempts``.
+
+        Returns:
+            ``(event, attempts)`` — the successful transfer's timeline
+            event, or ``None`` when the retry budget was exhausted.
+        """
+        if self.faults is None:
+            event = self.memory.enqueue(
+                kind, label, self.system.pcie.dma_time(nbytes),
+                earliest_start=earliest_start, nbytes=nbytes,
+                layer_index=layer_index,
+            )
+            return event, 1
+        attempts = 0
+        while True:
+            attempts += 1
+            duration = self.faults.dma_seconds(self.system.pcie, nbytes)
+            if not self.faults.dma_fails(fault_kind):
+                event = self.memory.enqueue(
+                    kind, label, duration,
+                    earliest_start=earliest_start, nbytes=nbytes,
+                    layer_index=layer_index,
+                )
+                return event, attempts
+            self.memory.enqueue(
+                EventKind.FAULT, f"{label}!{attempts}", duration,
+                earliest_start=earliest_start, nbytes=nbytes,
+                layer_index=layer_index,
+            )
+            if attempts >= self.faults.spec.max_dma_attempts:
+                return None, attempts
+            backoff = self.faults.spec.backoff_seconds(attempts)
+            if backoff > 0:
+                self.memory.enqueue(
+                    EventKind.RETRY, f"{label}~{attempts}", backoff,
+                    layer_index=layer_index,
+                )
 
     # -- persistent allocations ----------------------------------------
     def allocate_persistent(self) -> int:
@@ -413,17 +476,50 @@ class _VDNNSimulation:
                            layer=index, phase="fwd")
 
         if offloads:
+            completed: List[StorageInfo] = []
             for storage in offloads:
-                buffer = self.pinned.alloc(storage.nbytes, f"host[{storage.owner}]")
+                owner_name = self.network[storage.owner].name
+                try:
+                    buffer = self.pinned.alloc(storage.nbytes,
+                                               f"host[{storage.owner}]")
+                except PinnedMemoryError as error:
+                    if self.faults is None:
+                        raise
+                    # Pinned-budget pressure: no staging buffer, so this
+                    # tensor simply stays resident on the device — more
+                    # memory used, but execution stays correct.
+                    self.faults.record(
+                        "pinned-pressure", self.memory.ready_time,
+                        f"Y{storage.owner}", outcome="degraded",
+                        nbytes=storage.nbytes,
+                        detail=f"offload skipped, tensor stays resident "
+                               f"({error})",
+                    )
+                    continue
                 self.host_buffers[storage.owner] = buffer
-                transfer = self.memory.enqueue(
-                    EventKind.OFFLOAD,
-                    self.network[storage.owner].name,
-                    self.system.pcie.dma_time(storage.nbytes),
-                    earliest_start=fwd.start,
-                    nbytes=storage.nbytes,
-                    layer_index=index,
+                transfer, attempts = self._transfer(
+                    EventKind.OFFLOAD, owner_name, storage.nbytes,
+                    earliest_start=fwd.start, layer_index=index,
+                    fault_kind="offload",
                 )
+                if transfer is None:
+                    # Retry budget exhausted: abandon the offload and
+                    # keep the tensor resident instead.
+                    self.pinned.free(self.host_buffers.pop(storage.owner))
+                    self.faults.record(
+                        "dma-offload", self.memory.ready_time,
+                        f"Y{storage.owner}", attempts=attempts,
+                        outcome="degraded", nbytes=storage.nbytes,
+                        detail="offload abandoned, tensor stays resident",
+                    )
+                    continue
+                if attempts > 1:
+                    self.faults.record(
+                        "dma-offload", transfer.end, f"Y{storage.owner}",
+                        attempts=attempts, outcome="recovered",
+                        nbytes=storage.nbytes,
+                        detail="transient DMA failure, retry succeeded",
+                    )
                 if self.trace is not None:
                     # The DMA starts no earlier than the trigger kernel,
                     # i.e. after everything before it on compute: the
@@ -432,22 +528,24 @@ class _VDNNSimulation:
                     self.trace.offload(
                         f"Y{storage.owner}", self.memory.name,
                         nbytes=storage.nbytes,
-                        label=f"off[{self.network[storage.owner].name}]",
+                        label=f"off[{owner_name}]",
                         layer=index, owner=storage.owner, target_layer=index,
                         wait_stream=self.compute.name,
                         wait_pos=fwd_op.pos - 1,
                         start=transfer.start, end=transfer.end,
                     )
                 self.offload_bytes += storage.nbytes
-            self.offloaded_at[index] = offloads
-            self.state.mark_offloaded(index)
-            self.offloaded_layers.append(index)
+                completed.append(storage)
+            if completed:
+                self.offloaded_at[index] = completed
+                self.state.mark_offloaded(index)
+                self.offloaded_layers.append(index)
 
-            if self.sync_after_offload:
-                self._stall(f"offload-sync {node.name}", index)
-            for storage in offloads:
-                self._free(self.device.pop(storage.owner),
-                           layer=index, phase="fwd")
+                if self.sync_after_offload:
+                    self._stall(f"offload-sync {node.name}", index)
+                for storage in completed:
+                    self._free(self.device.pop(storage.owner),
+                               layer=index, phase="fwd")
 
         if workspace is not None:
             self._free(workspace, layer=index, phase="fwd")
@@ -475,14 +573,33 @@ class _VDNNSimulation:
             storage.owner, storage.nbytes, f"X[{storage.owner}](demand)",
             buffer=f"Y{storage.owner}", layer=index, towner=storage.owner,
         )
-        transfer = self.memory.enqueue(
+        transfer, attempts = self._transfer(
             EventKind.PREFETCH,
             self.network[storage.owner].name + "(demand)",
-            self.system.pcie.dma_time(storage.nbytes),
-            earliest_start=self.compute.ready_time,
-            nbytes=storage.nbytes,
-            layer_index=index,
+            storage.nbytes,
+            earliest_start=self.compute.ready_time, layer_index=index,
+            fault_kind="prefetch",
         )
+        if transfer is None:
+            # The backward kernel cannot run without this tensor and the
+            # link refuses to deliver it: the iteration fails, loudly.
+            self._free(self.device.pop(storage.owner), layer=index)
+            self.faults.record(
+                "dma-demand", self.memory.ready_time, f"Y{storage.owner}",
+                attempts=attempts, outcome="fatal", nbytes=storage.nbytes,
+                detail="demand fetch exhausted its retry budget",
+            )
+            raise DMAAbortError(
+                f"demand fetch of Y{storage.owner} for layer {index} "
+                f"failed after {attempts} attempts"
+            )
+        if attempts > 1:
+            self.faults.record(
+                "dma-demand", transfer.end, f"Y{storage.owner}",
+                attempts=attempts, outcome="recovered",
+                nbytes=storage.nbytes,
+                detail="transient DMA failure, retry succeeded",
+            )
         if self.trace is not None:
             self.trace.prefetch(
                 f"Y{storage.owner}", self.memory.name,
@@ -539,14 +656,34 @@ class _VDNNSimulation:
                     buffer=f"Y{storage.owner}", layer=index,
                     towner=storage.owner,
                 )
-                transfer = self.memory.enqueue(
+                transfer, attempts = self._transfer(
                     EventKind.PREFETCH,
                     self.network[storage.owner].name,
-                    self.system.pcie.dma_time(storage.nbytes),
-                    earliest_start=kernel_start,
-                    nbytes=storage.nbytes,
-                    layer_index=index,
+                    storage.nbytes,
+                    earliest_start=kernel_start, layer_index=index,
+                    fault_kind="prefetch",
                 )
+                if transfer is None:
+                    # Prefetch abandoned: roll back the claim so the
+                    # layer stays eligible (Fig. 10 retry or the demand
+                    # safety net) instead of its X being silently lost.
+                    self._free(self.device.pop(storage.owner), layer=index)
+                    self.state.unclaim(prefetch_target)
+                    self.faults.record(
+                        "dma-prefetch", self.memory.ready_time,
+                        f"Y{storage.owner}", attempts=attempts,
+                        outcome="deferred", nbytes=storage.nbytes,
+                        detail="prefetch abandoned, claim rolled back; "
+                               "will retry or demand-fetch",
+                    )
+                    continue
+                if attempts > 1:
+                    self.faults.record(
+                        "dma-prefetch", transfer.end, f"Y{storage.owner}",
+                        attempts=attempts, outcome="recovered",
+                        nbytes=storage.nbytes,
+                        detail="transient DMA failure, retry succeeded",
+                    )
                 if self.trace is not None:
                     self.trace.prefetch(
                         f"Y{storage.owner}", self.memory.name,
@@ -624,6 +761,8 @@ def simulate_vdnn(
     bounded_prefetch_window: bool = True,
     sync_after_offload: bool = True,
     verify: bool = False,
+    faults: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
 ) -> IterationResult:
     """One training iteration under the vDNN memory manager.
 
@@ -641,16 +780,23 @@ def simulate_vdnn(
             every alloc/free/kernel/transfer/sync on the result, for the
             schedule sanitizer (``repro verify``).  Debug-only: traced
             runs bypass the result cache.
+        faults: inject deterministic faults from this
+            :class:`~repro.faults.FaultSpec` (None = the perfect
+            machine; faulted runs bypass the result cache).
+        fault_seed: RNG seed for the fault stream; same
+            ``(spec, seed)`` ⇒ bit-identical run and FaultReport.
 
     Returns:
         The :class:`IterationResult`; ``trainable`` reflects whether the
         peak pool usage fits the physical GPU.
     """
+    injector = make_injector(faults, fault_seed)
     sim = _VDNNSimulation(
         network, system, policy, algos,
         bounded_prefetch_window=bounded_prefetch_window,
         sync_after_offload=sync_after_offload,
         verify=verify,
+        faults=injector,
     )
     failure: Optional[str] = None
     persistent = sim.allocate_persistent()
@@ -661,6 +807,10 @@ def simulate_vdnn(
         # Host DRAM cannot stage this policy's offload traffic; the
         # configuration is untrainable on this node (partial stats kept).
         failure = f"host pinned memory exhausted: {error}"
+    except DMAAbortError as error:
+        # A demand fetch exhausted its retries: structured failure, not
+        # a hang or silent corruption.
+        failure = f"DMA transfer permanently failed: {error}"
     sim.usage.record(sim.timeline.end_time, sim.pool.live_bytes)
 
     peak = sim.usage.max_bytes
@@ -691,4 +841,5 @@ def simulate_vdnn(
         compute_stall_seconds=sim.stall_seconds,
         offloaded_layers=sim.offloaded_layers,
         schedule_trace=sim.trace,
+        fault_report=injector.report if injector is not None else None,
     )

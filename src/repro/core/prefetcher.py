@@ -39,6 +39,20 @@ class PrefetchState:
     def mark_offloaded(self, layer_index: int) -> None:
         self.offloaded[layer_index] = True
 
+    def claim(self, layer_index: int) -> None:
+        """Mark a layer as prefetched so the search skips it from now on."""
+        self.prefetched[layer_index] = True
+
+    def unclaim(self, layer_index: int) -> None:
+        """Roll back a claim whose prefetch failed to materialise.
+
+        The executor calls this when the pool allocation or the DMA for
+        a claimed layer fails permanently: the layer's X is still only
+        in host memory, so it must stay eligible for a later prefetch
+        (or the demand-fetch safety net) instead of being silently lost.
+        """
+        self.prefetched[layer_index] = False
+
     def pending(self) -> List[int]:
         """Layers offloaded but not yet prefetched, ascending."""
         return [
@@ -62,6 +76,11 @@ def find_prefetch_layer(
     Hitting a CONV layer that does not need prefetching ends the search
     window (line 14 of Fig. 10).
 
+    The claim is made through :meth:`PrefetchState.claim`; a caller
+    whose subsequent allocation or DMA fails must call
+    :meth:`PrefetchState.unclaim` so the layer is retried rather than
+    permanently lost.
+
     Args:
         bounded_window: set False to disable the CONV-layer bound — the
             ablation of DESIGN.md §5.2 (prefetch as early as possible,
@@ -73,7 +92,7 @@ def find_prefetch_layer(
     """
     for layer_id in range(current_layer_id - 1, -1, -1):
         if state.offloaded[layer_id] and not state.prefetched[layer_id]:
-            state.prefetched[layer_id] = True
+            state.claim(layer_id)
             return layer_id
         if bounded_window and network[layer_id].kind is LayerKind.CONV:
             return None

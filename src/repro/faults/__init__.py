@@ -1,0 +1,25 @@
+"""Deterministic fault injection and graceful-degradation machinery."""
+
+from .injector import DMAAbortError, FaultInjector, make_injector
+from .report import FAILED_OUTCOMES, FaultEvent, FaultReport
+from .spec import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_BACKOFF_FACTOR,
+    DEFAULT_MAX_ATTEMPTS,
+    FaultSpec,
+    FaultSpecError,
+)
+
+__all__ = [
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_BACKOFF_FACTOR",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DMAAbortError",
+    "FAILED_OUTCOMES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "FaultSpecError",
+    "make_injector",
+]

@@ -1,0 +1,132 @@
+"""Structured record of every injected fault and how the runtime reacted.
+
+A :class:`FaultReport` is the audit trail of one faulted run: one
+:class:`FaultEvent` per injected fault, plus aggregate counters.  It is
+deliberately deterministic — events are appended in simulation order,
+and :meth:`FaultReport.to_json` serialises with sorted keys — so that
+the acceptance bar *same seed ⇒ byte-identical report* can be asserted
+by comparing strings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .spec import FaultSpec
+
+#: Outcomes that count as a recovery failure for :attr:`recovery_rate`.
+FAILED_OUTCOMES = frozenset({"fatal", "rejected"})
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault and the runtime's reaction to it.
+
+    Attributes:
+        kind: fault family — ``dma-offload``, ``dma-prefetch``,
+            ``dma-demand``, ``pinned-pressure``, ``budget-shrink``,
+            ``eviction``.
+        time: simulated time (seconds) the fault struck.
+        target: what it hit — a layer/storage label or a job name.
+        attempts: DMA attempts consumed (0 for non-DMA faults).
+        outcome: how it resolved — ``recovered`` (retry or readmission
+            succeeded), ``degraded`` (gave up but execution continued
+            correctly without the optimisation), ``deferred`` (prefetch
+            abandoned, satisfied later on demand), ``fatal`` (iteration
+            failed), ``rejected`` (evicted job never readmitted).
+        nbytes: transfer or allocation size involved, if any.
+        detail: free-form human-readable context.
+    """
+
+    kind: str
+    time: float
+    target: str
+    attempts: int = 0
+    outcome: str = "recovered"
+    nbytes: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "time": round(self.time, 9),
+            "target": self.target,
+            "attempts": self.attempts,
+            "outcome": self.outcome,
+            "nbytes": self.nbytes,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class FaultReport:
+    """Everything that went wrong in one run, and how it was absorbed."""
+
+    spec: FaultSpec
+    seed: int
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> FaultEvent:
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def total_faults(self) -> int:
+        return len(self.events)
+
+    @property
+    def retries(self) -> int:
+        """Extra DMA attempts beyond the first, summed over all events."""
+        return sum(max(0, e.attempts - 1) for e in self.events)
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for e in self.events if e.outcome == outcome)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of injected faults absorbed without failing work.
+
+        ``recovered``/``degraded``/``deferred`` all count as absorbed;
+        ``fatal`` and ``rejected`` do not.  1.0 when nothing was
+        injected — a perfect run recovered from everything it faced.
+        """
+        if not self.events:
+            return 1.0
+        failed = sum(1 for e in self.events if e.outcome in FAILED_OUTCOMES)
+        return 1.0 - failed / len(self.events)
+
+    @property
+    def outcomes(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.outcome] = counts.get(event.outcome, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.label,
+            "seed": self.seed,
+            "total_faults": self.total_faults,
+            "retries": self.retries,
+            "recovery_rate": round(self.recovery_rate, 9),
+            "outcomes": self.outcomes,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Deterministic JSON: same seed ⇒ byte-identical string."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"faults injected   {self.total_faults}",
+            f"dma retries       {self.retries}",
+            f"recovery rate     {self.recovery_rate:.1%}",
+        ]
+        for outcome in sorted(self.outcomes):
+            lines.append(f"  {outcome:<15} {self.outcomes[outcome]}")
+        return lines

@@ -1,0 +1,262 @@
+"""Fault specifications: the deterministic description of an imperfect GPU.
+
+vDNN's transfer machinery and the multi-tenant scheduler both assume a
+perfect machine — every DMA completes, PCIe bandwidth is constant, the
+pool never shrinks, no admitted job is ever evicted.  A
+:class:`FaultSpec` names the ways this reproduction lets that assumption
+break, in two families:
+
+* **Stochastic faults** consumed by the executor, drawn from a seeded
+  RNG so the same ``(spec, seed)`` always injects the same faults:
+  transient offload/prefetch DMA failures, PCIe bandwidth degradation
+  and per-transfer jitter, pinned-host-budget pressure.
+* **Timed events** consumed by the scheduler, applied at exact simulated
+  timestamps: mid-run memory-budget shrinks and job evictions.
+
+Specs parse from a compact CLI string, comma-separated ``key=value``
+pairs with ``key@time=value`` for timed events::
+
+    dma=0.1,pcie=0.5,jitter=0.2,retries=5,shrink@30=0.5,evict@10=vgg16#1
+
+meaning: 10% transient failure rate on every DMA, PCIe at half
+bandwidth with ±20% per-transfer jitter, up to 5 attempts per transfer,
+the memory budget halves at t=30s, and job ``vgg16#1`` is evicted at
+t=10s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+#: Default bound on DMA attempts (first try + retries).
+DEFAULT_MAX_ATTEMPTS = 4
+#: Default backoff before the first retry, seconds.
+DEFAULT_BACKOFF_BASE = 0.002
+#: Default exponential backoff growth factor per retry.
+DEFAULT_BACKOFF_FACTOR = 2.0
+
+
+class FaultSpecError(ValueError):
+    """Raised when a fault-spec string cannot be parsed or validated."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic description of an imperfect machine.
+
+    Attributes:
+        dma_failure_rate: probability any one DMA attempt (offload or
+            prefetch) transiently fails; per-kind overrides win.
+        offload_failure_rate: offload-only override (None = use dma).
+        prefetch_failure_rate: prefetch-only override (None = use dma).
+        pcie_bw_factor: sustained DMA bandwidth multiplier in (0, 1] —
+            the degraded-link model of *Compressing DMA Engine*.
+        pcie_jitter: per-transfer uniform bandwidth jitter in [0, 1);
+            each transfer's bandwidth is scaled by U(1-j, 1+j).
+        pinned_budget_factor: pinned-host budget multiplier in (0, 1].
+        max_dma_attempts: bound on attempts per transfer (>= 1).
+        backoff_base: idle seconds before the first retry.
+        backoff_factor: exponential growth of the backoff per retry.
+        budget_shrinks: ((time, factor), ...) scheduler events — at
+            ``time`` the shared budget becomes ``factor`` x the
+            *original* budget.
+        evictions: ((time, job_name), ...) scheduler events — at
+            ``time`` the named resident job is evicted and re-queued.
+    """
+
+    dma_failure_rate: float = 0.0
+    offload_failure_rate: Optional[float] = None
+    prefetch_failure_rate: Optional[float] = None
+    pcie_bw_factor: float = 1.0
+    pcie_jitter: float = 0.0
+    pinned_budget_factor: float = 1.0
+    max_dma_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_base: float = DEFAULT_BACKOFF_BASE
+    backoff_factor: float = DEFAULT_BACKOFF_FACTOR
+    budget_shrinks: Tuple[Tuple[float, float], ...] = field(default=())
+    evictions: Tuple[Tuple[float, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name in ("dma_failure_rate", "offload_failure_rate",
+                     "prefetch_failure_rate"):
+            rate = getattr(self, name)
+            if rate is not None and not 0.0 <= rate <= 1.0:
+                raise FaultSpecError(
+                    f"{name} must be in [0, 1], got {rate}")
+        for name in ("pcie_bw_factor", "pinned_budget_factor"):
+            factor = getattr(self, name)
+            if not 0.0 < factor <= 1.0:
+                raise FaultSpecError(
+                    f"{name} must be in (0, 1], got {factor}")
+        if not 0.0 <= self.pcie_jitter < 1.0:
+            raise FaultSpecError(
+                f"pcie_jitter must be in [0, 1), got {self.pcie_jitter}")
+        if self.max_dma_attempts < 1:
+            raise FaultSpecError(
+                f"max_dma_attempts must be >= 1, got {self.max_dma_attempts}")
+        if self.backoff_base < 0:
+            raise FaultSpecError(
+                f"backoff_base cannot be negative, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise FaultSpecError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        for time, factor in self.budget_shrinks:
+            if time < 0 or not 0.0 < factor <= 1.0:
+                raise FaultSpecError(
+                    f"shrink@{time}={factor}: time must be >= 0 and the "
+                    f"factor in (0, 1]")
+        for time, name in self.evictions:
+            if time < 0 or not name:
+                raise FaultSpecError(
+                    f"evict@{time}={name!r}: time must be >= 0 and the "
+                    f"job name non-empty")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultSpec":
+        """The perfect machine: injecting it changes nothing."""
+        return cls()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec can inject any fault at all."""
+        return bool(
+            self.dma_failure_rate > 0
+            or (self.offload_failure_rate or 0) > 0
+            or (self.prefetch_failure_rate or 0) > 0
+            or self.pcie_bw_factor < 1.0
+            or self.pcie_jitter > 0
+            or self.pinned_budget_factor < 1.0
+            or self.budget_shrinks
+            or self.evictions
+        )
+
+    def failure_rate(self, kind: str) -> float:
+        """Per-attempt failure probability for ``"offload"``/``"prefetch"``."""
+        if kind == "offload" and self.offload_failure_rate is not None:
+            return self.offload_failure_rate
+        if kind == "prefetch" and self.prefetch_failure_rate is not None:
+            return self.prefetch_failure_rate
+        return self.dma_failure_rate
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Idle time before retrying after failed attempt ``attempt`` (1-based).
+
+        Monotone non-decreasing in ``attempt``: exponential growth from
+        ``backoff_base`` by ``backoff_factor`` per additional failure.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Canonical compact spec string (parses back to an equal spec)."""
+        parts = []
+        if self.dma_failure_rate:
+            parts.append(f"dma={self.dma_failure_rate:g}")
+        if self.offload_failure_rate is not None:
+            parts.append(f"dma_offload={self.offload_failure_rate:g}")
+        if self.prefetch_failure_rate is not None:
+            parts.append(f"dma_prefetch={self.prefetch_failure_rate:g}")
+        if self.pcie_bw_factor != 1.0:
+            parts.append(f"pcie={self.pcie_bw_factor:g}")
+        if self.pcie_jitter:
+            parts.append(f"jitter={self.pcie_jitter:g}")
+        if self.pinned_budget_factor != 1.0:
+            parts.append(f"pinned={self.pinned_budget_factor:g}")
+        if self.max_dma_attempts != DEFAULT_MAX_ATTEMPTS:
+            parts.append(f"retries={self.max_dma_attempts}")
+        if self.backoff_base != DEFAULT_BACKOFF_BASE:
+            parts.append(f"backoff={self.backoff_base:g}")
+        if self.backoff_factor != DEFAULT_BACKOFF_FACTOR:
+            parts.append(f"backoff_factor={self.backoff_factor:g}")
+        for time, factor in self.budget_shrinks:
+            parts.append(f"shrink@{time:g}={factor:g}")
+        for time, name in self.evictions:
+            parts.append(f"evict@{time:g}={name}")
+        return ",".join(parts) or "none"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the compact CLI grammar described in the module docstring."""
+        spec = cls()
+        text = (text or "").strip()
+        if not text or text == "none":
+            return spec
+        shrinks = []
+        evictions = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise FaultSpecError(
+                    f"bad fault token {token!r}: expected key=value "
+                    f"or key@time=value")
+            key, value = token.split("=", 1)
+            key, value = key.strip(), value.strip()
+            if "@" in key:
+                key, at = key.split("@", 1)
+                try:
+                    time = float(at)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad fault time {at!r} in {token!r}") from None
+                if key == "shrink":
+                    shrinks.append((time, _float(token, value)))
+                elif key == "evict":
+                    evictions.append((time, value))
+                else:
+                    raise FaultSpecError(
+                        f"unknown timed fault {key!r} in {token!r} "
+                        f"(timed faults: shrink, evict)")
+                continue
+            try:
+                spec = replace(spec, **{_KEYS[key]: _convert(key, token, value)})
+            except KeyError:
+                raise FaultSpecError(
+                    f"unknown fault key {key!r} in {token!r} "
+                    f"(keys: {', '.join(sorted(_KEYS))})") from None
+        if shrinks or evictions:
+            spec = replace(
+                spec,
+                budget_shrinks=tuple(sorted(shrinks)),
+                evictions=tuple(sorted(evictions)),
+            )
+        return spec
+
+
+_KEYS = {
+    "dma": "dma_failure_rate",
+    "dma_offload": "offload_failure_rate",
+    "dma_prefetch": "prefetch_failure_rate",
+    "pcie": "pcie_bw_factor",
+    "jitter": "pcie_jitter",
+    "pinned": "pinned_budget_factor",
+    "retries": "max_dma_attempts",
+    "backoff": "backoff_base",
+    "backoff_factor": "backoff_factor",
+}
+
+
+def _float(token: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad fault value {value!r} in {token!r}: expected a number"
+        ) from None
+
+
+def _convert(key: str, token: str, value: str):
+    if key == "retries":
+        try:
+            return int(value)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad fault value {value!r} in {token!r}: expected an "
+                f"integer") from None
+    return _float(token, value)

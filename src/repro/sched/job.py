@@ -49,6 +49,10 @@ class Job:
     submit_time: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError(
+                f"batch_size must be positive, got {self.batch_size}"
+            )
         if self.iterations <= 0:
             raise ValueError("a job must run at least one iteration")
         if self.submit_time < 0:
@@ -106,6 +110,11 @@ class JobRecord:
     #: (start, end, concurrently resident jobs) residency intervals,
     #: recorded so slowdown vs. solo execution is reconstructable.
     residency: list = field(default_factory=list)
+    #: How many times the job was evicted mid-run (fault injection);
+    #: each eviction re-queues the job for readmission.
+    evictions: int = 0
+    #: When the job last re-entered the queue after an eviction.
+    requeued_at: Optional[float] = None
 
     @property
     def queueing_delay(self) -> Optional[float]:
@@ -116,15 +125,21 @@ class JobRecord:
 
     @property
     def completion_time(self) -> Optional[float]:
-        """Job completion time (JCT): submit -> finish (None until done)."""
-        if self.finish_time is None:
+        """Job completion time (JCT): submit -> finish.
+
+        None unless the job actually FINISHED — a rejected record also
+        carries a ``finish_time`` (the rejection instant), which must
+        not masquerade as a completion.
+        """
+        if self.state is not JobState.FINISHED or self.finish_time is None:
             return None
         return self.finish_time - self.job.submit_time
 
     @property
     def service_time(self) -> Optional[float]:
         """Admission -> finish, i.e. JCT minus queueing delay."""
-        if self.finish_time is None or self.admit_time is None:
+        if self.state is not JobState.FINISHED \
+                or self.finish_time is None or self.admit_time is None:
             return None
         return self.finish_time - self.admit_time
 
@@ -139,7 +154,16 @@ class JobRecord:
 
     @property
     def deadline_met(self) -> Optional[bool]:
-        """Whether the job finished before its deadline (None = no deadline)."""
-        if self.job.deadline is None or self.completion_time is None:
+        """Whether the job finished before its deadline.
+
+        None when there is no deadline (or the job is still in flight);
+        False for a rejected job — work that never ran cannot have met
+        anything, however generous its deadline.
+        """
+        if self.job.deadline is None:
+            return None
+        if self.state is JobState.REJECTED:
+            return False
+        if self.completion_time is None:
             return None
         return self.completion_time <= self.job.deadline

@@ -55,9 +55,25 @@ def fleet_table(result: ScheduleResult) -> str:
     return format_table(["metric", "value"], rows, title="Fleet metrics")
 
 
+def faults_table(result: ScheduleResult) -> str:
+    """Injected scheduler faults and how each one resolved."""
+    report = result.fault_report
+    rows = [[e.kind, f"{e.time:g}", e.target, e.outcome, e.detail]
+            for e in report.events]
+    if not rows:
+        rows = [["-", "-", "-", "-", "no faults injected"]]
+    return format_table(
+        ["fault", "t", "target", "outcome", "detail"], rows,
+        title=f"Faults (spec {report.spec.label}): "
+              f"{report.recovery_rate:.0%} recovered",
+    )
+
+
 def schedule_report(result: ScheduleResult) -> str:
     """Full plain-text report: per-job table + fleet metrics."""
     parts = [job_table(result), "", fleet_table(result)]
+    if result.fault_report is not None:
+        parts += ["", faults_table(result)]
     failures = [
         f"  {r.job.name}: {r.failure}"
         for r in result.records

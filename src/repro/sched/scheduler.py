@@ -29,10 +29,11 @@ throughput, memory high-water, PCIe traffic).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from ..alloc.pool import Allocation, PoolAllocator
 from ..alloc.stats import UsageTracker
+from ..faults import FaultEvent, FaultReport, FaultSpec
 from ..hw.config import PAPER_SYSTEM, SystemConfig
 from ..sim.timeline import EventKind, Timeline
 from .admission import AdmissionController, RungEval
@@ -66,6 +67,13 @@ class ScheduleResult:
     #: Pool bytes still reserved after the last event — the schedule
     #: sanitizer's leak check (MT303); 0 on a clean run.
     final_pool_live_bytes: int = 0
+    #: Budget step function as (time, budget_bytes) — one entry at the
+    #: start plus one per mid-run shrink.  The sanitizer checks pool
+    #: occupancy against the budget *in force at that time*, not just
+    #: the final value.
+    budget_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: Audit trail of injected scheduler faults (None = perfect machine).
+    fault_report: Optional[FaultReport] = None
 
     # -- per-class views -----------------------------------------------
     @property
@@ -75,6 +83,22 @@ class ScheduleResult:
     @property
     def rejected(self) -> List[JobRecord]:
         return [r for r in self.records if r.state is JobState.REJECTED]
+
+    @property
+    def evicted(self) -> List[JobRecord]:
+        """Jobs evicted mid-run at least once (whatever their fate)."""
+        return [r for r in self.records if r.evictions > 0]
+
+    def budget_at(self, time: float) -> int:
+        """The memory budget in force at ``time`` (step function)."""
+        budget = self.budget_timeline[0][1] if self.budget_timeline \
+            else self.budget_bytes
+        for when, value in self.budget_timeline:
+            if when <= time:
+                budget = value
+            else:
+                break
+        return budget
 
     # -- fleet metrics -------------------------------------------------
     @property
@@ -133,6 +157,8 @@ class GPUScheduler:
         budget_bytes: Optional[int] = None,
         controller: Optional[AdmissionController] = None,
         contention: Optional[ContentionModel] = None,
+        faults: Optional[FaultSpec] = None,
+        fault_seed: int = 0,
     ):
         self.system = system or PAPER_SYSTEM
         if budget_bytes is None:
@@ -140,6 +166,7 @@ class GPUScheduler:
         if budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
         self.budget_bytes = budget_bytes
+        self.initial_budget_bytes = budget_bytes
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
         self.controller = controller or AdmissionController(self.system)
         self.contention = contention or ContentionModel()
@@ -147,6 +174,15 @@ class GPUScheduler:
         self.timeline = Timeline()
         self.usage = UsageTracker()
         self.records: List[JobRecord] = []
+        self.faults = faults
+        self.fault_report: Optional[FaultReport] = (
+            FaultReport(spec=faults, seed=fault_seed)
+            if faults is not None else None
+        )
+        self.budget_timeline: List[Tuple[float, int]] = []
+        #: (record, FaultEvent) pairs whose outcome depends on the job's
+        #: final fate, finalized at the end of :meth:`run`.
+        self._eviction_events: List[Tuple[JobRecord, FaultEvent]] = []
 
     # ------------------------------------------------------------------
     def submit(self, job: Job) -> JobRecord:
@@ -180,16 +216,22 @@ class GPUScheduler:
         record.solo_iter_seconds = rung.iter_seconds
         record.pcie_bytes_per_iter = rung.pcie_bytes
         record.admit_time = clock
-        if record.queueing_delay > 0:
+        # Readmission after an eviction resumes from where the job left
+        # off and waits only since it re-entered the queue.
+        ready_since = record.requeued_at if record.requeued_at is not None \
+            else record.job.submit_time
+        if clock > ready_since:
             self.timeline.record(
-                f"job:{record.job.name}", EventKind.STALL, "queued",
-                record.job.submit_time, clock,
+                f"job:{record.job.name}", EventKind.STALL,
+                "requeued" if record.requeued_at is not None else "queued",
+                ready_since, clock,
             )
         resident.append(_Resident(
             record=record,
             rung=rung,
             allocation=allocation,
-            remaining_iterations=float(record.job.iterations),
+            remaining_iterations=float(record.job.iterations)
+            - record.iterations_done,
         ))
         self.usage.record(clock, self.pool.live_bytes)
 
@@ -236,23 +278,166 @@ class GPUScheduler:
                 return
 
     # ------------------------------------------------------------------
+    # Fault reactions: eviction and mid-run budget shrink
+    # ------------------------------------------------------------------
+    def _evict(self, entry: _Resident, clock: float,
+               pending: List[JobRecord], resident: List[_Resident],
+               reason: str) -> None:
+        """Evict a resident job, preserving its progress for readmission."""
+        resident.remove(entry)
+        self.pool.free(entry.allocation)
+        record = entry.record
+        record.iterations_done = float(record.job.iterations) \
+            - max(entry.remaining_iterations, 0.0)
+        record.state = JobState.PENDING
+        record.evictions += 1
+        record.requeued_at = clock
+        record.rung = None
+        record.footprint_bytes = 0
+        pending.append(record)
+        self.timeline.record(
+            f"job:{record.job.name}", EventKind.FAULT, reason, clock, clock,
+        )
+        self.usage.record(clock, self.pool.live_bytes)
+
+    def _apply_eviction(self, name: str, clock: float,
+                        pending: List[JobRecord],
+                        resident: List[_Resident]) -> None:
+        """Timed ``evict@t=name`` fault: kick the named resident job."""
+        entry = next(
+            (e for e in resident if e.record.job.name == name), None)
+        if entry is None:
+            self.fault_report.add(FaultEvent(
+                kind="eviction", time=clock, target=name,
+                outcome="recovered", detail="job not resident; no-op",
+            ))
+            return
+        self._evict(entry, clock, pending, resident, reason="evicted")
+        event = self.fault_report.add(FaultEvent(
+            kind="eviction", time=clock, target=name,
+            nbytes=entry.rung.footprint_bytes,
+            detail=f"evicted after {entry.record.iterations_done:g} "
+                   f"iterations; re-queued",
+        ))
+        self._eviction_events.append((entry.record, event))
+
+    def _apply_shrink(self, factor: float, clock: float,
+                      pending: List[JobRecord],
+                      resident: List[_Resident]) -> None:
+        """Timed ``shrink@t=factor`` fault: cut the budget mid-run.
+
+        The new budget is ``factor`` x the *original* budget.  Resident
+        jobs whose footprints extend past the new boundary are evicted
+        (highest offset first — they block the shrink) and re-queued;
+        the admission ladder then readmits them at whatever rung still
+        fits, degrading them gracefully instead of OOM-killing.
+        """
+        new_budget = int(self.initial_budget_bytes * factor)
+        if new_budget >= self.budget_bytes:
+            self.fault_report.add(FaultEvent(
+                kind="budget-shrink", time=clock, target="pool",
+                outcome="recovered", nbytes=new_budget,
+                detail=f"budget already at or below "
+                       f"{self.budget_bytes} bytes; no-op",
+            ))
+            return
+        victims = 0
+        while True:
+            blockers = self.pool.blockers_above(new_budget)
+            if not blockers:
+                break
+            blocker = blockers[0]
+            entry = next(
+                e for e in resident if e.allocation is blocker)
+            self._evict(entry, clock, pending, resident,
+                        reason="evicted: budget shrink")
+            event = self.fault_report.add(FaultEvent(
+                kind="eviction", time=clock, target=entry.record.job.name,
+                nbytes=blocker.size,
+                detail="footprint extends past the shrunk budget; "
+                       "re-queued for readmission",
+            ))
+            self._eviction_events.append((entry.record, event))
+            victims += 1
+        self.pool.shrink(new_budget)
+        self.budget_bytes = new_budget
+        self.budget_timeline.append((clock, new_budget))
+        self.timeline.record(
+            "scheduler", EventKind.FAULT, f"budget-shrink x{factor:g}",
+            clock, clock, nbytes=new_budget,
+        )
+        self.fault_report.add(FaultEvent(
+            kind="budget-shrink", time=clock, target="pool",
+            outcome="degraded" if victims else "recovered",
+            nbytes=new_budget,
+            detail=f"budget {self.initial_budget_bytes} -> {new_budget} "
+                   f"bytes, {victims} job(s) evicted",
+        ))
+
+    def _finalize_fault_outcomes(self) -> None:
+        """Settle eviction outcomes now that every job's fate is known."""
+        for record, event in self._eviction_events:
+            if record.state is JobState.FINISHED:
+                event.outcome = "recovered"
+            elif record.state is JobState.REJECTED:
+                event.outcome = "rejected"
+            else:
+                event.outcome = "fatal"
+
+    # ------------------------------------------------------------------
     def run(self) -> ScheduleResult:
         """Run the fleet to completion and return the schedule."""
         pending = [r for r in self.records if r.state is JobState.PENDING]
         resident: List[_Resident] = []
         clock = min((r.job.submit_time for r in pending), default=0.0)
         self.usage.record(clock, self.pool.live_bytes)
+        self.budget_timeline = [(clock, self.budget_bytes)]
 
-        while pending or resident:
+        # Timed faults, soonest first.
+        fault_queue: List[Tuple[float, str, object]] = []
+        if self.faults is not None:
+            fault_queue += [(t, "shrink", f)
+                            for t, f in self.faults.budget_shrinks]
+            fault_queue += [(t, "evict", n) for t, n in self.faults.evictions]
+            fault_queue.sort(key=lambda item: item[0])
+
+        last_snapshot = None
+        while pending or resident or fault_queue:
+            while fault_queue and fault_queue[0][0] <= clock:
+                _time, kind, payload = fault_queue.pop(0)
+                if kind == "shrink":
+                    self._apply_shrink(payload, clock, pending, resident)
+                else:
+                    self._apply_eviction(payload, clock, pending, resident)
+
+            # Every loop iteration must change *something* — otherwise
+            # the event horizon has collapsed (e.g. float underflow in
+            # the progress arithmetic) and we would spin forever.
+            snapshot = (
+                clock, len(pending), len(fault_queue),
+                tuple((id(r), r.remaining_iterations) for r in resident),
+            )
+            if snapshot == last_snapshot:
+                raise RuntimeError(
+                    f"scheduler made no progress at t={clock} with "
+                    f"{len(resident)} resident / {len(pending)} pending "
+                    f"job(s); aborting instead of spinning"
+                )
+            last_snapshot = snapshot
+
             self._try_admit(clock, pending, resident)
             arrivals = sorted(
                 r.job.submit_time for r in pending
                 if r.job.submit_time > clock
             )
+            next_fault = fault_queue[0][0] if fault_queue else None
 
             if not resident:
-                if arrivals:
-                    clock = arrivals[0]
+                next_times = [t for t in (
+                    arrivals[0] if arrivals else None, next_fault,
+                ) if t is not None]
+                if next_times:
+                    clock = max(clock, min(next_times))
                     continue
                 # Nothing running, nothing admissible, nothing arriving:
                 # the pool is idle yet the head does not fit — only
@@ -262,10 +447,16 @@ class GPUScheduler:
                     pending.remove(record)
                 break
 
-            # Fluid progress at contention-adjusted rates.
+            # Fluid progress at contention-adjusted rates.  A zero-cost
+            # rung completes instantly: zero its remaining work *before*
+            # the horizon computation so the completion sweep below
+            # collects it this iteration instead of spinning.
             rates = self.contention.iteration_seconds(
                 [r.rung for r in resident]
             )
+            for entry, iter_seconds in zip(resident, rates):
+                if iter_seconds <= 0:
+                    entry.remaining_iterations = 0.0
             finish_times = [
                 clock + r.remaining_iterations * iter_seconds
                 for r, iter_seconds in zip(resident, rates)
@@ -273,6 +464,8 @@ class GPUScheduler:
             horizon = min(finish_times)
             if arrivals:
                 horizon = min(horizon, arrivals[0])
+            if next_fault is not None:
+                horizon = min(horizon, next_fault)
 
             tenants = len(resident)
             for entry, iter_seconds in zip(resident, rates):
@@ -288,8 +481,13 @@ class GPUScheduler:
                     entry.record.residency.append((clock, horizon, tenants))
             clock = horizon
 
-            for entry in [r for r in resident
-                          if r.remaining_iterations <= _EPSILON]:
+            # Completion sweep.  ``finish <= clock`` also collects jobs
+            # whose per-step progress underflowed (clock + tiny == clock)
+            # so the loop cannot spin on unfinishable float arithmetic.
+            for entry, finish in [
+                (e, f) for e, f in zip(resident, finish_times)
+                if e.remaining_iterations <= _EPSILON or f <= clock
+            ]:
                 resident.remove(entry)
                 self.pool.free(entry.allocation)
                 entry.record.state = JobState.FINISHED
@@ -297,8 +495,19 @@ class GPUScheduler:
                 entry.record.iterations_done = float(
                     entry.record.job.iterations
                 )
+                if not entry.record.residency:
+                    # Zero-cost rung: it finished without accruing a RUN
+                    # interval; log a zero-length one so the job's lane
+                    # and residency accounting stay complete.
+                    self.timeline.record(
+                        f"job:{entry.record.job.name}", EventKind.RUN,
+                        f"{entry.rung.rung} x{tenants}", clock, clock,
+                        nbytes=entry.rung.footprint_bytes,
+                    )
+                    entry.record.residency.append((clock, clock, tenants))
                 self.usage.record(clock, self.pool.live_bytes)
 
+        self._finalize_fault_outcomes()
         return ScheduleResult(
             policy=self.policy.name,
             budget_bytes=self.budget_bytes,
@@ -306,6 +515,8 @@ class GPUScheduler:
             timeline=self.timeline,
             usage=self.usage,
             final_pool_live_bytes=self.pool.live_bytes,
+            budget_timeline=list(self.budget_timeline),
+            fault_report=self.fault_report,
         )
 
 
@@ -316,11 +527,14 @@ def schedule_jobs(
     budget_bytes: Optional[int] = None,
     controller: Optional[AdmissionController] = None,
     contention: Optional[ContentionModel] = None,
+    faults: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
 ) -> ScheduleResult:
     """Convenience: submit ``jobs`` to a fresh scheduler and run it."""
     scheduler = GPUScheduler(
         system=system, policy=policy, budget_bytes=budget_bytes,
         controller=controller, contention=contention,
+        faults=faults, fault_seed=fault_seed,
     )
     scheduler.submit_all(jobs)
     return scheduler.run()

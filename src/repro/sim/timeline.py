@@ -23,6 +23,9 @@ class EventKind(enum.Enum):
     UPDATE = "UPD"
     RUN = "RUN"        # one multi-tenant residency interval of a whole job
     SYNC = "SYNC"      # zero-duration stream join (recorded in verify mode)
+    FAULT = "FAULT"    # an injected fault striking (failed DMA attempt,
+                       # budget shrink, eviction); duration = wasted time
+    RETRY = "RETRY"    # backoff idle before re-attempting a failed DMA
 
 
 @dataclass(frozen=True)
@@ -142,11 +145,17 @@ class Timeline:
         return [e for e in self._events if e.layer_index == layer_index]
 
     def busy_time(self, stream: str) -> float:
-        """Union length of the stream's non-stall intervals."""
+        """Union length of the stream's productive intervals.
+
+        Stalls and retry backoffs are idle time, not work; failed DMA
+        attempts (FAULT) do occupy the engine and count as busy.
+        """
         intervals = sorted(
             (e.start, e.end)
             for e in self._events
-            if e.stream == stream and e.kind is not EventKind.STALL
+            if e.stream == stream
+            and e.kind is not EventKind.STALL
+            and e.kind is not EventKind.RETRY
         )
         total, cursor = 0.0, float("-inf")
         for start, end in intervals:

@@ -29,6 +29,8 @@ _CATEGORY = {
     EventKind.PREFETCH: "transfer",
     EventKind.STALL: "stall",
     EventKind.RUN: "job",
+    EventKind.FAULT: "fault",
+    EventKind.RETRY: "fault",
 }
 
 #: Stream-name prefix that promotes a stream to its own process lane.

@@ -127,9 +127,23 @@ class TestMultiTenant:
 
     def test_budget_excess_fires_mt301(self):
         result = self.make_result()
-        result.budget_bytes = 1  # shrink after the fact
+        # Shrink after the fact: the budget step function is the
+        # sanitizer's source of truth.
+        result.budget_bytes = 1
+        result.budget_timeline = [(0.0, 1)]
         report = verify_schedule(result)
         assert report.by_rule("MT301")
+
+    def test_budget_step_function_judges_each_instant(self):
+        result = self.make_result()
+        # A shrink timed *after* the last event legalises everything
+        # that ran before it; the sanitizer must not apply it
+        # retroactively.
+        last = max(e.end for e in result.timeline.events)
+        result.budget_bytes = 1
+        result.budget_timeline = [(0.0, result.peak_pool_bytes),
+                                  (last + 1.0, 1)]
+        assert verify_schedule(result).ok
 
     def test_finish_before_admit_fires_mt304(self):
         result = self.make_result()

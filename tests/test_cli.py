@@ -151,6 +151,41 @@ class TestCommands:
         assert main(["verify"]) == 2
         assert "--all-zoo" in capsys.readouterr().err
 
+    def test_faults_reports_recovery(self, capsys):
+        assert main(["faults", "alexnet", "--batch", "8",
+                     "--spec", "dma=0.2", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery rate" in out and "faults injected" in out
+
+    def test_faults_json_is_deterministic(self, capsys):
+        argv = ["faults", "alexnet", "--batch", "8",
+                "--spec", "dma=0.2,jitter=0.1", "--seed", "3", "--json"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_faults_bad_spec_is_usage_error(self, capsys):
+        assert main(["faults", "alexnet", "--spec", "dma=1.5"]) == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_evaluate_bad_fault_spec_is_usage_error(self, capsys):
+        assert main(["evaluate", "alexnet", "--batch", "8",
+                     "--faults", "nosuchkey=1"]) == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_evaluate_base_with_faults_is_usage_error(self, capsys):
+        assert main(["evaluate", "alexnet", "--batch", "8",
+                     "--policy", "base", "--faults", "dma=0.1"]) == 2
+        assert "baseline policy" in capsys.readouterr().err
+
+    def test_schedule_with_shrink_fault_prints_fault_table(self, capsys):
+        assert main(["schedule", "--jobs", "alexnet:16:5,alexnet:16:5",
+                     "--budget-gb", "4",
+                     "--faults", "shrink@0.5=0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "budget-shrink" in out and "Faults" in out
+
 
 class TestSmokeEverySubcommand:
     """Every subcommand exits 0 and prints something (cheap args)."""
@@ -167,6 +202,8 @@ class TestSmokeEverySubcommand:
         ["train-demo", "--steps", "1", "--batch", "2"],
         ["schedule", "--jobs", "alexnet:8:5"],
         ["verify", "alexnet", "--policy", "all"],
+        ["faults", "alexnet", "--batch", "8", "--spec", "dma=0.1",
+         "--seed", "7"],
     ], ids=lambda argv: argv[0])
     def test_subcommand_smoke(self, argv, capsys):
         assert main(argv) == 0
@@ -178,6 +215,6 @@ class TestSmokeEverySubcommand:
 
         smoked = {
             "networks", "evaluate", "sweep", "capacity", "plan",
-            "figures", "train-demo", "schedule", "verify",
+            "figures", "train-demo", "schedule", "verify", "faults",
         }
         assert smoked == set(_COMMANDS)
