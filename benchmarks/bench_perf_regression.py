@@ -43,7 +43,19 @@ _results: Dict[str, dict] = {}
 
 
 def _flush_results() -> None:
-    payload = dict(_results)
+    """Merge this bench's sections into BENCH_perf.json.
+
+    Read-modify-write: other benches (``bench_obs_overhead``) own their
+    own keys in the same file, so only this bench's sections are
+    replaced.
+    """
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            payload = {}
+    payload.update(_results)
     payload["cache"] = get_cache().stats.snapshot()
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -14,12 +14,17 @@ Commands:
 * ``faults`` — simulate under deterministic fault injection (degraded
   PCIe, transient DMA failures, pinned pressure) and report recovery;
   ``evaluate`` and ``schedule`` also accept ``--faults``/``--fault-seed``.
+* ``metrics`` — run one instrumented simulation (or schedule) and emit
+  its metrics in Prometheus text format or sorted-keys JSON; see
+  docs/observability.md.  ``evaluate`` and ``schedule`` accept
+  ``--metrics [prom|json]`` to append the same export to their report.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .core import (
@@ -40,6 +45,35 @@ def _parse_faults(args) -> Optional[FaultSpec]:
     if not getattr(args, "faults", None):
         return None
     return FaultSpec.parse(args.faults)
+
+
+@contextmanager
+def _cache_observed(obs):
+    """Attach ``obs`` to the process-wide result cache for one run."""
+    from .perf.cache import get_cache
+
+    cache = get_cache()
+    previous = cache.obs
+    cache.obs = obs
+    try:
+        yield
+    finally:
+        cache.obs = previous
+
+
+def _make_obs():
+    from .obs import Instrumentation
+
+    return Instrumentation()
+
+
+def _render_metrics(obs, fmt: str, meta: Optional[dict] = None) -> str:
+    from .obs import metrics_json, prometheus_text
+
+    obs.flush()  # resolve deferred end-of-run summaries
+    if fmt == "json":
+        return metrics_json(obs.registry, spans=obs.spans, meta=meta)
+    return prometheus_text(obs.registry)
 
 
 def _cmd_networks(_args) -> int:
@@ -67,9 +101,12 @@ def _cmd_evaluate(args) -> int:
     except FaultSpecError as exc:
         print(f"bad fault spec: {exc}", file=sys.stderr)
         return 2
+    obs = _make_obs() if args.metrics else None
     try:
-        result = evaluate(network, policy=args.policy, algo=args.algo,
-                          faults=faults, fault_seed=args.fault_seed)
+        with _cache_observed(obs):
+            result = evaluate(network, policy=args.policy, algo=args.algo,
+                              faults=faults, fault_seed=args.fault_seed,
+                              obs=obs)
     except ValueError as exc:
         if faults is None:
             raise
@@ -98,6 +135,12 @@ def _cmd_evaluate(args) -> int:
               f"seed {result.fault_report.seed}):")
         for line in result.fault_report.summary_lines():
             print(f"  {line}")
+    if obs is not None:
+        print()
+        print(_render_metrics(obs, args.metrics, meta={
+            "command": "evaluate", "network": network.name,
+            "policy": args.policy, "algo": args.algo,
+        }).rstrip("\n"))
     return 0 if result.trainable else 1
 
 
@@ -239,15 +282,23 @@ def _cmd_schedule(args) -> int:
     except FaultSpecError as exc:
         print(f"bad fault spec: {exc}", file=sys.stderr)
         return 2
+    obs = _make_obs() if args.metrics else None
     result = schedule_jobs(jobs, system=PAPER_SYSTEM, policy=args.policy,
                            budget_bytes=budget, faults=faults,
-                           fault_seed=args.fault_seed)
+                           fault_seed=args.fault_seed, obs=obs)
     print(schedule_report(result))
+    if obs is not None:
+        print()
+        print(_render_metrics(obs, args.metrics, meta={
+            "command": "schedule", "policy": args.policy,
+            "budget_gb": args.budget_gb,
+        }).rstrip("\n"))
     if args.trace:
         from .sim import save_trace
 
         save_trace(args.trace, result.timeline, result.usage,
-                   process_name=f"multi-tenant {args.policy}")
+                   process_name=f"multi-tenant {args.policy}",
+                   spans=obs.spans.spans if obs is not None else None)
         print(f"wrote {args.trace}")
     finished = sum(1 for r in result.records
                    if r.state is JobState.FINISHED)
@@ -307,6 +358,69 @@ def _cmd_faults(args) -> int:
                    process_name=f"{network.name} faulted")
         print(f"wrote {args.trace}")
     return 0 if ok else 1
+
+
+def _cmd_metrics(args) -> int:
+    """One instrumented run, exported as pure Prometheus text or JSON.
+
+    Unlike ``evaluate --metrics`` (report + export), this prints *only*
+    the export, so the output can be scraped or diffed against the
+    golden fixtures in ``tests/golden/``.
+    """
+    try:
+        faults = _parse_faults(args)
+    except FaultSpecError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    obs = _make_obs()
+
+    if args.schedule:
+        from .sched import Job, schedule_jobs
+
+        try:
+            jobs = [
+                Job.parse(spec, index)
+                for index, spec in enumerate(args.jobs.split(","))
+                if spec.strip()
+            ]
+        except (KeyError, ValueError) as exc:
+            print(f"bad job spec: {exc}", file=sys.stderr)
+            return 2
+        budget = int(args.budget_gb * (1 << 30))
+        schedule_jobs(jobs, system=PAPER_SYSTEM, policy=args.sched_policy,
+                      budget_bytes=budget, faults=faults,
+                      fault_seed=args.fault_seed, obs=obs)
+        meta = {"command": "schedule", "policy": args.sched_policy,
+                "budget_gb": args.budget_gb,
+                "fault_spec": faults.label if faults else ""}
+    else:
+        if not args.network:
+            print("metrics: give a network or --schedule", file=sys.stderr)
+            return 2
+        network = build(args.network, args.batch)
+        try:
+            with _cache_observed(obs):
+                evaluate(network, policy=args.policy, algo=args.algo,
+                         faults=faults, fault_seed=args.fault_seed, obs=obs)
+        except ValueError as exc:
+            if faults is None:
+                raise
+            print(f"faults: {exc}", file=sys.stderr)
+            return 2
+        meta = {"command": "evaluate", "network": network.name,
+                "policy": args.policy, "algo": args.algo,
+                "fault_spec": faults.label if faults else ""}
+
+    text = _render_metrics(obs, args.format, meta=meta)
+    if not text.endswith("\n"):
+        text += "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -369,6 +483,10 @@ def make_parser() -> argparse.ArgumentParser:
                         help="fault spec, e.g. dma=0.1,pcie=0.5,jitter=0.2")
     p_eval.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the deterministic fault stream")
+    p_eval.add_argument("--metrics", nargs="?", const="prom",
+                        choices=["prom", "json"], default=None,
+                        help="append the run's metrics export "
+                             "(Prometheus text by default)")
 
     p_sweep = sub.add_parser("sweep", help="full policy sweep")
     p_sweep.add_argument("network", choices=available())
@@ -422,6 +540,10 @@ def make_parser() -> argparse.ArgumentParser:
                               "shrink@10=0.5,evict@5=vgg16#1")
     p_sched.add_argument("--fault-seed", type=int, default=0,
                          help="seed recorded on the fault report")
+    p_sched.add_argument("--metrics", nargs="?", const="prom",
+                         choices=["prom", "json"], default=None,
+                         help="append the schedule's metrics export "
+                              "(Prometheus text by default)")
 
     p_faults = sub.add_parser(
         "faults", help="simulate under deterministic fault injection")
@@ -442,6 +564,34 @@ def make_parser() -> argparse.ArgumentParser:
                                "faulted trace")
     p_faults.add_argument("--trace", default=None,
                           help="write a Chrome trace of the faulted run")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="instrumented run, metrics-only export")
+    p_metrics.add_argument("network", nargs="?", choices=available(),
+                           help="network to evaluate (omit with --schedule)")
+    p_metrics.add_argument("--batch", type=int, default=None)
+    p_metrics.add_argument("--policy", default="dyn",
+                           choices=["all", "conv", "none", "base", "dyn"])
+    p_metrics.add_argument("--algo", default="p", choices=["m", "p"])
+    p_metrics.add_argument("--faults", default=None,
+                           help="fault spec, e.g. dma=0.1,pcie=0.5")
+    p_metrics.add_argument("--fault-seed", type=int, default=0)
+    p_metrics.add_argument("--schedule", action="store_true",
+                           help="instrument a multi-tenant schedule "
+                                "instead of one evaluation")
+    p_metrics.add_argument("--jobs", default=DEFAULT_WORKLOAD,
+                           help="job specs for --schedule (same syntax "
+                                "as the schedule command)")
+    p_metrics.add_argument("--sched-policy", default="best_fit",
+                           choices=["fifo", "sjf", "best_fit"],
+                           help="admission policy for --schedule")
+    p_metrics.add_argument("--budget-gb", type=float, default=12.0,
+                           help="memory budget for --schedule")
+    p_metrics.add_argument("--format", choices=["prom", "json"],
+                           default="prom")
+    p_metrics.add_argument("--out", default=None,
+                           help="write the export to a file instead of "
+                                "stdout")
 
     p_verify = sub.add_parser(
         "verify", help="run the schedule sanitizer over simulated plans")
@@ -475,6 +625,7 @@ _COMMANDS = {
     "schedule": _cmd_schedule,
     "verify": _cmd_verify,
     "faults": _cmd_faults,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from ..faults import FaultSpec
 from ..graph.network import Network
 from ..hw.config import PAPER_SYSTEM, SystemConfig
+from ..obs import Instrumentation
 from .algo_config import AlgoConfig
 from .cached import cached_baseline, cached_vdnn
 from .dynamic import simulate_dynamic
@@ -57,6 +58,7 @@ def evaluate(
     verify: bool = False,
     faults: Optional[FaultSpec] = None,
     fault_seed: int = 0,
+    obs: Optional[Instrumentation] = None,
 ) -> IterationResult:
     """Simulate one training iteration of ``network`` under a policy.
 
@@ -66,11 +68,17 @@ def evaluate(
     machine results, so it can never replay a faulted run as clean or
     vice versa.  ``base`` has no transfer machinery to fault: asking for
     it is a usage error rather than a silent no-op.
+
+    ``obs`` attaches an :class:`~repro.obs.Instrumentation` object that
+    accumulates metrics and spans during the run.  Instrumented runs
+    simulate fresh for the same reason traced runs do (a cache replay
+    would observe nothing), and are bit-identical to uninstrumented
+    ones — the differential suite asserts this for the whole zoo.
     """
     system = system or PAPER_SYSTEM
     if policy not in _POLICIES:
         raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
-    if faults is not None or verify:
+    if faults is not None or verify or obs is not None:
         from .dynamic import plan_dynamic
         from .executor import simulate_baseline, simulate_vdnn
 
@@ -81,12 +89,18 @@ def evaluate(
                     "transfers; fault injection applies to vDNN policies "
                     "(all, conv, dyn)")
             return simulate_baseline(
-                network, system, _algo_config(network, algo), verify=verify)
+                network, system, _algo_config(network, algo), verify=verify,
+                obs=obs)
         if policy == "dyn":
             plan = plan_dynamic(network, system, use_cache=use_cache)
-            return simulate_vdnn(
+            result = simulate_vdnn(
                 network, system, plan.policy, plan.algos, verify=verify,
-                faults=faults, fault_seed=fault_seed)
+                faults=faults, fault_seed=fault_seed, obs=obs)
+            # Match simulate_dynamic's relabeling so fresh (verified,
+            # faulted, instrumented) dyn runs compare equal to cached ones.
+            result.policy_label = "vDNN_dyn"
+            result.algo_label = plan.algos.label
+            return result
         transfer = {
             "all": TransferPolicy.vdnn_all,
             "conv": TransferPolicy.vdnn_conv,
@@ -94,7 +108,7 @@ def evaluate(
         }[policy]()
         return simulate_vdnn(
             network, system, transfer, _algo_config(network, algo),
-            verify=verify, faults=faults, fault_seed=fault_seed)
+            verify=verify, faults=faults, fault_seed=fault_seed, obs=obs)
     if policy == "dyn":
         return simulate_dynamic(network, system, use_cache=use_cache)
     algos = _algo_config(network, algo)

@@ -36,6 +36,7 @@ from ..graph.layer import LayerKind
 from ..graph.network import Network
 from ..hw.config import SystemConfig
 from ..kernels.latency import LatencyModel
+from ..obs import Instrumentation
 from ..sim.stream import SimStream, make_stream_pair
 from ..sim.timeline import EventKind, Timeline
 from .algo_config import AlgoConfig
@@ -150,6 +151,7 @@ def simulate_baseline(
     system: SystemConfig,
     algos: AlgoConfig,
     verify: bool = False,
+    obs: Optional[Instrumentation] = None,
 ) -> IterationResult:
     """One iteration under the network-wide allocation policy."""
     latency = LatencyModel(system.gpu)
@@ -160,6 +162,8 @@ def simulate_baseline(
 
     usage = UsageTracker()
     usage.record(0.0, total)
+    if obs is not None:
+        obs.pool_sample(total, system.gpu.memory_bytes, 0.0)
 
     # Baseline has one network-wide reservation and one stream: the
     # trace degenerates to alloc / kernels / free, but running it through
@@ -179,6 +183,7 @@ def simulate_baseline(
             trace.kernel(node.name, compute.name, reads=("NET",),
                          writes=("NET",), layer=index, phase="fwd",
                          start=event.start, end=event.end)
+    forward_end = compute.ready_time
     for index in network.backward_schedule():
         node = network[index]
         timing = latency.backward(network, node, algos.profile(node))
@@ -193,6 +198,12 @@ def simulate_baseline(
         trace.free("NET", compute.name, label="network-wide", phase="end",
                    start=timeline.end_time)
     usage.record(timeline.end_time, total)
+    if obs is not None:
+        obs.span("forward", "phase", 0.0, forward_end, category="phase",
+                 network=network.name, policy="base")
+        obs.span("backward", "phase", forward_end, compute.ready_time,
+                 category="phase", network=network.name, policy="base")
+        obs.run_streams(timeline, compute.name)
     trainable = total <= system.gpu.memory_bytes
     return IterationResult(
         network_name=network.name,
@@ -235,6 +246,7 @@ class _VDNNSimulation:
         sync_after_offload: bool = True,
         verify: bool = False,
         faults: Optional[FaultInjector] = None,
+        obs: Optional[Instrumentation] = None,
     ):
         self.network = network
         self.system = system
@@ -243,6 +255,7 @@ class _VDNNSimulation:
         self.bounded_prefetch_window = bounded_prefetch_window
         self.sync_after_offload = sync_after_offload
         self.faults = faults
+        self.obs = obs
         self.trace: Optional[ScheduleTrace] = ScheduleTrace() if verify else None
         # pool offset -> (trace buffer id, storage owner) of the live
         # block there; offsets are unique among live blocks, so this maps
@@ -280,6 +293,9 @@ class _VDNNSimulation:
 
     # -- bookkeeping helpers -------------------------------------------
     def _sample(self) -> None:
+        # No obs hook here: this runs on every alloc/free, and the pool
+        # already tracks its exact high-water mark.  The end-of-run block
+        # in simulate_vdnn reports it via pool_sample + pool_peak.
         self.usage.record(self.compute.ready_time, self.pool.live_bytes)
 
     def _alloc(self, owner: int, nbytes: int, tag: str,
@@ -317,7 +333,8 @@ class _VDNNSimulation:
         self.pool.free(allocation)
         self._sample()
 
-    def _stall(self, label: str, layer_index: int) -> None:
+    def _stall(self, label: str, layer_index: int,
+               cause: str = "offload-sync") -> None:
         """Synchronize compute behind memory, logging any wasted time."""
         before = self.compute.ready_time
         if self.trace is not None:
@@ -332,6 +349,8 @@ class _VDNNSimulation:
                 self.compute.name, EventKind.STALL, label,
                 before, before + stall, layer_index=layer_index,
             )
+            if self.obs is not None:
+                self.obs.stall(cause, stall)
         if self.trace is not None:
             self.timeline.record(
                 self.compute.name, EventKind.SYNC, label,
@@ -342,7 +361,7 @@ class _VDNNSimulation:
     # -- DMA with fault injection --------------------------------------
     def _transfer(self, kind, label: str, nbytes: int,
                   earliest_start: float, layer_index: int,
-                  fault_kind: str):
+                  fault_kind: str, direction: str = ""):
         """Enqueue one DMA on ``stream_memory``, retrying under faults.
 
         Without an injector this is exactly one :meth:`SimStream.enqueue`
@@ -357,12 +376,15 @@ class _VDNNSimulation:
             ``(event, attempts)`` — the successful transfer's timeline
             event, or ``None`` when the retry budget was exhausted.
         """
+        direction = direction or fault_kind
         if self.faults is None:
             event = self.memory.enqueue(
                 kind, label, self.system.pcie.dma_time(nbytes),
                 earliest_start=earliest_start, nbytes=nbytes,
                 layer_index=layer_index,
             )
+            if self.obs is not None:
+                self.obs.pcie_transfer(direction, nbytes, event.duration)
             return event, 1
         attempts = 0
         while True:
@@ -374,12 +396,16 @@ class _VDNNSimulation:
                     earliest_start=earliest_start, nbytes=nbytes,
                     layer_index=layer_index,
                 )
+                if self.obs is not None:
+                    self.obs.pcie_transfer(direction, nbytes, event.duration)
                 return event, attempts
             self.memory.enqueue(
                 EventKind.FAULT, f"{label}!{attempts}", duration,
                 earliest_start=earliest_start, nbytes=nbytes,
                 layer_index=layer_index,
             )
+            if self.obs is not None:
+                self.obs.dma_attempt(direction, False)
             if attempts >= self.faults.spec.max_dma_attempts:
                 return None, attempts
             backoff = self.faults.spec.backoff_seconds(attempts)
@@ -388,6 +414,8 @@ class _VDNNSimulation:
                     EventKind.RETRY, f"{label}~{attempts}", backoff,
                     layer_index=layer_index,
                 )
+                if self.obs is not None:
+                    self.obs.dma_backoff(backoff)
 
     # -- persistent allocations ----------------------------------------
     def allocate_persistent(self) -> int:
@@ -416,8 +444,17 @@ class _VDNNSimulation:
 
     # -- forward pass ----------------------------------------------------
     def run_forward(self) -> None:
-        for index in self.network.forward_schedule():
-            self._forward_layer(index)
+        start = self.compute.ready_time
+        try:
+            for index in self.network.forward_schedule():
+                self._forward_layer(index)
+        finally:
+            if self.obs is not None:
+                self.obs.span(
+                    "forward", "phase", start,
+                    max(self.compute.ready_time, self.memory.ready_time),
+                    category="phase", network=self.network.name,
+                    policy=self.policy.describe())
 
     def _forward_layer(self, index: int) -> None:
         node = self.network[index]
@@ -552,9 +589,18 @@ class _VDNNSimulation:
 
     # -- backward pass ---------------------------------------------------
     def run_backward(self) -> None:
-        for index in self.network.backward_schedule():
-            self._backward_layer(index)
-        self._release_remaining()
+        start = self.compute.ready_time
+        try:
+            for index in self.network.backward_schedule():
+                self._backward_layer(index)
+            self._release_remaining()
+        finally:
+            if self.obs is not None:
+                self.obs.span(
+                    "backward", "phase", start,
+                    max(self.compute.ready_time, self.memory.ready_time),
+                    category="phase", network=self.network.name,
+                    policy=self.policy.describe())
 
     def _required_storages(self, index: int) -> List[StorageInfo]:
         node = self.network[index]
@@ -573,12 +619,14 @@ class _VDNNSimulation:
             storage.owner, storage.nbytes, f"X[{storage.owner}](demand)",
             buffer=f"Y{storage.owner}", layer=index, towner=storage.owner,
         )
+        if self.obs is not None:
+            self.obs.prefetch_event("demand")
         transfer, attempts = self._transfer(
             EventKind.PREFETCH,
             self.network[storage.owner].name + "(demand)",
             storage.nbytes,
             earliest_start=self.compute.ready_time, layer_index=index,
-            fault_kind="prefetch",
+            fault_kind="prefetch", direction="demand",
         )
         if transfer is None:
             # The backward kernel cannot run without this tensor and the
@@ -611,7 +659,8 @@ class _VDNNSimulation:
                 demand=True, start=transfer.start, end=transfer.end,
             )
         self.prefetch_bytes += storage.nbytes
-        self._stall(f"demand-fetch {storage.owner}", index)
+        self._stall(f"demand-fetch {storage.owner}", index,
+                    cause="demand-fetch")
         self.pinned.free(self.host_buffers.pop(storage.owner))
         self.restored[storage.owner] = True
 
@@ -644,6 +693,7 @@ class _VDNNSimulation:
         prefetch_target = find_prefetch_layer(
             self.network, self.state, index,
             bounded_window=self.bounded_prefetch_window,
+            obs=self.obs,
         )
         launched_prefetch = False
         kernel_start = max(self.compute.ready_time, 0.0)
@@ -669,6 +719,8 @@ class _VDNNSimulation:
                     # safety net) instead of its X being silently lost.
                     self._free(self.device.pop(storage.owner), layer=index)
                     self.state.unclaim(prefetch_target)
+                    if self.obs is not None:
+                        self.obs.prefetch_event("unclaimed")
                     self.faults.record(
                         "dma-prefetch", self.memory.ready_time,
                         f"Y{storage.owner}", attempts=attempts,
@@ -727,7 +779,8 @@ class _VDNNSimulation:
         # "Any prefetch operation launched during layer(n)'s backward
         # computation is guaranteed to be ready before layer(n-1)'s."
         if launched_prefetch:
-            self._stall(f"prefetch-sync {node.name}", index)
+            self._stall(f"prefetch-sync {node.name}", index,
+                        cause="prefetch-sync")
 
         # Release whatever this backward step finished with (Figure 8).
         for storage in self.liveness.all_storages():
@@ -763,6 +816,7 @@ def simulate_vdnn(
     verify: bool = False,
     faults: Optional[FaultSpec] = None,
     fault_seed: int = 0,
+    obs: Optional[Instrumentation] = None,
 ) -> IterationResult:
     """One training iteration under the vDNN memory manager.
 
@@ -785,18 +839,24 @@ def simulate_vdnn(
             machine; faulted runs bypass the result cache).
         fault_seed: RNG seed for the fault stream; same
             ``(spec, seed)`` ⇒ bit-identical run and FaultReport.
+        obs: record metrics and spans into this
+            :class:`~repro.obs.Instrumentation`.  Observation only —
+            the run is bit-identical with or without it (the
+            differential suite asserts this across the zoo); like
+            traced runs, instrumented runs bypass the result cache.
 
     Returns:
         The :class:`IterationResult`; ``trainable`` reflects whether the
         peak pool usage fits the physical GPU.
     """
-    injector = make_injector(faults, fault_seed)
+    injector = make_injector(faults, fault_seed, obs=obs)
     sim = _VDNNSimulation(
         network, system, policy, algos,
         bounded_prefetch_window=bounded_prefetch_window,
         sync_after_offload=sync_after_offload,
         verify=verify,
         faults=injector,
+        obs=obs,
     )
     failure: Optional[str] = None
     persistent = sim.allocate_persistent()
@@ -812,6 +872,15 @@ def simulate_vdnn(
         # a hang or silent corruption.
         failure = f"DMA transfer permanently failed: {error}"
     sim.usage.record(sim.timeline.end_time, sim.pool.live_bytes)
+    if obs is not None:
+        obs.pool_sample(sim.pool.live_bytes, system.gpu.memory_bytes,
+                        sim.pool.fragmentation)
+        obs.pool_peak(sim.pool.peak_bytes)
+        obs.pinned_peak(sim.pinned.peak_bytes)
+        obs.run_streams(sim.timeline, sim.compute.name, sim.memory.name)
+        obs.span("iteration", "phase", 0.0, sim.timeline.end_time,
+                 category="phase", network=network.name,
+                 policy=policy.describe(), algo=algos.label)
 
     peak = sim.usage.max_bytes
     total_peak = peak + sim.external_bytes

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from ..graph.layer import LayerKind
 from ..graph.network import Network
+from ..obs import Instrumentation
 
 
 @dataclass
@@ -66,6 +67,7 @@ def find_prefetch_layer(
     state: PrefetchState,
     current_layer_id: int,
     bounded_window: bool = True,
+    obs: Optional[Instrumentation] = None,
 ) -> Optional[int]:
     """Pick the layer whose offloaded X should be prefetched now.
 
@@ -85,6 +87,8 @@ def find_prefetch_layer(
         bounded_window: set False to disable the CONV-layer bound — the
             ablation of DESIGN.md §5.2 (prefetch as early as possible,
             trading memory savings for scheduling slack).
+        obs: optional instrumentation; records search hit/miss and
+            claim counts without affecting the search itself.
 
     Returns:
         The layer id to prefetch, or None when nothing (suitable) is
@@ -93,7 +97,13 @@ def find_prefetch_layer(
     for layer_id in range(current_layer_id - 1, -1, -1):
         if state.offloaded[layer_id] and not state.prefetched[layer_id]:
             state.claim(layer_id)
+            if obs is not None:
+                obs.prefetch_claimed()
             return layer_id
         if bounded_window and network[layer_id].kind is LayerKind.CONV:
+            if obs is not None:
+                obs.prefetch_search(False)
             return None
+    if obs is not None:
+        obs.prefetch_search(False)
     return None

@@ -19,6 +19,7 @@ import random
 from typing import Optional
 
 from ..hw.pcie import PCIeLink
+from ..obs import Instrumentation
 from .report import FaultEvent, FaultReport
 from .spec import FaultSpec
 
@@ -30,11 +31,13 @@ class DMAAbortError(RuntimeError):
 class FaultInjector:
     """Draws faults from a seeded stream and logs them into a report."""
 
-    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+    def __init__(self, spec: FaultSpec, seed: int = 0,
+                 obs: Optional[Instrumentation] = None) -> None:
         self.spec = spec
         self.seed = seed
         self.rng = random.Random(seed)
         self.report = FaultReport(spec=spec, seed=seed)
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def dma_seconds(self, pcie: PCIeLink, nbytes: int) -> float:
@@ -77,16 +80,20 @@ class FaultInjector:
         nbytes: int = 0,
         detail: str = "",
     ) -> FaultEvent:
-        return self.report.add(FaultEvent(
+        event = self.report.add(FaultEvent(
             kind=kind, time=time, target=target, attempts=attempts,
             outcome=outcome, nbytes=nbytes, detail=detail,
         ))
+        if self.obs is not None:
+            self.obs.fault_event(kind, outcome)
+        return event
 
 
 def make_injector(
-    spec: Optional[FaultSpec], seed: int = 0
+    spec: Optional[FaultSpec], seed: int = 0,
+    obs: Optional[Instrumentation] = None,
 ) -> Optional[FaultInjector]:
     """Build an injector, or None when no spec is given."""
     if spec is None:
         return None
-    return FaultInjector(spec, seed)
+    return FaultInjector(spec, seed, obs=obs)

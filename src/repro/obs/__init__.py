@@ -1,0 +1,48 @@
+"""Observability layer: unified metrics + span tracing.
+
+The paper's evaluation is observational (per-layer memory, offload
+traffic, PCIe bandwidth); this package makes those quantities first-
+class instead of per-figure one-offs.  One :class:`Instrumentation`
+object is threaded through the executor, scheduler, prefetcher, result
+cache and fault injector; it accumulates counters/gauges/histograms in
+a :class:`MetricsRegistry` and phase/lifecycle :class:`Span` records,
+both exported deterministically (Prometheus text, sorted-keys JSON,
+Chrome-trace lanes).
+
+Instrumentation is **bit-neutral**: every simulated metric, timeline
+and report is byte-identical with observability on or off — see
+``tests/test_obs_differential.py`` and docs/observability.md.
+"""
+
+from .export import metrics_dict, metrics_json, prometheus_text
+from .instrument import (CACHE_EVENTS, DIRECTIONS, JOB_EVENTS,
+                         PREFETCH_EVENTS, STALL_CAUSES, Instrumentation,
+                         NullInstrumentation)
+from .metrics import (BYTES_BUCKETS, DURATION_BUCKETS, Counter, Gauge,
+                      Histogram, MetricError, MetricsRegistry, make_labels)
+from .spans import SPAN_PROCESS, Span, SpanRecorder, spans_to_trace_events
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "CACHE_EVENTS",
+    "Counter",
+    "DIRECTIONS",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JOB_EVENTS",
+    "MetricError",
+    "MetricsRegistry",
+    "NullInstrumentation",
+    "PREFETCH_EVENTS",
+    "SPAN_PROCESS",
+    "STALL_CAUSES",
+    "Span",
+    "SpanRecorder",
+    "make_labels",
+    "metrics_dict",
+    "metrics_json",
+    "prometheus_text",
+    "spans_to_trace_events",
+]

@@ -1,0 +1,129 @@
+"""Deterministic exports: Prometheus text format and sorted-keys JSON.
+
+Both exporters sort series by ``(metric name, label pairs)`` and format
+numbers canonically (integral floats print as integers, everything else
+as Python's shortest round-trip repr), so *same run ⇒ byte-identical
+export* — the property the golden-fixture tests assert.
+
+Prometheus specifics:
+
+* counters/gauges/histograms follow the text exposition format
+  (``# HELP`` / ``# TYPE`` once per family, then one sample per series);
+* histograms emit the conventional cumulative ``_bucket{le="..."}``
+  series ending at ``le="+Inf"``, plus ``_sum`` and ``_count``;
+* gauges additionally emit a ``<name>_max`` family carrying the
+  high-water mark (e.g. ``repro_pool_live_bytes_max`` is the pool's
+  peak footprint).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .metrics import Counter, Gauge, Histogram, Labels, MetricsRegistry
+from .spans import SpanRecorder
+
+
+def _fmt(value: float) -> str:
+    """Canonical number formatting: 123 not 123.0, else shortest repr."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_str(labels: Labels, extra: Optional[List[tuple]] = None) -> str:
+    pairs = list(labels) + (extra or [])
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_headers = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    metrics = registry.metrics()
+    for metric in metrics:
+        if isinstance(metric, Counter):
+            header(metric.name, "counter",
+                   metric.help or registry.help_for(metric.name))
+            lines.append(
+                f"{metric.name}{_labels_str(metric.labels)} "
+                f"{_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            header(metric.name, "gauge",
+                   metric.help or registry.help_for(metric.name))
+            lines.append(
+                f"{metric.name}{_labels_str(metric.labels)} "
+                f"{_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            header(metric.name, "histogram",
+                   metric.help or registry.help_for(metric.name))
+            cumulative = metric.cumulative()
+            for bound, total in zip(metric.bounds, cumulative):
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_labels_str(metric.labels, [('le', _fmt(bound))])} "
+                    f"{total}")
+            lines.append(
+                f"{metric.name}_bucket"
+                f"{_labels_str(metric.labels, [('le', '+Inf')])} "
+                f"{cumulative[-1]}")
+            lines.append(
+                f"{metric.name}_sum{_labels_str(metric.labels)} "
+                f"{_fmt(metric.sum)}")
+            lines.append(
+                f"{metric.name}_count{_labels_str(metric.labels)} "
+                f"{metric.count}")
+
+    # Gauge high-water marks as a trailing block of *_max families.
+    for metric in metrics:
+        if isinstance(metric, Gauge):
+            header(f"{metric.name}_max", "gauge",
+                   f"High-water mark of {metric.name}")
+            lines.append(
+                f"{metric.name}_max{_labels_str(metric.labels)} "
+                f"{_fmt(metric.max_value)}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_dict(
+    registry: MetricsRegistry,
+    spans: Optional[SpanRecorder] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> dict:
+    """The registry (and optionally spans) as a JSON-ready dict."""
+    payload: Dict[str, object] = {
+        "metrics": [m.to_dict() for m in registry.metrics()],
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    if spans is not None:
+        payload["spans"] = spans.to_list()
+    return payload
+
+
+def metrics_json(
+    registry: MetricsRegistry,
+    spans: Optional[SpanRecorder] = None,
+    meta: Optional[Dict[str, object]] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """Sorted-keys JSON export: same run ⇒ byte-identical string."""
+    return json.dumps(metrics_dict(registry, spans=spans, meta=meta),
+                      sort_keys=True, indent=indent)

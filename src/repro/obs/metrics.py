@@ -1,0 +1,276 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms.
+
+Three deliberately small types back the whole observability layer:
+
+* :class:`Counter` — a monotonically increasing total (bytes moved,
+  faults injected, cache hits);
+* :class:`Gauge` — a point-in-time value with an optional high-water
+  mark (pool live bytes, fragmentation);
+* :class:`Histogram` — observation counts over **fixed** bucket
+  boundaries chosen at construction, plus sum and count (DMA durations,
+  stall times, job completion times).
+
+Fixed boundaries are what make histograms *mergeable*: two histograms
+with identical boundaries merge by adding counts element-wise, so merge
+is associative and commutative on the counts (the hypothesis property
+suite pins this down).  Every type serialises to a plain dict and back
+(:meth:`to_dict` / :meth:`from_dict`) so exports and golden fixtures are
+byte-stable.
+
+The :class:`MetricsRegistry` holds every metric of one instrumented run,
+keyed by ``(name, sorted label pairs)``.  Registries never iterate in
+creation order when exporting — consumers sort — so identical runs
+produce identical exports regardless of code-path ordering.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Label set as stored on a metric: sorted, immutable.
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Default bucket boundaries (seconds) for duration histograms: powers
+#: of ten from 10 µs to 100 s, two steps per decade.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,
+    0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+)
+
+#: Default bucket boundaries (bytes) for transfer-size histograms:
+#: 64 KiB up to 8 GiB, one step per power of four.
+BYTES_BUCKETS: Tuple[float, ...] = (
+    1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+    1 << 26, 1 << 28, 1 << 30, 1 << 32, 1 << 33,
+)
+
+
+def make_labels(labels: Optional[Dict[str, str]] = None) -> Labels:
+    """Normalise a label dict to the canonical sorted-tuple form."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricError(ValueError):
+    """Raised on metric misuse (negative counter step, bad merge, ...)."""
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total."""
+
+    name: str
+    labels: Labels = ()
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name} cannot decrease (inc by {amount})")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> "Counter":
+        """A new counter holding both totals (same name + labels only)."""
+        if (self.name, self.labels) != (other.name, other.labels):
+            raise MetricError(
+                f"cannot merge counter {self.name}{self.labels} with "
+                f"{other.name}{other.labels}")
+        return Counter(self.name, self.labels, self.help,
+                       self.value + other.value)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "counter",
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counter":
+        return cls(data["name"], make_labels(data.get("labels")),
+                   value=data["value"])
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value, with the largest value ever set kept as
+    the high-water mark."""
+
+    name: str
+    labels: Labels = ()
+    help: str = ""
+    value: float = 0.0
+    max_value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def set_max(self, value: float) -> None:
+        """Raise the high-water mark without moving the current value."""
+        if value > self.max_value:
+            self.max_value = value
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+            "value": self.value,
+            "max_value": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Gauge":
+        return cls(data["name"], make_labels(data.get("labels")),
+                   value=data["value"], max_value=data["max_value"])
+
+
+@dataclass
+class Histogram:
+    """Observation counts over fixed, ascending bucket boundaries.
+
+    ``bounds`` are inclusive upper edges; an implicit ``+Inf`` bucket
+    catches everything beyond the last edge, so ``counts`` always has
+    ``len(bounds) + 1`` entries.  The Prometheus export emits the
+    conventional *cumulative* ``_bucket{le=...}`` series; internally the
+    counts are per-bucket so merging is element-wise addition.
+    """
+
+    name: str
+    bounds: Tuple[float, ...]
+    labels: Labels = ()
+    help: str = ""
+    counts: List[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        self.bounds = tuple(self.bounds)
+        if not self.bounds:
+            raise MetricError(f"histogram {self.name} needs >= 1 bound")
+        if any(b >= a for b, a in zip(self.bounds, self.bounds[1:])):
+            raise MetricError(
+                f"histogram {self.name} bounds must strictly ascend: "
+                f"{self.bounds}")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+        elif len(self.counts) != len(self.bounds) + 1:
+            raise MetricError(
+                f"histogram {self.name} needs {len(self.bounds) + 1} "
+                f"counts, got {len(self.counts)}")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per ``le`` edge (ending at ``+Inf``)."""
+        total = 0
+        out = []
+        for item in self.counts:
+            total += item
+            out.append(total)
+        return out
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram combining both (same identity + bounds only)."""
+        if (self.name, self.labels) != (other.name, other.labels):
+            raise MetricError(
+                f"cannot merge histogram {self.name}{self.labels} with "
+                f"{other.name}{other.labels}")
+        if self.bounds != other.bounds:
+            raise MetricError(
+                f"cannot merge histogram {self.name}: bucket boundaries "
+                f"differ ({self.bounds} vs {other.bounds})")
+        return Histogram(
+            self.name, self.bounds, self.labels, self.help,
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+            sum=self.sum + other.sum, count=self.count + other.count,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "labels": {k: v for k, v in self.labels},
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        return cls(data["name"], tuple(data["bounds"]),
+                   make_labels(data.get("labels")),
+                   counts=list(data["counts"]),
+                   sum=data["sum"], count=data["count"])
+
+
+class MetricsRegistry:
+    """Every metric of one instrumented run, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Labels], object] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: type, name: str, labels: Labels, help: str,
+             **kwargs) -> object:
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(name=name, labels=labels, help=help, **kwargs)
+            self._metrics[key] = metric
+            if help and name not in self._help:
+                self._help[name] = help
+        elif not isinstance(metric, kind):
+            raise MetricError(
+                f"metric {name} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get(Counter, name, make_labels(labels), help)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, make_labels(labels), help)
+
+    def histogram(self, name: str, bounds: Sequence[float],
+                  help: str = "",
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+        metric = self._get(Histogram, name, make_labels(labels), help,
+                           bounds=tuple(bounds))
+        if metric.bounds != tuple(bounds):
+            raise MetricError(
+                f"histogram {name} already registered with bounds "
+                f"{metric.bounds}, asked for {tuple(bounds)}")
+        return metric
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[object]:
+        """All metrics, deterministically sorted by (name, labels)."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[object]:
+        return iter(self.metrics())
+
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[object]:
+        return self._metrics.get((name, make_labels(labels)))

@@ -1,0 +1,117 @@
+"""Span tracing over *simulated* time.
+
+The simulators already log kernel/DMA intervals on :class:`Timeline`;
+spans sit one level above — phases (forward pass, backward pass,
+admission rounds) and lifecycles (a job from submit to finish) — and
+live on their own lanes when exported next to the stream rows in the
+Chrome trace (:func:`repro.sim.trace.timeline_to_trace_events` accepts
+them directly).
+
+Timestamps are simulation seconds, not wall clock, so recording a span
+can never perturb the run it describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Lane prefix in the Chrome-trace export (one trace process groups all
+#: span lanes, one thread row per distinct ``lane``).
+SPAN_PROCESS = "observability"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one span lane."""
+
+    name: str
+    lane: str
+    start: float
+    end: float
+    category: str = "span"
+    attrs: Dict[str, object] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.end} < {self.start})")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "lane": self.lane,
+            "start": self.start,
+            "end": self.end,
+            "category": self.category,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanRecorder:
+    """Append-only span log with deterministic export order."""
+
+    def __init__(self) -> None:
+        self._spans: List[Span] = []
+
+    def record(self, name: str, lane: str, start: float, end: float,
+               category: str = "span", **attrs) -> Span:
+        span = Span(name=name, lane=lane, start=start, end=end,
+                    category=category, attrs=attrs)
+        self._spans.append(span)
+        return span
+
+    @property
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def on_lane(self, lane: str) -> List[Span]:
+        return [s for s in self._spans if s.lane == lane]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def to_list(self) -> List[dict]:
+        """Spans in recording order (simulation order) as plain dicts."""
+        return [s.to_dict() for s in self._spans]
+
+
+def spans_to_trace_events(
+    spans: List[Span], pid: int, process_name: str = SPAN_PROCESS,
+) -> List[dict]:
+    """Render spans as Chrome trace-event dicts under one process.
+
+    Each distinct lane becomes a thread row; events are complete ("X")
+    slices in microseconds, matching the stream rows the Timeline
+    exporter emits, so spans and kernels line up on one time axis.
+    """
+    if not spans:
+        return []
+    lanes = sorted({s.lane for s in spans})
+    tid_of = {lane: tid for tid, lane in enumerate(lanes)}
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid,
+        "args": {"name": process_name},
+    }]
+    for lane in lanes:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid,
+            "tid": tid_of[lane], "args": {"name": lane},
+        })
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid_of[span.lane],
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "args": dict(span.attrs),
+        })
+    return events

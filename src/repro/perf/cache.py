@@ -67,6 +67,7 @@ class SimulationCache:
         self,
         max_entries: Optional[int] = None,
         disk_dir: Optional[str] = None,
+        obs: Optional[Any] = None,
     ):
         if max_entries is None:
             max_entries = int(os.environ.get(ENV_SIZE, DEFAULT_MAX_ENTRIES))
@@ -79,6 +80,11 @@ class SimulationCache:
         self._blobs: "OrderedDict[str, bytes]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        #: Optional ``repro.obs.Instrumentation``; mirrors ``stats`` into
+        #: the ``repro_cache_events_total`` counter family.  Assignable
+        #: after construction (``cache.obs = obs``) so the process-wide
+        #: cache can be instrumented per run.
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> str:
@@ -91,6 +97,8 @@ class SimulationCache:
             if blob is not None:
                 self._blobs.move_to_end(key)
                 self.stats.hits += 1
+                if self.obs is not None:
+                    self.obs.cache_event("hit")
                 return blob
         if self.disk_dir:
             path = self._disk_path(key)
@@ -100,9 +108,13 @@ class SimulationCache:
                 self.put_blob(key, blob, write_disk=False)
                 with self._lock:
                     self.stats.disk_hits += 1
+                    if self.obs is not None:
+                        self.obs.cache_event("disk_hit")
                 return blob
         with self._lock:
             self.stats.misses += 1
+            if self.obs is not None:
+                self.obs.cache_event("miss")
         return None
 
     def put_blob(self, key: str, blob: bytes, write_disk: bool = True) -> None:
@@ -111,9 +123,13 @@ class SimulationCache:
             self._blobs[key] = blob
             self._blobs.move_to_end(key)
             self.stats.stores += 1
+            if self.obs is not None:
+                self.obs.cache_event("store")
             while len(self._blobs) > self.max_entries:
                 self._blobs.popitem(last=False)
                 self.stats.evictions += 1
+                if self.obs is not None:
+                    self.obs.cache_event("eviction")
         if write_disk and self.disk_dir:
             os.makedirs(self.disk_dir, exist_ok=True)
             path = self._disk_path(key)

@@ -65,12 +65,13 @@ class RungEval:
 
 
 def _distill(rung: str, result: IterationResult) -> RungEval:
+    busy = result.timeline.busy_times(COMPUTE_STREAM, MEMORY_STREAM)
     return RungEval(
         rung=rung,
         footprint_bytes=result.max_usage_bytes,
         iter_seconds=result.total_time,
-        compute_seconds=result.timeline.busy_time(COMPUTE_STREAM),
-        pcie_seconds=result.timeline.busy_time(MEMORY_STREAM),
+        compute_seconds=busy[COMPUTE_STREAM],
+        pcie_seconds=busy[MEMORY_STREAM],
         pcie_bytes=result.offload_bytes + result.prefetch_bytes,
     )
 

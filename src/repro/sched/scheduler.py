@@ -35,6 +35,7 @@ from ..alloc.pool import Allocation, PoolAllocator
 from ..alloc.stats import UsageTracker
 from ..faults import FaultEvent, FaultReport, FaultSpec
 from ..hw.config import PAPER_SYSTEM, SystemConfig
+from ..obs import Instrumentation
 from ..sim.timeline import EventKind, Timeline
 from .admission import AdmissionController, RungEval
 from .contention import ContentionModel
@@ -159,6 +160,7 @@ class GPUScheduler:
         contention: Optional[ContentionModel] = None,
         faults: Optional[FaultSpec] = None,
         fault_seed: int = 0,
+        obs: Optional[Instrumentation] = None,
     ):
         self.system = system or PAPER_SYSTEM
         if budget_bytes is None:
@@ -180,9 +182,15 @@ class GPUScheduler:
             if faults is not None else None
         )
         self.budget_timeline: List[Tuple[float, int]] = []
+        self.obs = obs
         #: (record, FaultEvent) pairs whose outcome depends on the job's
         #: final fate, finalized at the end of :meth:`run`.
         self._eviction_events: List[Tuple[JobRecord, FaultEvent]] = []
+
+    def _sample_pool(self) -> None:
+        if self.obs is not None:
+            self.obs.pool_sample(self.pool.live_bytes, self.budget_bytes,
+                                 self.pool.fragmentation)
 
     # ------------------------------------------------------------------
     def submit(self, job: Job) -> JobRecord:
@@ -204,6 +212,8 @@ class GPUScheduler:
             f" bytes > budget {self.budget_bytes} bytes"
         )
         record.finish_time = clock
+        if self.obs is not None:
+            self.obs.job_event("rejected")
 
     def _admit(self, record: JobRecord, rung: RungEval,
                clock: float, resident: List[_Resident]) -> None:
@@ -234,6 +244,9 @@ class GPUScheduler:
             - record.iterations_done,
         ))
         self.usage.record(clock, self.pool.live_bytes)
+        if self.obs is not None:
+            self.obs.job_admitted(max(clock - ready_since, 0.0), rung.rung)
+            self._sample_pool()
 
     def _cheapest_fit_now(self, job: Job) -> Optional[RungEval]:
         """Fastest rung whose footprint fits a contiguous pool hole.
@@ -299,6 +312,9 @@ class GPUScheduler:
             f"job:{record.job.name}", EventKind.FAULT, reason, clock, clock,
         )
         self.usage.record(clock, self.pool.live_bytes)
+        if self.obs is not None:
+            self.obs.job_event("evicted")
+            self._sample_pool()
 
     def _apply_eviction(self, name: str, clock: float,
                         pending: List[JobRecord],
@@ -311,6 +327,8 @@ class GPUScheduler:
                 kind="eviction", time=clock, target=name,
                 outcome="recovered", detail="job not resident; no-op",
             ))
+            if self.obs is not None:
+                self.obs.fault_event("eviction", "recovered")
             return
         self._evict(entry, clock, pending, resident, reason="evicted")
         event = self.fault_report.add(FaultEvent(
@@ -340,6 +358,8 @@ class GPUScheduler:
                 detail=f"budget already at or below "
                        f"{self.budget_bytes} bytes; no-op",
             ))
+            if self.obs is not None:
+                self.obs.fault_event("budget-shrink", "recovered")
             return
         victims = 0
         while True:
@@ -373,6 +393,10 @@ class GPUScheduler:
             detail=f"budget {self.initial_budget_bytes} -> {new_budget} "
                    f"bytes, {victims} job(s) evicted",
         ))
+        if self.obs is not None:
+            self.obs.fault_event(
+                "budget-shrink", "degraded" if victims else "recovered")
+            self._sample_pool()
 
     def _finalize_fault_outcomes(self) -> None:
         """Settle eviction outcomes now that every job's fate is known."""
@@ -383,6 +407,10 @@ class GPUScheduler:
                 event.outcome = "rejected"
             else:
                 event.outcome = "fatal"
+            if self.obs is not None:
+                # Counted here, not at injection time, so the label
+                # reflects the settled outcome.
+                self.obs.fault_event(event.kind, event.outcome)
 
     # ------------------------------------------------------------------
     def run(self) -> ScheduleResult:
@@ -506,9 +534,13 @@ class GPUScheduler:
                     )
                     entry.record.residency.append((clock, clock, tenants))
                 self.usage.record(clock, self.pool.live_bytes)
+                if self.obs is not None:
+                    self.obs.job_finished(
+                        max(clock - entry.record.job.submit_time, 0.0))
+                    self._sample_pool()
 
         self._finalize_fault_outcomes()
-        return ScheduleResult(
+        result = ScheduleResult(
             policy=self.policy.name,
             budget_bytes=self.budget_bytes,
             records=list(self.records),
@@ -518,6 +550,18 @@ class GPUScheduler:
             budget_timeline=list(self.budget_timeline),
             fault_report=self.fault_report,
         )
+        if self.obs is not None:
+            self.obs.sched_makespan(result.makespan)
+            for record in result.records:
+                if record.finish_time is None:
+                    continue
+                self.obs.span(
+                    record.job.name, "jobs",
+                    record.job.submit_time,
+                    max(record.finish_time, record.job.submit_time),
+                    category="job", state=record.state.name.lower(),
+                    rung=record.rung or "", evictions=record.evictions)
+        return result
 
 
 def schedule_jobs(
@@ -529,12 +573,13 @@ def schedule_jobs(
     contention: Optional[ContentionModel] = None,
     faults: Optional[FaultSpec] = None,
     fault_seed: int = 0,
+    obs: Optional[Instrumentation] = None,
 ) -> ScheduleResult:
     """Convenience: submit ``jobs`` to a fresh scheduler and run it."""
     scheduler = GPUScheduler(
         system=system, policy=policy, budget_bytes=budget_bytes,
         controller=controller, contention=contention,
-        faults=faults, fault_seed=fault_seed,
+        faults=faults, fault_seed=fault_seed, obs=obs,
     )
     scheduler.submit_all(jobs)
     return scheduler.run()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class EventKind(enum.Enum):
@@ -150,20 +150,29 @@ class Timeline:
         Stalls and retry backoffs are idle time, not work; failed DMA
         attempts (FAULT) do occupy the engine and count as busy.
         """
-        intervals = sorted(
-            (e.start, e.end)
-            for e in self._events
-            if e.stream == stream
-            and e.kind is not EventKind.STALL
-            and e.kind is not EventKind.RETRY
-        )
-        total, cursor = 0.0, float("-inf")
-        for start, end in intervals:
-            start = max(start, cursor)
-            if end > start:
-                total += end - start
-                cursor = end
-        return total
+        return self.busy_times(stream)[stream]
+
+    def busy_times(self, *streams: str) -> Dict[str, float]:
+        """:meth:`busy_time` for several streams in one pass over the log."""
+        per_stream: Dict[str, List[Tuple[float, float]]] = {
+            s: [] for s in streams}
+        for e in self._events:
+            bucket = per_stream.get(e.stream)
+            if bucket is not None \
+                    and e.kind is not EventKind.STALL \
+                    and e.kind is not EventKind.RETRY:
+                bucket.append((e.start, e.end))
+        out: Dict[str, float] = {}
+        for stream, intervals in per_stream.items():
+            intervals.sort()
+            total, cursor = 0.0, float("-inf")
+            for start, end in intervals:
+                start = max(start, cursor)
+                if end > start:
+                    total += end - start
+                    cursor = end
+            out[stream] = total
+        return out
 
     def transferred_bytes(self, *kinds: EventKind) -> int:
         kinds = kinds or (EventKind.OFFLOAD, EventKind.PREFETCH)

@@ -48,12 +48,16 @@ def timeline_to_trace_events(
     timeline: Timeline,
     usage: Optional[UsageTracker] = None,
     process_name: str = "vDNN",
+    spans: Optional[List] = None,
 ) -> List[dict]:
     """Convert a timeline (+ optional memory curve) to trace events.
 
     Ordinary streams become threads of process 0; ``job:<name>`` streams
     each get a dedicated process (pid 1..N) named after the job, so
-    multi-tenant timelines render one row per job.
+    multi-tenant timelines render one row per job.  ``spans`` (a list of
+    :class:`repro.obs.Span`) adds one extra process whose threads are
+    the span lanes — phases and job lifecycles lined up on the same
+    time axis as the stream rows.
     """
     streams = sorted({e.stream for e in timeline.events})
     plain = [s for s in streams if job_lane_name(s) is None]
@@ -100,6 +104,11 @@ def timeline_to_trace_events(
                 "ts": time * 1e6,
                 "args": {"live": live_bytes},
             })
+
+    if spans:
+        from ..obs import spans_to_trace_events
+
+        events.extend(spans_to_trace_events(spans, pid=len(jobs) + 1))
     return events
 
 
@@ -108,9 +117,10 @@ def save_trace(
     timeline: Timeline,
     usage: Optional[UsageTracker] = None,
     process_name: str = "vDNN",
+    spans: Optional[List] = None,
 ) -> None:
     """Write a ``.json`` Chrome/Perfetto trace file."""
-    events = timeline_to_trace_events(timeline, usage, process_name)
+    events = timeline_to_trace_events(timeline, usage, process_name, spans)
     with open(path, "w") as handle:
         json.dump({"traceEvents": events,
                    "displayTimeUnit": "ms"}, handle)

@@ -204,6 +204,7 @@ class TestSmokeEverySubcommand:
         ["verify", "alexnet", "--policy", "all"],
         ["faults", "alexnet", "--batch", "8", "--spec", "dma=0.1",
          "--seed", "7"],
+        ["metrics", "alexnet", "--batch", "8", "--policy", "all"],
     ], ids=lambda argv: argv[0])
     def test_subcommand_smoke(self, argv, capsys):
         assert main(argv) == 0
@@ -216,5 +217,6 @@ class TestSmokeEverySubcommand:
         smoked = {
             "networks", "evaluate", "sweep", "capacity", "plan",
             "figures", "train-demo", "schedule", "verify", "faults",
+            "metrics",
         }
         assert smoked == set(_COMMANDS)

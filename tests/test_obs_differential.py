@@ -1,0 +1,164 @@
+"""Differential suite: instrumentation is bit-neutral.
+
+Every simulated quantity — iteration results, timelines, usage curves,
+schedule reports, fault reports — must be *byte-identical* whether a
+run carries an :class:`repro.obs.Instrumentation` object or not.  The
+hooks only read values the simulation already computed; these tests pin
+that contract across the whole zoo, every policy, faulted runs, and
+multi-tenant schedules.
+"""
+
+import pytest
+
+from repro.cli import DEFAULT_WORKLOAD, main
+from repro.core.api import evaluate
+from repro.faults import FaultSpec
+from repro.obs import Instrumentation
+from repro.sched import Job, schedule_jobs, schedule_report
+from repro.zoo import available, build
+
+POLICIES = ("all", "conv", "dyn", "base", "none")
+
+
+def _headline_jobs():
+    return [Job.parse(spec, index)
+            for index, spec in enumerate(DEFAULT_WORKLOAD.split(","))]
+
+
+def _assert_results_identical(plain, instrumented):
+    assert instrumented == plain
+    assert instrumented.timeline.events == plain.timeline.events
+    assert instrumented.usage.curve() == plain.usage.curve()
+
+
+def _assert_schedules_identical(plain, instrumented):
+    assert schedule_report(instrumented) == schedule_report(plain)
+    assert instrumented.timeline.events == plain.timeline.events
+    assert instrumented.usage.curve() == plain.usage.curve()
+    assert instrumented.budget_timeline == plain.budget_timeline
+    assert instrumented.final_pool_live_bytes == plain.final_pool_live_bytes
+    assert instrumented.makespan == plain.makespan
+    if plain.fault_report is not None:
+        assert (instrumented.fault_report.to_json()
+                == plain.fault_report.to_json())
+
+
+# ----------------------------------------------------------------------
+# Single-iteration runs: whole zoo x every policy
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", available())
+def test_zoo_network_bit_neutral(name):
+    network = build(name)
+    for policy in POLICIES:
+        plain = evaluate(network, policy=policy, use_cache=False)
+        obs = Instrumentation()
+        instrumented = evaluate(network, policy=policy, use_cache=False,
+                                obs=obs)
+        _assert_results_identical(plain, instrumented)
+        # The observer must actually have observed: every vDNN policy
+        # moves DMA traffic, the baseline at least samples the pool.
+        assert len(obs.registry) > 0
+
+
+# ----------------------------------------------------------------------
+# Faulted runs: results AND FaultReport JSON byte-identical
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec_str", [
+    "dma=0.15",
+    "dma=0.05,pcie=0.7,jitter=0.1",
+])
+@pytest.mark.parametrize("policy", ["all", "conv"])
+def test_faulted_run_bit_neutral(spec_str, policy):
+    network = build("alexnet", 128)
+    spec = FaultSpec.parse(spec_str)
+    plain = evaluate(network, policy=policy, faults=spec, fault_seed=7)
+    obs = Instrumentation()
+    instrumented = evaluate(network, policy=policy, faults=spec,
+                            fault_seed=7, obs=obs)
+    _assert_results_identical(plain, instrumented)
+    assert (instrumented.fault_report.to_json(indent=2)
+            == plain.fault_report.to_json(indent=2))
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant schedules: three workloads
+# ----------------------------------------------------------------------
+def test_schedule_headline_bit_neutral():
+    plain = schedule_jobs(_headline_jobs())
+    obs = Instrumentation()
+    instrumented = schedule_jobs(_headline_jobs(), obs=obs)
+    _assert_schedules_identical(plain, instrumented)
+    assert len(obs.spans) > 0
+
+
+def test_schedule_contended_bit_neutral():
+    def jobs():
+        import dataclasses
+
+        return [dataclasses.replace(job, submit_time=float(index) * 2.0)
+                for index, job in enumerate(_headline_jobs())]
+
+    budget = 4 * (1 << 30)
+    for policy in ("fifo", "sjf", "best_fit"):
+        plain = schedule_jobs(jobs(), policy=policy, budget_bytes=budget)
+        obs = Instrumentation()
+        instrumented = schedule_jobs(jobs(), policy=policy,
+                                     budget_bytes=budget, obs=obs)
+        _assert_schedules_identical(plain, instrumented)
+
+
+def test_schedule_faulted_bit_neutral():
+    spec = FaultSpec.parse("shrink@8=0.4,evict@3=vgg16#1")
+    plain = schedule_jobs(_headline_jobs(), faults=spec, fault_seed=1)
+    obs = Instrumentation()
+    instrumented = schedule_jobs(_headline_jobs(), faults=spec,
+                                 fault_seed=1, obs=obs)
+    _assert_schedules_identical(plain, instrumented)
+    # Settled outcomes were mirrored into the fault counter family.
+    fault_counters = [m for m in obs.registry.metrics()
+                      if m.name == "repro_faults_total"]
+    assert sum(int(c.value) for c in fault_counters) \
+        == len(plain.fault_report.events)
+
+
+# ----------------------------------------------------------------------
+# The sanitizer stays clean on instrumented runs
+# ----------------------------------------------------------------------
+def test_sanitizer_clean_on_instrumented_iteration():
+    from repro.analysis.verify import verify_result
+
+    network = build("vgg16", 64)
+    obs = Instrumentation()
+    result = evaluate(network, policy="all", algo="m", verify=True, obs=obs)
+    report = verify_result(result, network=network)
+    assert report.ok, report.render_text()
+
+
+def test_sanitizer_clean_on_instrumented_schedule():
+    from repro.analysis.verify import verify_schedule
+
+    obs = Instrumentation()
+    result = schedule_jobs(_headline_jobs(), obs=obs)
+    report = verify_schedule(result)
+    assert report.ok, report.render_text()
+
+
+# ----------------------------------------------------------------------
+# CLI: --metrics appends an export without touching the report
+# ----------------------------------------------------------------------
+def test_cli_evaluate_report_unchanged_by_metrics(capsys):
+    assert main(["evaluate", "alexnet"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["evaluate", "alexnet", "--metrics"]) == 0
+    with_metrics = capsys.readouterr().out
+    assert with_metrics.startswith(plain)
+    assert "repro_pcie_bytes_total" in with_metrics
+
+
+def test_cli_schedule_report_unchanged_by_metrics(capsys):
+    assert main(["schedule"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["schedule", "--metrics"]) == 0
+    with_metrics = capsys.readouterr().out
+    assert with_metrics.startswith(plain.rstrip("\n"))
+    assert "repro_sched_jobs_total" in with_metrics

@@ -1,0 +1,197 @@
+"""Hypothesis property tests for the observability metric types.
+
+The metric laws (merge associativity, bucket monotonicity, round-trip
+serialization) are what make sharded/exported metrics trustworthy; the
+pool properties pin :meth:`PoolAllocator.shrink` / ``blockers_above``
+against the live gauges an :class:`Instrumentation` object samples.
+
+Merge laws are tested with *integer* observations: float addition is
+not associative, so exact equality is the law only on values where
+addition is exact (and real metric streams are counts and byte sizes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.pool import OutOfMemoryError, PoolAllocator
+from repro.obs import (BYTES_BUCKETS, DURATION_BUCKETS, Counter, Gauge,
+                      Histogram, Instrumentation, MetricsRegistry,
+                      make_labels, metrics_json, prometheus_text)
+
+_counts = st.lists(st.integers(min_value=0, max_value=1 << 40),
+                   max_size=30)
+_bounds = st.lists(
+    st.integers(min_value=1, max_value=1 << 40), min_size=1, max_size=12,
+    unique=True,
+).map(sorted).map(lambda bs: tuple(float(b) for b in bs))
+
+
+def _hist(bounds, values):
+    h = Histogram(name="h", bounds=bounds)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+# ----------------------------------------------------------------------
+# Histogram laws
+# ----------------------------------------------------------------------
+@given(bounds=_bounds, a=_counts, b=_counts, c=_counts)
+@settings(max_examples=60, deadline=None)
+def test_histogram_merge_associative(bounds, a, b, c):
+    left = _hist(bounds, a).merge(_hist(bounds, b)).merge(_hist(bounds, c))
+    right = _hist(bounds, a).merge(_hist(bounds, b).merge(_hist(bounds, c)))
+    assert left.counts == right.counts
+    assert left.sum == right.sum
+    assert left.count == right.count
+
+
+@given(bounds=_bounds, values=_counts)
+@settings(max_examples=60, deadline=None)
+def test_histogram_cumulative_monotone(bounds, values):
+    h = _hist(bounds, values)
+    cumulative = h.cumulative()
+    assert len(cumulative) == len(bounds) + 1
+    assert all(lo <= hi for lo, hi in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == h.count == len(values)
+
+
+@given(bounds=_bounds, values=_counts)
+@settings(max_examples=60, deadline=None)
+def test_histogram_bucketing_respects_bounds(bounds, values):
+    h = _hist(bounds, values)
+    cumulative = h.cumulative()
+    for i, bound in enumerate(bounds):
+        assert cumulative[i] == sum(1 for v in values if v <= bound)
+    assert h.sum == sum(values)
+
+
+@given(bounds=_bounds, values=_counts)
+@settings(max_examples=60, deadline=None)
+def test_histogram_roundtrip(bounds, values):
+    h = _hist(bounds, values)
+    clone = Histogram.from_dict(h.to_dict())
+    assert clone == h
+    assert clone.to_dict() == h.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Counter / gauge laws
+# ----------------------------------------------------------------------
+@given(a=_counts, b=_counts, c=_counts)
+@settings(max_examples=60, deadline=None)
+def test_counter_merge_associative_and_commutative(a, b, c):
+    def counter(values):
+        m = Counter(name="c")
+        for v in values:
+            m.inc(v)
+        return m
+
+    left = counter(a).merge(counter(b)).merge(counter(c))
+    right = counter(a).merge(counter(b).merge(counter(c)))
+    assert left.value == right.value
+    assert counter(a).merge(counter(b)).value \
+        == counter(b).merge(counter(a)).value
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=1 << 50),
+                       min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_gauge_tracks_high_water_mark(values):
+    g = Gauge(name="g")
+    for v in values:
+        g.set(v)
+    assert g.value == values[-1]
+    assert g.max_value == max(values)
+    clone = Gauge.from_dict(g.to_dict())
+    assert clone == g
+
+
+@given(values=_counts)
+@settings(max_examples=40, deadline=None)
+def test_registry_export_deterministic(values):
+    def make():
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", "t", {"k": "v"})
+        h = reg.histogram("repro_test_seconds", DURATION_BUCKETS, "t")
+        g = reg.gauge("repro_test_bytes", "t")
+        for v in values:
+            c.inc(v)
+            h.observe(v)
+            g.set(v)
+        return reg
+
+    assert prometheus_text(make()) == prometheus_text(make())
+    assert metrics_json(make()) == metrics_json(make())
+
+
+def test_make_labels_sorts_pairs():
+    assert make_labels({"b": "2", "a": "1"}) == (("a", "1"), ("b", "2"))
+
+
+def test_default_bucket_edges_ascend():
+    for bounds in (DURATION_BUCKETS, BYTES_BUCKETS):
+        assert list(bounds) == sorted(bounds)
+        assert len(set(bounds)) == len(bounds)
+
+
+# ----------------------------------------------------------------------
+# PoolAllocator shrink / blockers_above under live gauges
+# ----------------------------------------------------------------------
+_ops = st.lists(
+    st.tuples(st.sampled_from(["alloc", "free"]),
+              st.integers(min_value=1, max_value=1 << 22)),
+    min_size=1, max_size=60,
+)
+
+
+@given(ops=_ops, shrink_num=st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_pool_gauges_and_shrink_consistent(ops, shrink_num):
+    capacity = 1 << 24
+    pool = PoolAllocator(capacity)
+    obs = Instrumentation()
+    live = []
+
+    def sample():
+        obs.pool_sample(pool.live_bytes, pool.capacity, pool.fragmentation)
+
+    sample()
+    for op, size in ops:
+        if op == "alloc":
+            try:
+                live.append(pool.alloc(size))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            pool.free(live.pop(0))
+        sample()
+
+    gauge = obs.registry.get("repro_pool_live_bytes", ())
+    assert gauge.value == pool.live_bytes
+    assert gauge.max_value == pool.peak_bytes
+
+    # Shrink to a fraction, evicting blockers first — exactly the
+    # scheduler's budget-shrink sequence, gauges sampled throughout.
+    new_capacity = max(capacity * shrink_num // 5, 1)
+    blockers = pool.blockers_above(new_capacity)
+    assert all(a.offset + a.size > new_capacity for a in blockers)
+    offsets = [a.offset for a in blockers]
+    assert offsets == sorted(offsets, reverse=True)
+    for blocker in blockers:
+        pool.free(blocker)
+        live.remove(blocker)
+        sample()
+    pool.shrink(new_capacity)
+    sample()
+    pool.check_invariants()
+
+    assert pool.capacity == new_capacity
+    assert not pool.blockers_above(new_capacity)
+    capacity_gauge = obs.registry.get("repro_pool_capacity_bytes", ())
+    assert capacity_gauge.value == new_capacity
+    assert capacity_gauge.max_value == capacity
+    assert gauge.value == pool.live_bytes
+    assert gauge.max_value == pool.peak_bytes
+    frag = obs.registry.get("repro_pool_fragmentation_ratio", ())
+    assert 0.0 <= frag.value <= 1.0 and 0.0 <= frag.max_value <= 1.0
