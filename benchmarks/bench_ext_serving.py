@@ -1,0 +1,108 @@
+"""Extension: online serving — tail latency, SLO attainment, goodput.
+
+One 3-model multiplex (vgg16 + googlenet + alexnet, the acceptance
+scenario) drained twice, once with every model classically resident and
+once fully demand-layered, so the BENCH record captures the tradeoff
+the serving subsystem exists to quantify: layering cuts the pool peak
+by roughly the resident weights while inflating p99 by the unhidden
+DMA.  Numbers land in ``BENCH_perf.json`` under the ``"serving"`` key
+(read-modify-write — other benches own their own keys) for CI's
+perf-smoke job to archive.
+"""
+
+import json
+from pathlib import Path
+
+from repro.reporting import format_table, mb_str, ms_str, pct_str
+from repro.serve import (ArrivalSpec, ServeConfig, fleet_stats, model_stats,
+                         parse_models, simulate_serving)
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: The acceptance multiplex: one heavyweight, one featherweight, one
+#: FC-heavy model sharing a 4 GiB pool at a sustainable rate.
+MODELS = "vgg16,googlenet,alexnet"
+ARRIVALS = "poisson:rate=60,seed=7"
+REQUESTS = 300
+BUDGET = 4 * (1 << 30)
+SLO_SECONDS = 0.25
+
+
+def _flush_results(section: dict) -> None:
+    """Merge this bench's section into BENCH_perf.json (RMW)."""
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            payload = {}
+    payload["serving"] = section
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def serve_once(residency: str) -> dict:
+    config = ServeConfig(
+        models=tuple(parse_models(MODELS)),
+        arrivals=ArrivalSpec.parse(ARRIVALS),
+        requests=REQUESTS,
+        budget_bytes=BUDGET,
+        slo_seconds=SLO_SECONDS,
+        residency=residency,
+    )
+    result = simulate_serving(config)
+    fleet = fleet_stats(result)
+    p99 = {spec.name: model_stats(result, spec.name)["p99"]
+           for spec in config.models}
+    return {
+        "residency": residency,
+        "completed": int(fleet["completed"]),
+        "shed": int(fleet["shed"]),
+        "rejected": int(fleet["rejected"]),
+        "slo_attainment": round(fleet["slo_attainment"], 6),
+        "goodput_rps": round(fleet["goodput_rps"], 3),
+        "throughput_rps": round(fleet["throughput_rps"], 3),
+        "p99_seconds": {name: round(value, 6)
+                        for name, value in sorted(p99.items())},
+        "pool_peak_bytes": int(fleet["pool_peak_bytes"]),
+        "cold_starts": int(fleet["cold_starts"]),
+    }
+
+
+def serving_profile() -> dict:
+    return {policy: serve_once(policy) for policy in ("resident", "layered")}
+
+
+def test_ext_serving(benchmark, capsys):
+    section = benchmark.pedantic(serving_profile, rounds=1, iterations=1)
+    _flush_results(section)
+    rows = [
+        [
+            stats["residency"],
+            f"{stats['completed']}/{REQUESTS}",
+            pct_str(stats["slo_attainment"]),
+            f"{stats['goodput_rps']:,.1f} req/s",
+            ms_str(max(stats["p99_seconds"].values())),
+            mb_str(stats["pool_peak_bytes"]),
+        ]
+        for stats in section.values()
+    ]
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["residency", "done", "SLO", "goodput", "worst p99",
+             "pool peak"],
+            rows,
+            title=(f"Extension: serving {MODELS} @ {ARRIVALS}, "
+                   f"SLO {SLO_SECONDS * 1e3:.0f} ms"),
+        ) + "\n")
+
+    resident, layered = section["resident"], section["layered"]
+    # Both policies keep the event loop live and complete the stream.
+    assert resident["completed"] + resident["shed"] + resident["rejected"] \
+        == REQUESTS
+    assert layered["completed"] > 0
+    # The tradeoff the subsystem quantifies: layering trims the memory
+    # high-water (no resident weights) at bounded p99 inflation.
+    assert layered["pool_peak_bytes"] < resident["pool_peak_bytes"]
+    worst_resident = max(resident["p99_seconds"].values())
+    worst_layered = max(layered["p99_seconds"].values())
+    assert worst_layered < worst_resident * 20

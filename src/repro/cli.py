@@ -9,6 +9,10 @@ Commands:
 * ``figures`` — regenerate one or all paper figures;
 * ``train-demo`` — run real numpy training under a memory budget;
 * ``schedule`` — pack concurrent training jobs onto one virtualized GPU;
+* ``serve`` — online inference serving: an open-loop arrival stream over
+  a multiplexed model zoo, weights resident or demand-layered through a
+  sliding PCIe window, with SLO quantiles from the obs histograms; see
+  docs/serving.md.
 * ``verify`` — run the schedule sanitizer (race + memory-safety passes)
   over simulated schedules; see docs/analysis.md.
 * ``faults`` — simulate under deterministic fault injection (degraded
@@ -45,6 +49,33 @@ def _parse_faults(args) -> Optional[FaultSpec]:
     if not getattr(args, "faults", None):
         return None
     return FaultSpec.parse(args.faults)
+
+
+#: Size-string suffixes accepted by :func:`_parse_bytes` (binary units;
+#: the decimal spellings are accepted as their binary siblings).
+_BYTE_SUFFIXES = {
+    "kib": 1 << 10, "kb": 1 << 10, "k": 1 << 10,
+    "mib": 1 << 20, "mb": 1 << 20, "m": 1 << 20,
+    "gib": 1 << 30, "gb": 1 << 30, "g": 1 << 30,
+}
+
+
+def _parse_bytes(text: str) -> int:
+    """Parse a human size string — ``4GiB``, ``512MB``, ``65536``."""
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_BYTE_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            try:
+                return int(float(number) * _BYTE_SUFFIXES[suffix])
+            except ValueError:
+                break
+    try:
+        return int(cleaned)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse size {text!r} (try 4GiB, 512MiB, 65536)"
+        ) from None
 
 
 @contextmanager
@@ -305,6 +336,79 @@ def _cmd_schedule(args) -> int:
     return 0 if finished == len(result.records) else 1
 
 
+def _cmd_serve(args) -> int:
+    """Online inference serving: drain one open-loop scenario."""
+    import json as _json
+
+    from .hw import SystemConfig, gpu_preset
+    from .serve import (ArrivalSpec, ArrivalSpecError, ServeConfig,
+                        ServeConfigError, parse_models, serve_json,
+                        serve_report, simulate_serving)
+    from .serve.layering import ServePlanError
+
+    try:
+        arrivals = ArrivalSpec.parse(args.arrivals)
+        models = tuple(parse_models(args.models))
+    except ArrivalSpecError as exc:
+        print(f"bad serving scenario: {exc}", file=sys.stderr)
+        return 2
+    try:
+        budget = _parse_bytes(args.budget)
+        window = _parse_bytes(args.window)
+        pinned = _parse_bytes(args.pinned)
+    except ValueError as exc:
+        print(f"bad size: {exc}", file=sys.stderr)
+        return 2
+    try:
+        faults = _parse_faults(args)
+    except FaultSpecError as exc:
+        print(f"bad fault spec: {exc}", file=sys.stderr)
+        return 2
+    system = PAPER_SYSTEM
+    if args.gpu:
+        try:
+            system = SystemConfig(gpu=gpu_preset(args.gpu))
+        except KeyError as exc:
+            print(f"bad gpu preset: {exc.args[0]}", file=sys.stderr)
+            return 2
+    try:
+        config = ServeConfig(
+            models=models,
+            arrivals=arrivals,
+            requests=args.requests,
+            budget_bytes=budget,
+            slo_seconds=args.slo / 1e3,
+            residency=args.residency,
+            window_bytes=window,
+            pinned_bytes=pinned,
+            batch=args.batch,
+            faults=faults if faults is not None else FaultSpec.none(),
+            fault_seed=args.fault_seed,
+        )
+        result = simulate_serving(config, system=system)
+    except (ServeConfigError, ServePlanError, ValueError) as exc:
+        print(f"serving failed: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_json.dumps(serve_json(result), sort_keys=True, indent=2))
+    else:
+        print(serve_report(result))
+    if args.metrics:
+        print()
+        print(_render_metrics(result.obs, args.metrics, meta={
+            "command": "serve", "arrivals": arrivals.label,
+            "budget_bytes": budget,
+        }).rstrip("\n"))
+    if args.trace:
+        from .sim import save_trace
+
+        save_trace(args.trace, result.timeline,
+                   process_name=f"serving {arrivals.label}",
+                   spans=result.obs.spans.spans)
+        print(f"wrote {args.trace}")
+    return 0 if result.completed else 1
+
+
 def _cmd_faults(args) -> int:
     """Resilience probe: one faulted iteration, its recovery report."""
     from .analysis.verify import verify_result
@@ -545,6 +649,46 @@ def make_parser() -> argparse.ArgumentParser:
                          help="append the schedule's metrics export "
                               "(Prometheus text by default)")
 
+    p_serve = sub.add_parser(
+        "serve", help="online inference serving with demand layering")
+    p_serve.add_argument("--arrivals", default="poisson:rate=100,seed=0",
+                         help="arrival spec: poisson:rate=200,seed=7 | "
+                              "trace:times=0;0.1;.. | diurnal:.. | burst:..")
+    p_serve.add_argument("--models", default="vgg16,googlenet,alexnet",
+                         help="comma-separated name[:priority] model list")
+    p_serve.add_argument("--budget", default="4GiB",
+                         help="device memory budget (e.g. 4GiB, 512MiB)")
+    p_serve.add_argument("--slo", type=float, default=250.0,
+                         help="latency SLO in milliseconds")
+    p_serve.add_argument("--residency", default="auto",
+                         choices=["auto", "resident", "layered", "pinned"],
+                         help="weight residency policy (auto = fair-share "
+                              "heuristic per model)")
+    p_serve.add_argument("--window", default="64MiB",
+                         help="demand-layering sliding window size")
+    p_serve.add_argument("--pinned", default="128MiB",
+                         help="on-device weight budget for --residency "
+                              "pinned")
+    p_serve.add_argument("--requests", type=int, default=500,
+                         help="request-stream length to generate")
+    p_serve.add_argument("--batch", type=int, default=1,
+                         help="per-request batch size")
+    p_serve.add_argument("--gpu", default=None,
+                         help="GPU preset: titanx, hbm, jetson")
+    p_serve.add_argument("--metrics", nargs="?", const="prom",
+                         choices=["prom", "json"], default=None,
+                         help="append the run's metrics export")
+    p_serve.add_argument("--trace", default=None,
+                         help="write a Chrome trace with one lane per "
+                              "model")
+    p_serve.add_argument("--faults", default=None,
+                         help="fault spec, e.g. dma=0.1,pcie=0.5,"
+                              "shrink@10=0.5,evict@5=vgg16")
+    p_serve.add_argument("--fault-seed", type=int, default=0)
+    p_serve.add_argument("--format", choices=["table", "json"],
+                         default="table",
+                         help="report rendering (json = stable schema)")
+
     p_faults = sub.add_parser(
         "faults", help="simulate under deterministic fault injection")
     p_faults.add_argument("network", choices=available())
@@ -623,6 +767,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "train-demo": _cmd_train_demo,
     "schedule": _cmd_schedule,
+    "serve": _cmd_serve,
     "verify": _cmd_verify,
     "faults": _cmd_faults,
     "metrics": _cmd_metrics,

@@ -10,7 +10,11 @@ from .parallel import (
     min_gpus_for_baseline,
     simulate_data_parallel,
 )
-from .inference import baseline_inference_bytes, simulate_inference
+from .inference import (
+    baseline_inference_bytes,
+    simulate_inference,
+    weight_load_bytes,
+)
 from .planner import TrainingRunPlan, plan_training_run
 from .recompute import simulate_recompute
 from .dynamic import (
@@ -67,4 +71,5 @@ __all__ = [
     "simulate_page_migration",
     "simulate_recompute",
     "simulate_vdnn",
+    "weight_load_bytes",
 ]

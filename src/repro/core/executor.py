@@ -80,6 +80,11 @@ class IterationResult:
     pinned_peak_bytes: int
     compute_stall_seconds: float
     offloaded_layers: List[int] = field(default_factory=list)
+    #: Per-layer weight bytes an inference pass must load on-device,
+    #: keyed by layer index (populated by ``simulate_inference``; empty
+    #: for training results).  One accounting path shared with the
+    #: serving subsystem's demand-layering executor.
+    weight_load_bytes: Dict[int, int] = field(default_factory=dict)
     #: Populated only when the simulation ran with ``verify=True``; the
     #: schedule sanitizer's input (see :mod:`repro.analysis`).  Excluded
     #: from equality: tracing must not change what a result *is*.

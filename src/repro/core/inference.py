@@ -27,8 +27,40 @@ from .liveness import LivenessAnalysis
 _UNBOUNDED = 1 << 50
 
 
+def _validate_inference_batch(network: Network) -> None:
+    """Reject non-positive batch sizes with the same contract as
+    :class:`repro.sched.Job`.
+
+    The zoo's :func:`~repro.zoo.build` and :class:`~repro.graph.tensor.
+    TensorSpec` already guard their own paths; this guards hand-built
+    networks handed straight to the inference simulators, so the error
+    names the actual problem instead of surfacing as a downstream
+    shape/latency anomaly.
+    """
+    batch = network.input_node.output_spec.batch
+    if batch <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch}")
+
+
+def weight_load_bytes(network: Network) -> Dict[int, int]:
+    """Per-layer weight bytes an inference pass must have on-device.
+
+    The single accounting path shared by :func:`simulate_inference`
+    (which exposes it on its result), the demand-layering executor in
+    :mod:`repro.serve.layering` (which streams exactly these bytes
+    through the sliding window) and ``bench_ext_inference.py``.  Keys
+    are layer indices; only layers that own weights appear.
+    """
+    return {
+        node.index: node.weight_bytes
+        for node in network
+        if node.weight_bytes
+    }
+
+
 def baseline_inference_bytes(network: Network, algos: AlgoConfig) -> int:
     """Network-wide inference allocation: all Xs + W + shared WS."""
+    _validate_inference_batch(network)
     liveness = LivenessAnalysis(network)
     return (liveness.total_feature_map_bytes()
             + network.total_weight_bytes()
@@ -43,8 +75,11 @@ def simulate_inference(
     """One forward pass under layer-wise release (Figure 7).
 
     Returns an :class:`IterationResult` with ``policy_label``
-    ``"inference"``; backward-related fields are zero.
+    ``"inference"``; backward-related fields are zero and
+    ``weight_load_bytes`` carries the per-layer weight accounting the
+    serving subsystem's demand-layering executor reuses.
     """
+    _validate_inference_batch(network)
     latency = LatencyModel(system.gpu)
     liveness = LivenessAnalysis(network)
     pool = PoolAllocator(_UNBOUNDED)
@@ -119,4 +154,5 @@ def simulate_inference(
         prefetch_bytes=0,
         pinned_peak_bytes=0,
         compute_stall_seconds=0.0,
+        weight_load_bytes=weight_load_bytes(network),
     )

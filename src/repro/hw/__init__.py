@@ -1,7 +1,15 @@
 """Hardware models: GPU, host memory, PCIe interconnect."""
 
 from .config import PAPER_SYSTEM, SystemConfig
-from .gpu import GPUSpec, TITAN_X, oracular
+from .gpu import (
+    GPU_PRESETS,
+    GPUSpec,
+    HBM_CLASS,
+    JETSON_CLASS,
+    TITAN_X,
+    gpu_preset,
+    oracular,
+)
 from .host import HostSpec, I7_5930K
 from .interconnects import (
     NVLINK_1,
@@ -13,8 +21,11 @@ from .interconnects import (
 from .pcie import PCIE_GEN3, PCIeLink, TransferMode
 
 __all__ = [
+    "GPU_PRESETS",
     "GPUSpec",
+    "HBM_CLASS",
     "HostSpec",
+    "JETSON_CLASS",
     "I7_5930K",
     "NVLINK_1",
     "NVLINK_2",
@@ -25,6 +36,7 @@ __all__ = [
     "SystemConfig",
     "TITAN_X",
     "TransferMode",
+    "gpu_preset",
     "interconnect_sweep",
     "oracular",
     "system_with_link",

@@ -67,6 +67,54 @@ TITAN_X = GPUSpec(
 )
 
 
+#: HBM-class datacenter accelerator (A100-40GB shape): 19.5 TFLOPS
+#: single precision, 1555 GB/s HBM2e, 40 GB.  The high-bandwidth end of
+#: the serving scenarios — weight streaming is PCIe-bound here, compute
+#: rarely is.
+HBM_CLASS = GPUSpec(
+    name="HBM-class accelerator (A100 40GB)",
+    peak_flops=19.5e12,
+    dram_bandwidth=1555.0e9,
+    memory_bytes=40 * (1 << 30),
+)
+
+#: Low-end edge module (Jetson TX2 shape): ~1.33 TFLOPS, 59.7 GB/s
+#: shared LPDDR4, 8 GB.  Edge kernels sustain a smaller fraction of
+#: peak than tuned datacenter cuDNN kernels, hence the lower efficiency
+#: knobs.  The tight-memory end of the serving scenarios, where demand
+#: layering is the difference between serving a model zoo and not.
+JETSON_CLASS = GPUSpec(
+    name="Jetson-class edge module (TX2)",
+    peak_flops=1.33e12,
+    dram_bandwidth=59.7e9,
+    memory_bytes=8 * (1 << 30),
+    compute_efficiency=0.45,
+    bandwidth_efficiency=0.60,
+)
+
+#: Named device presets for CLI/scenario lookup.  Keys are the
+#: canonical lowercase names :func:`gpu_preset` resolves.
+GPU_PRESETS = {
+    "titanx": TITAN_X,
+    "hbm": HBM_CLASS,
+    "jetson": JETSON_CLASS,
+}
+
+
+def gpu_preset(name: str) -> GPUSpec:
+    """Look up a :data:`GPU_PRESETS` entry by (forgiving) name.
+
+    Case-insensitive; dashes/underscores/spaces are ignored, so
+    ``"Titan-X"``, ``"titan_x"`` and ``"titanx"`` all resolve.
+    """
+    key = name.lower().replace("-", "").replace("_", "").replace(" ", "")
+    if key not in GPU_PRESETS:
+        raise KeyError(
+            f"unknown GPU preset {name!r}; "
+            f"available: {', '.join(sorted(GPU_PRESETS))}")
+    return GPU_PRESETS[key]
+
+
 def oracular(spec: GPUSpec, memory_bytes: int = 1 << 46) -> GPUSpec:
     """A hypothetical GPU with (effectively) unlimited memory.
 

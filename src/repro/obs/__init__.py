@@ -16,10 +16,11 @@ and report is byte-identical with observability on or off — see
 
 from .export import metrics_dict, metrics_json, prometheus_text
 from .instrument import (CACHE_EVENTS, DIRECTIONS, JOB_EVENTS,
-                         PREFETCH_EVENTS, STALL_CAUSES, Instrumentation,
-                         NullInstrumentation)
-from .metrics import (BYTES_BUCKETS, DURATION_BUCKETS, Counter, Gauge,
-                      Histogram, MetricError, MetricsRegistry, make_labels)
+                         PREFETCH_EVENTS, SERVE_OUTCOMES, STALL_CAUSES,
+                         Instrumentation, NullInstrumentation)
+from .metrics import (BYTES_BUCKETS, DURATION_BUCKETS, SERVE_LATENCY_BUCKETS,
+                      Counter, Gauge, Histogram, MetricError, MetricsRegistry,
+                      make_labels)
 from .spans import SPAN_PROCESS, Span, SpanRecorder, spans_to_trace_events
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "MetricsRegistry",
     "NullInstrumentation",
     "PREFETCH_EVENTS",
+    "SERVE_LATENCY_BUCKETS",
+    "SERVE_OUTCOMES",
     "SPAN_PROCESS",
     "STALL_CAUSES",
     "Span",

@@ -30,8 +30,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .metrics import (BYTES_BUCKETS, DURATION_BUCKETS, Counter, Gauge,
-                      Histogram, MetricsRegistry)
+from .metrics import (BYTES_BUCKETS, DURATION_BUCKETS, SERVE_LATENCY_BUCKETS,
+                      Counter, Gauge, Histogram, MetricsRegistry)
 from .spans import Span, SpanRecorder
 
 #: PCIe traffic directions, in the order the catalog lists them.
@@ -50,6 +50,10 @@ PREFETCH_EVENTS = ("claimed", "unclaimed", "demand")
 
 #: Scheduler job lifecycle events.
 JOB_EVENTS = ("admitted", "finished", "evicted", "rejected")
+
+#: Serving request terminal outcomes (ladder: completed beats shed
+#: beats rejected).
+SERVE_OUTCOMES = ("completed", "shed", "rejected")
 
 
 class Instrumentation:
@@ -318,6 +322,51 @@ class Instrumentation:
         self._makespan.set(seconds)
 
     # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_request(self, model: str, outcome: str) -> None:
+        """One request's terminal outcome (see :data:`SERVE_OUTCOMES`)."""
+        self.registry.counter(
+            "repro_serve_requests_total",
+            "Serving requests by model and terminal outcome",
+            {"model": model, "outcome": outcome}).inc()
+
+    def serve_latency(self, model: str, seconds: float) -> None:
+        """End-to-end latency (arrival to completion) of one request.
+
+        These per-model histograms are the source of truth for the SLO
+        report: p50/p95/p99 come from :meth:`Histogram.quantile` and
+        attainment from :meth:`Histogram.fraction_below`.
+        """
+        self.registry.histogram(
+            "repro_serve_latency_seconds", SERVE_LATENCY_BUCKETS,
+            "End-to-end request latency (arrival to completion)",
+            {"model": model}).observe(seconds)
+
+    def serve_cold_start(self, model: str, seconds: float) -> None:
+        """One model install (persistent weights DMA'd on-device)."""
+        self.registry.counter(
+            "repro_serve_cold_starts_total",
+            "Model installs (cold starts) by model",
+            {"model": model}).inc()
+        self.registry.histogram(
+            "repro_serve_cold_start_seconds", DURATION_BUCKETS,
+            "Cold-start install latency", {"model": model}).observe(seconds)
+
+    def serve_queue_depth(self, depth: int) -> None:
+        """Pending-queue depth sample (max is the high-water mark)."""
+        self.registry.gauge(
+            "repro_serve_queue_depth",
+            "Pending request queue depth (max = high-water)").set(depth)
+
+    def serve_window_shrink(self, model: str) -> None:
+        """Overload ladder rung 1 fired: a model's window halved."""
+        self.registry.counter(
+            "repro_serve_window_shrinks_total",
+            "Demand-layering window shrinks under overload",
+            {"model": model}).inc()
+
+    # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
     def span(self, name: str, lane: str, start: float, end: float,
@@ -385,6 +434,21 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def sched_makespan(self, seconds):
+        pass
+
+    def serve_request(self, model, outcome):
+        pass
+
+    def serve_latency(self, model, seconds):
+        pass
+
+    def serve_cold_start(self, model, seconds):
+        pass
+
+    def serve_queue_depth(self, depth):
+        pass
+
+    def serve_window_shrink(self, model):
         pass
 
     def span(self, name, lane, start, end, category="span", **attrs):

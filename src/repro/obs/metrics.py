@@ -46,6 +46,15 @@ BYTES_BUCKETS: Tuple[float, ...] = (
     1 << 26, 1 << 28, 1 << 30, 1 << 32, 1 << 33,
 )
 
+#: Bucket boundaries (seconds) for request-latency histograms: a 1-2-5
+#: ladder from 100 µs to 10 s.  Finer than :data:`DURATION_BUCKETS`
+#: because serving quantiles (p50/p95/p99) are interpolated within one
+#: bucket, so bucket width bounds the estimate's error.
+SERVE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
+
 
 def make_labels(labels: Optional[Dict[str, str]] = None) -> Labels:
     """Normalise a label dict to the canonical sorted-tuple form."""
@@ -170,6 +179,76 @@ class Histogram:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation in buckets.
+
+        Observations are assumed uniformly distributed inside the bucket
+        the quantile lands in, interpolating between the bucket's lower
+        and upper edge (the first bucket interpolates up from 0.0, so
+        durations/sizes — which are non-negative — are handled exactly
+        at the bottom).  Documented bias at bucket edges:
+
+        * the estimate is exact only when the true quantile sits on a
+          bucket boundary; inside a bucket the error is bounded by the
+          bucket width (which is why serving latencies use the finer
+          :data:`SERVE_LATENCY_BUCKETS`);
+        * a quantile landing in the implicit ``+Inf`` bucket is clamped
+          to the last finite bound ``bounds[-1]`` — the true value may
+          be arbitrarily larger (Prometheus ``histogram_quantile``
+          behaves the same way).
+
+        The estimate reads only ``bounds``/``counts``, so it is
+        merge-invariant: observing a data set into one histogram and
+        merging histograms over any partition of it yield identical
+        quantiles (pinned by the hypothesis property suite).  Monotone
+        non-decreasing in ``q``.  Raises :class:`MetricError` for ``q``
+        outside [0, 1] or an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(
+                f"quantile {q} of histogram {self.name} outside [0, 1]")
+        if self.count == 0:
+            raise MetricError(
+                f"quantile of empty histogram {self.name} is undefined")
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                if index == len(self.bounds):
+                    return self.bounds[-1]
+                lower = 0.0 if index == 0 else self.bounds[index - 1]
+                upper = self.bounds[index]
+                fraction = max(rank - cumulative, 0.0) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.bounds[-1]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Estimated fraction of observations ``<= threshold``.
+
+        The inverse read of :meth:`quantile`, with the same
+        uniform-within-bucket interpolation and the same bucket-edge
+        bias; 0.0 for an empty histogram.  Used for SLO attainment:
+        the share of request latencies at or under the SLO.
+        """
+        if self.count == 0:
+            return 0.0
+        below = 0.0
+        lower = 0.0
+        for index, bound in enumerate(self.bounds):
+            if threshold >= bound:
+                below += self.counts[index]
+            else:
+                if threshold > lower:
+                    below += self.counts[index] \
+                        * (threshold - lower) / (bound - lower)
+                return below / self.count
+            lower = bound
+        # Threshold beyond the last finite bound: everything in finite
+        # buckets qualifies; the +Inf bucket is (conservatively) not
+        # counted — its observations exceed every finite bound.
+        return below / self.count
 
     def cumulative(self) -> List[int]:
         """Cumulative counts per ``le`` edge (ending at ``+Inf``)."""

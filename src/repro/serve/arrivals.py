@@ -1,0 +1,344 @@
+"""Open-loop request arrival processes for the serving simulator.
+
+Serving is an *open-loop* workload: requests arrive on their own clock
+whether or not the GPU keeps up, which is what makes tail latency and
+shedding meaningful (a closed loop self-throttles and hides overload).
+Four processes cover the scenarios the roadmap names:
+
+* ``poisson`` — memoryless arrivals at a constant mean rate, the
+  queueing-theory baseline;
+* ``trace`` — explicit timestamps, either inline or from a file,
+  replaying a recorded workload exactly;
+* ``diurnal`` — an inhomogeneous Poisson process whose rate follows a
+  raised-cosine day/night profile between a base and a peak rate;
+* ``burst`` — Poisson background plus a flash-crowd window during which
+  the rate multiplies.
+
+Every process is seeded: the same :class:`ArrivalSpec` and request
+count always generate the identical request stream (``random.Random``
+with explicit integer seeds, no global RNG, no wall clock), which is
+what makes whole serving runs bit-identical per (scenario, seed).
+
+Specs parse from a compact CLI grammar, ``kind:key=value,...``::
+
+    poisson:rate=200,seed=7
+    trace:times=0.0;0.01;0.5;0.52
+    trace:file=arrivals.txt
+    diurnal:rate=50,peak=300,period=60,seed=3
+    burst:rate=100,at=5,dur=2,x=10,seed=1
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import random
+
+#: Arrival process kinds accepted by :meth:`ArrivalSpec.parse`.
+ARRIVAL_KINDS = ("poisson", "trace", "diurnal", "burst")
+
+
+class ArrivalSpecError(ValueError):
+    """Raised when an arrival-spec string cannot be parsed/validated."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request in the open-loop stream.
+
+    Attributes:
+        rid: dense arrival index (0-based) — the deterministic
+            tiebreaker everywhere times collide.
+        model: zoo key of the requested model.
+        time: arrival instant, simulated seconds.
+        priority: larger = more important; the shedding ladder drops
+            low-priority requests first.
+    """
+
+    rid: int
+    model: str
+    time: float
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One deterministic description of an open-loop arrival process.
+
+    Attributes:
+        kind: one of :data:`ARRIVAL_KINDS`.
+        rate: mean arrivals/second (``poisson``/``burst``; the *base*
+            rate of ``diurnal``).
+        seed: RNG seed; same (spec, count) ⇒ same stream.
+        peak: ``diurnal`` peak arrivals/second (>= rate).
+        period: ``diurnal`` profile period, seconds.
+        at: ``burst`` flash-crowd start, seconds.
+        dur: ``burst`` flash-crowd duration, seconds.
+        factor: ``burst`` rate multiplier inside the window.
+        times: ``trace`` explicit arrival instants, ascending.
+    """
+
+    kind: str = "poisson"
+    rate: float = 100.0
+    seed: int = 0
+    peak: float = 0.0
+    period: float = 60.0
+    at: float = 0.0
+    dur: float = 0.0
+    factor: float = 1.0
+    times: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ArrivalSpecError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"kinds: {', '.join(ARRIVAL_KINDS)}")
+        if self.kind != "trace" and self.rate <= 0:
+            raise ArrivalSpecError(
+                f"arrival rate must be positive, got {self.rate}")
+        if self.kind == "diurnal":
+            if self.peak < self.rate:
+                raise ArrivalSpecError(
+                    f"diurnal peak ({self.peak}) must be >= base rate "
+                    f"({self.rate})")
+            if self.period <= 0:
+                raise ArrivalSpecError(
+                    f"diurnal period must be positive, got {self.period}")
+        if self.kind == "burst":
+            if self.factor < 1.0:
+                raise ArrivalSpecError(
+                    f"burst factor must be >= 1, got {self.factor}")
+            if self.at < 0 or self.dur < 0:
+                raise ArrivalSpecError(
+                    "burst window (at, dur) cannot be negative")
+        if self.kind == "trace":
+            if not self.times:
+                raise ArrivalSpecError(
+                    "trace arrivals need times=... or file=...")
+            if any(t < 0 for t in self.times):
+                raise ArrivalSpecError("trace times cannot be negative")
+            if any(b < a for a, b in zip(self.times, self.times[1:])):
+                raise ArrivalSpecError("trace times must be ascending")
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Canonical compact spec string (parses back to an equal spec,
+        except ``trace:file=`` which canonicalizes to its times)."""
+        if self.kind == "trace":
+            return "trace:times=" + ";".join(f"{t:g}" for t in self.times)
+        parts = [f"rate={self.rate:g}", f"seed={self.seed}"]
+        if self.kind == "diurnal":
+            parts += [f"peak={self.peak:g}", f"period={self.period:g}"]
+        if self.kind == "burst":
+            parts += [f"at={self.at:g}", f"dur={self.dur:g}",
+                      f"x={self.factor:g}"]
+        return f"{self.kind}:" + ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "ArrivalSpec":
+        """Parse the ``kind:key=value,...`` grammar documented above."""
+        text = (text or "").strip()
+        if not text:
+            raise ArrivalSpecError("empty arrival spec")
+        kind, _, rest = text.partition(":")
+        kind = kind.strip()
+        if kind not in ARRIVAL_KINDS:
+            raise ArrivalSpecError(
+                f"unknown arrival kind {kind!r}; "
+                f"kinds: {', '.join(ARRIVAL_KINDS)}")
+        fields: Dict[str, str] = {}
+        for token in rest.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ArrivalSpecError(
+                    f"bad arrival token {token!r}: expected key=value")
+            key, value = token.split("=", 1)
+            fields[key.strip()] = value.strip()
+
+        def number(key: str, default: float) -> float:
+            if key not in fields:
+                return default
+            try:
+                return float(fields.pop(key))
+            except ValueError:
+                raise ArrivalSpecError(
+                    f"bad value for {key!r} in arrival spec {text!r}"
+                ) from None
+
+        values: Dict[str, object] = {"kind": kind}
+        if kind == "trace":
+            if "file" in fields:
+                path = str(fields.pop("file"))
+                try:
+                    with open(path) as handle:
+                        times = tuple(
+                            float(line)
+                            for line in handle.read().split()
+                            if line.strip()
+                        )
+                except OSError as exc:
+                    raise ArrivalSpecError(
+                        f"cannot read trace file {path!r}: {exc}"
+                    ) from None
+                except ValueError:
+                    raise ArrivalSpecError(
+                        f"non-numeric time in trace file {path!r}"
+                    ) from None
+            elif "times" in fields:
+                try:
+                    times = tuple(
+                        float(t)
+                        for t in fields.pop("times").split(";")
+                        if t.strip()
+                    )
+                except ValueError:
+                    raise ArrivalSpecError(
+                        f"bad trace times in {text!r}") from None
+            else:
+                raise ArrivalSpecError(
+                    "trace arrivals need times=... or file=...")
+            values["times"] = times
+        else:
+            rate = number("rate", 100.0)
+            values["rate"] = rate
+            values["seed"] = int(number("seed", 0))
+            if kind == "diurnal":
+                values["peak"] = number("peak", 2.0 * rate)
+                values["period"] = number("period", 60.0)
+            if kind == "burst":
+                values["at"] = number("at", 0.0)
+                values["dur"] = number("dur", 5.0)
+                values["factor"] = number("x", 10.0)
+        if fields:
+            raise ArrivalSpecError(
+                f"unknown arrival key(s) {sorted(fields)} for {kind!r}")
+        return cls(**values)
+
+    # ------------------------------------------------------------------
+    def _profile_rate(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t`` (thinning target)."""
+        if self.kind == "diurnal":
+            swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / self.period))
+            return self.rate + (self.peak - self.rate) * swing
+        if self.kind == "burst":
+            if self.at <= t < self.at + self.dur:
+                return self.rate * self.factor
+            return self.rate
+        return self.rate
+
+    def _max_rate(self) -> float:
+        if self.kind == "diurnal":
+            return max(self.rate, self.peak)
+        if self.kind == "burst":
+            return self.rate * self.factor
+        return self.rate
+
+    def generate(self, count: int) -> List[float]:
+        """The first ``count`` arrival instants, deterministically.
+
+        Homogeneous processes draw exponential gaps directly;
+        ``diurnal``/``burst`` use Lewis-Shedler thinning against the
+        profile's maximum rate.  ``trace`` returns its recorded times
+        (capped at ``count``).
+        """
+        if count < 0:
+            raise ArrivalSpecError(
+                f"arrival count cannot be negative, got {count}")
+        if self.kind == "trace":
+            return list(self.times[:count])
+        rng = random.Random(self.seed)
+        ceiling = self._max_rate()
+        out: List[float] = []
+        t = 0.0
+        while len(out) < count:
+            t += rng.expovariate(ceiling)
+            if self.kind == "poisson":
+                out.append(t)
+                continue
+            # Thinning: accept with probability rate(t) / ceiling.
+            if rng.random() * ceiling <= self._profile_rate(t):
+                out.append(t)
+        return out
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One served model: zoo key plus its request priority.
+
+    Parsed from ``name[:priority]`` — e.g. ``vgg16`` or ``vgg16:2``.
+    Priority feeds the shedding ladder: under overload, lower-priority
+    requests are dropped first.
+    """
+
+    name: str
+    priority: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "ModelSpec":
+        from ..zoo import available
+
+        parts = spec.strip().split(":")
+        name = parts[0].strip()
+        if not name:
+            raise ArrivalSpecError(f"empty model name in {spec!r}")
+        if name not in available():
+            raise ArrivalSpecError(
+                f"unknown model {name!r} in {spec!r}; "
+                f"available: {', '.join(available())}")
+        if len(parts) > 2:
+            raise ArrivalSpecError(
+                f"bad model spec {spec!r} (name[:priority])")
+        try:
+            priority = int(parts[1]) if len(parts) > 1 and parts[1] else 0
+        except ValueError:
+            raise ArrivalSpecError(
+                f"priority must be an integer in {spec!r}") from None
+        return cls(name=name, priority=priority)
+
+
+def parse_models(text: str) -> List[ModelSpec]:
+    """Parse a comma-separated model list, e.g. ``vgg16:1,alexnet``."""
+    models = [ModelSpec.parse(tok)
+              for tok in text.split(",") if tok.strip()]
+    if not models:
+        raise ArrivalSpecError("no models given")
+    seen = set()
+    for model in models:
+        if model.name in seen:
+            raise ArrivalSpecError(f"duplicate model {model.name!r}")
+        seen.add(model.name)
+    return models
+
+
+def generate_requests(
+    arrivals: ArrivalSpec,
+    models: Sequence[ModelSpec],
+    count: int,
+    weights: Optional[Sequence[float]] = None,
+) -> List[Request]:
+    """Materialize the request stream: arrival times x model choices.
+
+    Model assignment draws from a *separate* seeded RNG (derived from
+    the arrival seed) so adding a model changes which model each request
+    asks for but not *when* requests arrive — scenarios stay comparable
+    across model-set edits.  ``weights`` biases the choice (default
+    uniform).
+    """
+    if weights is not None and len(weights) != len(models):
+        raise ArrivalSpecError(
+            f"{len(weights)} weights for {len(models)} models")
+    times = arrivals.generate(count)
+    picker = random.Random(arrivals.seed * 1_000_003 + 17)
+    names = [m.name for m in models]
+    priorities = {m.name: m.priority for m in models}
+    chosen = picker.choices(names, weights=weights, k=len(times))
+    return [
+        Request(rid=rid, model=model, time=time,
+                priority=priorities[model])
+        for rid, (time, model) in enumerate(zip(times, chosen))
+    ]

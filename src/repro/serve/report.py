@@ -1,0 +1,193 @@
+"""SLO reporting for serving runs: quantiles, attainment, goodput.
+
+The report reads the per-model latency *histograms* the server's
+instrumentation accumulated — p50/p95/p99 via
+:meth:`~repro.obs.Histogram.quantile`, SLO attainment via
+:meth:`~repro.obs.Histogram.fraction_below` — rather than re-deriving
+them from the raw records, so the numbers shown are exactly the numbers
+exported (Prometheus text, metrics JSON) and carry the documented
+bucket-interpolation bias rather than a second, subtly different
+estimate.
+
+Two renderings: :func:`serve_report` (fixed-width operator table) and
+:func:`serve_json` (stable, versioned machine schema — sorted keys,
+rounded floats, bit-identical per (scenario, seed)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..obs.metrics import Histogram
+from ..reporting.tables import format_table, gb_str, mb_str, ms_str, pct_str
+from .server import ServeResult
+
+#: ``serve_json`` schema version; bump on any breaking shape change.
+SERVE_SCHEMA = 1
+
+#: Report quantiles, in display order.
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _latency_histogram(result: ServeResult,
+                       model: str) -> Optional[Histogram]:
+    for metric in result.obs.registry.metrics():
+        if (metric.name == "repro_serve_latency_seconds"
+                and isinstance(metric, Histogram)
+                and dict(metric.labels).get("model") == model):
+            return metric
+    return None
+
+
+def model_stats(result: ServeResult, model: str) -> Dict[str, float]:
+    """Per-model serving statistics, all derived from obs metrics."""
+    records = [r for r in result.records if r.model == model]
+    completed = sum(1 for r in records if r.outcome == "completed")
+    shed = sum(1 for r in records if r.outcome == "shed")
+    rejected = sum(1 for r in records if r.outcome == "rejected")
+    stats: Dict[str, float] = {
+        "requests": float(len(records)),
+        "completed": float(completed),
+        "shed": float(shed),
+        "rejected": float(rejected),
+        "slo_attainment": 0.0,
+    }
+    for q in QUANTILES:
+        stats[f"p{int(q * 100)}"] = 0.0
+    histogram = _latency_histogram(result, model)
+    if histogram is not None and histogram.count:
+        for q in QUANTILES:
+            stats[f"p{int(q * 100)}"] = histogram.quantile(q)
+        stats["slo_attainment"] = histogram.fraction_below(
+            result.config.slo_seconds)
+    return stats
+
+
+def fleet_stats(result: ServeResult) -> Dict[str, float]:
+    """Whole-run statistics across every model."""
+    total = len(result.records)
+    completed = result.completed
+    makespan = result.makespan
+    attained = 0.0
+    for spec in result.config.models:
+        stats = model_stats(result, spec.name)
+        attained += stats["slo_attainment"] * stats["completed"]
+    return {
+        "requests": float(total),
+        "completed": float(completed),
+        "shed": float(result.shed),
+        "rejected": float(result.rejected),
+        "slo_attainment": attained / completed if completed else 0.0,
+        # Goodput: SLO-attained completions per second of wall time —
+        # the serving number that actually matters under overload.
+        "goodput_rps": attained / makespan if makespan > 0 else 0.0,
+        "throughput_rps": completed / makespan if makespan > 0 else 0.0,
+        "makespan_seconds": makespan,
+        "cold_starts": float(result.cold_starts),
+        "evictions": float(result.evictions),
+        "window_shrinks": float(result.window_shrinks),
+        "pool_peak_bytes": float(result.pool_peak_bytes),
+    }
+
+
+def serve_report(result: ServeResult) -> str:
+    """Operator-facing fixed-width report of one serving run."""
+    rows: List[List[str]] = []
+    for spec in result.config.models:
+        stats = model_stats(result, spec.name)
+        plan = result.plans[spec.name]
+        rows.append([
+            spec.name,
+            plan.residency,
+            mb_str(plan.footprint_bytes),
+            f"{int(stats['completed'])}/{int(stats['requests'])}",
+            ms_str(stats["p50"]),
+            ms_str(stats["p95"]),
+            ms_str(stats["p99"]),
+            pct_str(stats["slo_attainment"]),
+        ])
+    fleet = fleet_stats(result)
+    table = format_table(
+        ["model", "residency", "footprint", "done/total",
+         "p50", "p95", "p99", "SLO"],
+        rows,
+        title=(f"serving: {result.config.arrivals.label} | "
+               f"budget {gb_str(result.config.budget_bytes)} | "
+               f"SLO {ms_str(result.config.slo_seconds)}"),
+    )
+    lines = [table, ""]
+    lines.append(
+        f"fleet: {int(fleet['completed'])}/{int(fleet['requests'])} done "
+        f"({int(fleet['shed'])} shed, {int(fleet['rejected'])} rejected), "
+        f"SLO attainment {pct_str(fleet['slo_attainment'])}, "
+        f"goodput {fleet['goodput_rps']:,.1f} req/s "
+        f"(throughput {fleet['throughput_rps']:,.1f})")
+    lines.append(
+        f"memory: pool peak {mb_str(fleet['pool_peak_bytes'])} of "
+        f"{gb_str(result.config.budget_bytes)}; "
+        f"{int(fleet['cold_starts'])} cold starts, "
+        f"{int(fleet['evictions'])} evictions, "
+        f"{int(fleet['window_shrinks'])} window shrinks")
+    if result.unservable:
+        lines.append(
+            "unservable (footprint exceeds budget even alone): "
+            + ", ".join(result.unservable))
+    return "\n".join(lines)
+
+
+def _round(value: float) -> float:
+    return round(value, 9)
+
+
+def serve_json(result: ServeResult) -> dict:
+    """Versioned machine-readable report (stable shape, sorted keys
+    when dumped with ``sort_keys=True``, floats rounded so the same
+    scenario + seed is byte-identical across runs)."""
+    models = {}
+    for spec in result.config.models:
+        stats = model_stats(result, spec.name)
+        plan = result.plans[spec.name]
+        models[spec.name] = {
+            "priority": spec.priority,
+            "residency": plan.residency,
+            "footprint_bytes": plan.footprint_bytes,
+            "window_bytes": plan.window_bytes,
+            "persistent_bytes": plan.persistent_bytes,
+            "requests": int(stats["requests"]),
+            "completed": int(stats["completed"]),
+            "shed": int(stats["shed"]),
+            "rejected": int(stats["rejected"]),
+            "latency_seconds": {
+                f"p{int(q * 100)}": _round(stats[f"p{int(q * 100)}"])
+                for q in QUANTILES
+            },
+            "slo_attainment": _round(stats["slo_attainment"]),
+        }
+    fleet = fleet_stats(result)
+    return {
+        "schema": SERVE_SCHEMA,
+        "scenario": {
+            "arrivals": result.config.arrivals.label,
+            "budget_bytes": result.config.budget_bytes,
+            "slo_seconds": _round(result.config.slo_seconds),
+            "residency": result.config.residency,
+            "requests": result.config.requests,
+            "fault_seed": result.config.fault_seed,
+            "faults": result.config.faults.label,
+        },
+        "models": models,
+        "fleet": {
+            "completed": int(fleet["completed"]),
+            "shed": int(fleet["shed"]),
+            "rejected": int(fleet["rejected"]),
+            "slo_attainment": _round(fleet["slo_attainment"]),
+            "goodput_rps": _round(fleet["goodput_rps"]),
+            "throughput_rps": _round(fleet["throughput_rps"]),
+            "makespan_seconds": _round(fleet["makespan_seconds"]),
+            "cold_starts": int(fleet["cold_starts"]),
+            "evictions": int(fleet["evictions"]),
+            "window_shrinks": int(fleet["window_shrinks"]),
+            "pool_peak_bytes": int(fleet["pool_peak_bytes"]),
+            "unservable": list(result.unservable),
+        },
+    }

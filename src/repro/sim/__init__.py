@@ -1,7 +1,8 @@
 """Two-stream execution simulation: timelines, streams, power."""
 
 from .power import PowerModel, PowerReport, analyze_power
-from .trace import JOB_STREAM_PREFIX, job_lane_name, save_trace, timeline_to_trace_events
+from .trace import (JOB_STREAM_PREFIX, MODEL_STREAM_PREFIX, job_lane_name,
+                    lane_name, save_trace, timeline_to_trace_events)
 from .stream import COMPUTE_STREAM, MEMORY_STREAM, SimStream, make_stream_pair
 from .timeline import EmptyTimelineError, EventKind, Timeline, TimelineEvent
 
@@ -10,7 +11,9 @@ __all__ = [
     "EmptyTimelineError",
     "EventKind",
     "JOB_STREAM_PREFIX",
+    "MODEL_STREAM_PREFIX",
     "job_lane_name",
+    "lane_name",
     "MEMORY_STREAM",
     "PowerModel",
     "PowerReport",

@@ -36,11 +36,26 @@ _CATEGORY = {
 #: Stream-name prefix that promotes a stream to its own process lane.
 JOB_STREAM_PREFIX = "job:"
 
+#: Serving's per-model streams get the same per-process promotion.
+MODEL_STREAM_PREFIX = "model:"
+
+#: All prefixes promoted to dedicated process lanes.
+LANE_PREFIXES = (JOB_STREAM_PREFIX, MODEL_STREAM_PREFIX)
+
 
 def job_lane_name(stream: str) -> Optional[str]:
     """The job name of a per-job stream, or None for ordinary streams."""
     if stream.startswith(JOB_STREAM_PREFIX):
         return stream[len(JOB_STREAM_PREFIX):]
+    return None
+
+
+def lane_name(stream: str) -> Optional[str]:
+    """The lane name of any promoted stream (``job:`` or ``model:``),
+    or None for ordinary streams rendered as threads of process 0."""
+    for prefix in LANE_PREFIXES:
+        if stream.startswith(prefix):
+            return stream[len(prefix):]
     return None
 
 
@@ -60,8 +75,8 @@ def timeline_to_trace_events(
     time axis as the stream rows.
     """
     streams = sorted({e.stream for e in timeline.events})
-    plain = [s for s in streams if job_lane_name(s) is None]
-    jobs = [s for s in streams if job_lane_name(s) is not None]
+    plain = [s for s in streams if lane_name(s) is None]
+    jobs = [s for s in streams if lane_name(s) is not None]
 
     events: List[dict] = [{
         "name": "process_name", "ph": "M", "pid": 0,
@@ -80,7 +95,7 @@ def timeline_to_trace_events(
         tid_of[stream] = 0
         events.append({
             "name": "process_name", "ph": "M", "pid": lane,
-            "args": {"name": job_lane_name(stream)},
+            "args": {"name": lane_name(stream)},
         })
 
     for event in timeline.events:

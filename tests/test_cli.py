@@ -205,6 +205,9 @@ class TestSmokeEverySubcommand:
         ["faults", "alexnet", "--batch", "8", "--spec", "dma=0.1",
          "--seed", "7"],
         ["metrics", "alexnet", "--batch", "8", "--policy", "all"],
+        ["serve", "--arrivals", "poisson:rate=50,seed=1",
+         "--models", "googlenet,alexnet", "--requests", "20",
+         "--budget", "1GiB"],
     ], ids=lambda argv: argv[0])
     def test_subcommand_smoke(self, argv, capsys):
         assert main(argv) == 0
@@ -217,6 +220,6 @@ class TestSmokeEverySubcommand:
         smoked = {
             "networks", "evaluate", "sweep", "capacity", "plan",
             "figures", "train-demo", "schedule", "verify", "faults",
-            "metrics",
+            "metrics", "serve",
         }
         assert smoked == set(_COMMANDS)

@@ -3,15 +3,19 @@
 import pytest
 
 from repro.hw import (
+    GPU_PRESETS,
     GPUSpec,
+    HBM_CLASS,
     HostSpec,
     I7_5930K,
+    JETSON_CLASS,
     PAPER_SYSTEM,
     PCIE_GEN3,
     PCIeLink,
     SystemConfig,
     TITAN_X,
     TransferMode,
+    gpu_preset,
     oracular,
 )
 
@@ -43,6 +47,42 @@ class TestGPUSpec:
     def test_frozen(self):
         with pytest.raises(Exception):
             TITAN_X.memory_bytes = 0
+
+
+class TestGPUPresets:
+    def test_registry_contents(self):
+        assert GPU_PRESETS == {"titanx": TITAN_X, "hbm": HBM_CLASS,
+                               "jetson": JETSON_CLASS}
+
+    def test_lookup_normalizes_names(self):
+        assert gpu_preset("hbm") is HBM_CLASS
+        assert gpu_preset("HBM") is HBM_CLASS
+        assert gpu_preset("Titan-X") is TITAN_X
+        assert gpu_preset("titan_x ") is TITAN_X
+        assert gpu_preset("jetson") is JETSON_CLASS
+
+    def test_unknown_preset_lists_available(self):
+        with pytest.raises(KeyError, match="hbm"):
+            gpu_preset("tpu")
+
+    def test_hbm_class_outclasses_titan(self):
+        # A100-class HBM: more compute, and memory bandwidth well
+        # beyond GDDR5 even after efficiency derating.
+        assert HBM_CLASS.effective_flops > TITAN_X.effective_flops
+        assert HBM_CLASS.effective_bandwidth > 3 * TITAN_X.effective_bandwidth
+        assert HBM_CLASS.memory_bytes > TITAN_X.memory_bytes
+
+    def test_jetson_class_is_edge_constrained(self):
+        # TX2-class edge module: far less of everything, and the lower
+        # sustained efficiencies of an SoC memory system.
+        assert JETSON_CLASS.effective_flops < TITAN_X.effective_flops / 3
+        assert JETSON_CLASS.effective_bandwidth < TITAN_X.effective_bandwidth
+        assert JETSON_CLASS.memory_bytes < TITAN_X.memory_bytes
+
+    def test_presets_derate_below_peak(self):
+        for spec in GPU_PRESETS.values():
+            assert 0 < spec.effective_flops < spec.peak_flops
+            assert 0 < spec.effective_bandwidth < spec.dram_bandwidth
 
 
 class TestPCIe:

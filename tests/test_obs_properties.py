@@ -14,9 +14,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.alloc.pool import OutOfMemoryError, PoolAllocator
+import pytest
+
 from repro.obs import (BYTES_BUCKETS, DURATION_BUCKETS, Counter, Gauge,
-                      Histogram, Instrumentation, MetricsRegistry,
-                      make_labels, metrics_json, prometheus_text)
+                      Histogram, Instrumentation, MetricError,
+                      MetricsRegistry, make_labels, metrics_json,
+                      prometheus_text)
 
 _counts = st.lists(st.integers(min_value=0, max_value=1 << 40),
                    max_size=30)
@@ -73,6 +76,68 @@ def test_histogram_roundtrip(bounds, values):
     clone = Histogram.from_dict(h.to_dict())
     assert clone == h
     assert clone.to_dict() == h.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Quantile laws (the serving report's source of truth)
+# ----------------------------------------------------------------------
+_qs = st.lists(st.floats(min_value=0.0, max_value=1.0,
+                         allow_nan=False), min_size=2, max_size=8)
+
+
+@given(bounds=_bounds, values=_counts, qs=_qs)
+@settings(max_examples=60, deadline=None)
+def test_quantile_monotone_in_q(bounds, values, qs):
+    h = _hist(bounds, values)
+    if not values:
+        with pytest.raises(MetricError):
+            h.quantile(0.5)
+        return
+    estimates = [h.quantile(q) for q in sorted(qs)]
+    assert all(lo <= hi for lo, hi in zip(estimates, estimates[1:]))
+    assert 0.0 <= h.quantile(0.0)
+    assert h.quantile(1.0) <= bounds[-1]
+
+
+@given(bounds=_bounds, a=_counts, b=_counts,
+       q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_quantile_merge_invariant(bounds, a, b, q):
+    # Observing a data set whole or merging histograms over any
+    # partition of it must yield the identical quantile estimate.
+    if not a and not b:
+        return
+    merged = _hist(bounds, a).merge(_hist(bounds, b))
+    whole = _hist(bounds, list(a) + list(b))
+    assert merged.quantile(q) == whole.quantile(q)
+    threshold = float(bounds[len(bounds) // 2])
+    assert merged.fraction_below(threshold) \
+        == whole.fraction_below(threshold)
+
+
+@given(bounds=_bounds, values=_counts)
+@settings(max_examples=60, deadline=None)
+def test_quantile_validates_inputs(bounds, values):
+    h = _hist(bounds, values)
+    for bad in (-0.1, 1.1):
+        with pytest.raises(MetricError):
+            h.quantile(bad)
+
+
+@given(bounds=_bounds, values=_counts)
+@settings(max_examples=60, deadline=None)
+def test_fraction_below_monotone_and_bounded(bounds, values):
+    h = _hist(bounds, values)
+    if not values:
+        assert h.fraction_below(bounds[-1]) == 0.0
+        return
+    fractions = [h.fraction_below(t)
+                 for t in [0.0] + [float(b) for b in bounds]]
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    assert all(lo <= hi for lo, hi in zip(fractions, fractions[1:]))
+    within = sum(1 for v in values if v <= bounds[-1])
+    assert h.fraction_below(float(bounds[-1])) \
+        == pytest.approx(within / len(values))
 
 
 # ----------------------------------------------------------------------
