@@ -1,0 +1,263 @@
+"""Headline speed gate for the simulator-core overhaul.
+
+Times one training iteration on the live core (compiled per-layer
+plans + slot-based Timeline, :mod:`repro.core.executor`) against the
+vendored pre-overhaul reference (:mod:`benchmarks._legacy_core`) over
+the paper's headline grid — alexnet / googlenet / vgg16, each under
+baseline, vDNN_all(m) and the configuration vDNN_dyn adopts — and
+asserts a >= 3x geometric-mean speedup.
+
+Two properties are gated, in order:
+
+1. **Bit identity first.**  For every grid point the live result must
+   digest-equal the legacy result (same sha256 over summary fields,
+   usage curve and the full event list, floats rendered with ``repr``
+   — the same canonical form as ``tests/test_core_golden.py``).  A
+   fast-but-different core is a bug, not a win.
+2. **Geomean speedup.**  min-of-N wall clock per implementation,
+   interleaved so both see the same thermal/cache conditions; the
+   geometric mean of per-config ratios must clear
+   ``MIN_CORE_SPEEDUP``.
+
+Because the reference runs on the same interpreter and machine as the
+live core (the ``LinearScanPool`` idiom from
+``bench_perf_regression.py``), the gate measures the rewrite itself,
+not host speed.  Results land in the ``core_speed`` section of
+``BENCH_perf.json`` (read-modify-write: other benches own their own
+keys in the same file).  Runs under pytest or standalone via
+``python benchmarks/bench_core_speed.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from _legacy_core import legacy_simulate_baseline, legacy_simulate_vdnn
+from repro.core import plan_dynamic, simulate_baseline, simulate_vdnn
+from repro.core.algo_config import AlgoConfig
+from repro.core.policy import TransferPolicy
+from repro.hw import PAPER_SYSTEM
+from repro.zoo import build
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Floor asserted on the geometric-mean legacy/live ratio.
+MIN_CORE_SPEEDUP = 3.0
+
+#: Timing repetitions; each side keeps its fastest run.
+REPEATS = 5
+
+NETWORKS = ("alexnet", "googlenet", "vgg16")
+BATCH = 64
+
+
+def result_digest(result) -> str:
+    """sha256 over everything an IterationResult *is*.
+
+    Mirrors ``tests/test_core_golden.py`` (kept in sync by
+    ``test_digest_matches_golden_suite`` below): summary fields, the
+    usage step function, and the full event list, all floats rendered
+    with ``repr`` so two results digest equal iff they are
+    bit-identical.
+    """
+    lines = [
+        f"network={result.network_name}",
+        f"policy={result.policy_label}",
+        f"algo={result.algo_label}",
+        f"trainable={result.trainable}",
+        f"failure={result.failure}",
+        f"managed_max_bytes={result.managed_max_bytes}",
+        f"managed_avg_bytes={result.managed_avg_bytes!r}",
+        f"external_bytes={result.external_bytes}",
+        f"persistent_bytes={result.persistent_bytes}",
+        f"total_time={result.total_time!r}",
+        f"feature_extraction_time={result.feature_extraction_time!r}",
+        f"offload_bytes={result.offload_bytes}",
+        f"prefetch_bytes={result.prefetch_bytes}",
+        f"pinned_peak_bytes={result.pinned_peak_bytes}",
+        f"compute_stall_seconds={result.compute_stall_seconds!r}",
+        f"offloaded_layers={result.offloaded_layers}",
+        "usage=" + ";".join(
+            f"{t!r}:{b}" for t, b in result.usage.curve()),
+    ]
+    lines.extend(
+        f"{e.stream}|{e.kind.value}|{e.label}|{e.start!r}|{e.end!r}"
+        f"|{e.nbytes}|{e.layer_index}"
+        for e in result.timeline.events
+    )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _grid():
+    """The nine (label, live thunk, legacy thunk) grid points.
+
+    vDNN_dyn points time the configuration the dynamic planner actually
+    adopts: ``plan_dynamic`` runs once (its probe ladder is not what we
+    are timing), then both cores simulate the adopted (policy, algos).
+    """
+    points = []
+    for name in NETWORKS:
+        network = build(name, BATCH)
+        memory_optimal = AlgoConfig.memory_optimal(network)
+        vdnn_all = TransferPolicy.vdnn_all()
+
+        def base_live(network=network, algos=memory_optimal):
+            return simulate_baseline(network, PAPER_SYSTEM, algos)
+
+        def base_legacy(network=network, algos=memory_optimal):
+            return legacy_simulate_baseline(network, PAPER_SYSTEM, algos)
+
+        def all_live(network=network, algos=memory_optimal, policy=vdnn_all):
+            return simulate_vdnn(network, PAPER_SYSTEM, policy, algos)
+
+        def all_legacy(network=network, algos=memory_optimal, policy=vdnn_all):
+            return legacy_simulate_vdnn(network, PAPER_SYSTEM, policy, algos)
+
+        dyn = plan_dynamic(network, PAPER_SYSTEM, use_cache=False)
+
+        def dyn_live(network=network, policy=dyn.policy, algos=dyn.algos):
+            return simulate_vdnn(network, PAPER_SYSTEM, policy, algos)
+
+        def dyn_legacy(network=network, policy=dyn.policy, algos=dyn.algos):
+            return legacy_simulate_vdnn(network, PAPER_SYSTEM, policy, algos)
+
+        points.append((f"{name}/baseline", base_live, base_legacy))
+        points.append((f"{name}/vDNN_all", all_live, all_legacy))
+        points.append((f"{name}/vDNN_dyn[{dyn.policy.describe()}"
+                       f",{dyn.algos.label}]", dyn_live, dyn_legacy))
+    return points
+
+
+def _best_ms(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+_measured: Optional[Dict[str, dict]] = None
+
+
+def measure() -> Dict[str, dict]:
+    """Digest-check then time the full grid (memoized per process)."""
+    global _measured
+    if _measured is not None:
+        return _measured
+
+    configs = {}
+    ratios = []
+    for label, live, legacy in _grid():
+        live_digest = result_digest(live())   # also warms the plan cache
+        legacy_digest = result_digest(legacy())
+        assert live_digest == legacy_digest, (
+            f"{label}: live core diverged from the pre-overhaul "
+            f"reference (live {live_digest[:12]} != legacy "
+            f"{legacy_digest[:12]}) — speed without bit identity "
+            f"does not count")
+        live_ms = _best_ms(live)
+        legacy_ms = _best_ms(legacy)
+        ratio = legacy_ms / live_ms
+        ratios.append(ratio)
+        configs[label] = {
+            "legacy_ms": legacy_ms,
+            "live_ms": live_ms,
+            "speedup": ratio,
+            "digest": live_digest,
+        }
+
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    _measured = {
+        "configs": configs,
+        "geomean_speedup": geomean,
+        "min_speedup": min(ratios),
+        "floor": MIN_CORE_SPEEDUP,
+        "repeats": REPEATS,
+    }
+    _flush_results(_measured)
+    return _measured
+
+
+def _flush_results(section: dict) -> None:
+    """Merge the ``core_speed`` section into BENCH_perf.json.
+
+    Read-modify-write, same contract as ``bench_perf_regression.py``'s
+    ``_flush_results``: each bench owns only its own top-level keys.
+    """
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            payload = {}
+    payload["core_speed"] = section
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Gates
+# ----------------------------------------------------------------------
+def test_bit_identical_to_legacy():
+    """Every grid point digests equal between live and legacy cores."""
+    measured = measure()   # measure() asserts per-config digest equality
+    assert len(measured["configs"]) == 3 * len(NETWORKS)
+
+
+def test_core_speedup_floor():
+    """Geomean wall-clock speedup over the pre-overhaul core >= 3x."""
+    measured = measure()
+    assert measured["geomean_speedup"] >= MIN_CORE_SPEEDUP, (
+        f"compiled-plan core is only {measured['geomean_speedup']:.2f}x "
+        f"the pre-overhaul reference (need >= {MIN_CORE_SPEEDUP}x); "
+        f"slowest point: "
+        + min(measured["configs"].items(),
+              key=lambda kv: kv[1]["speedup"])[0]
+    )
+
+
+def test_digest_matches_golden_suite():
+    """This bench's digest must stay in sync with tests/test_core_golden.
+
+    Both modules render the same canonical form; if they drift the
+    bench could pass while the golden suite fails (or vice versa).
+    Compares on a live result rather than importing across the
+    tests/benchmarks boundary.
+    """
+    import importlib.util
+    import os
+
+    golden_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tests", "test_core_golden.py")
+    spec = importlib.util.spec_from_file_location("_golden", golden_path)
+    golden = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(golden)
+    network = build("alexnet", BATCH)
+    result = simulate_vdnn(network, PAPER_SYSTEM, TransferPolicy.vdnn_all(),
+                           AlgoConfig.memory_optimal(network))
+    assert result_digest(result) == golden.result_digest(result)
+
+
+# ----------------------------------------------------------------------
+def main() -> int:
+    measured = measure()
+    width = max(len(label) for label in measured["configs"])
+    for label, stats in measured["configs"].items():
+        print(f"{label:<{width}s}  legacy {stats['legacy_ms']:8.3f} ms"
+              f"  live {stats['live_ms']:8.3f} ms"
+              f"  {stats['speedup']:5.2f}x")
+    print(f"geomean {measured['geomean_speedup']:.2f}x "
+          f"(floor {MIN_CORE_SPEEDUP}x, min "
+          f"{measured['min_speedup']:.2f}x)")
+    print(f"wrote {RESULTS_PATH}")
+    return 0 if measured["geomean_speedup"] >= MIN_CORE_SPEEDUP else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

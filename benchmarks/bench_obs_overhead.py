@@ -5,12 +5,12 @@ Times the headline simulation configs (the networks behind
 :class:`~repro.obs.NullInstrumentation` (every hook a no-op), and full
 :class:`~repro.obs.Instrumentation` — and gates two claims:
 
-* **instrumented vs no-op** stays under ``MAX_OVERHEAD``: the hook
-  *bodies* (pre-bound attribute math plus one bisect per histogram
-  observation) must not grow a hot path.  A registry lookup or an
-  O(events) scan sneaking into the DMA path fails this gate before it
-  ships; end-of-run summaries are deferred to ``Instrumentation.flush``
-  exactly so they cannot show up here.
+* **instrumented vs no-op** stays under ``MAX_OVERHEAD``: each hot
+  hook *body* (one append to the deferred event log — the counter and
+  histogram arithmetic replays lazily when the registry is first read)
+  must not grow a hot path.  A registry lookup, an O(events) scan, or
+  retained per-run state sneaking into the simulated region fails this
+  gate before it ships.
 * **no-op vs plain** stays under the same ceiling: with hooks stubbed
   out, all that remains is call dispatch and the ``obs is not None``
   guards, which is the "uninstrumented path is unmeasurably slower"

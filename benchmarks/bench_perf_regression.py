@@ -45,9 +45,28 @@ _results: Dict[str, dict] = {}
 def _flush_results() -> None:
     """Merge this bench's sections into BENCH_perf.json.
 
-    Read-modify-write: other benches (``bench_obs_overhead``) own their
-    own keys in the same file, so only this bench's sections are
-    replaced.
+    Read-modify-write: every bench owns a fixed set of top-level keys
+    in the shared file and replaces only those, so running one bench
+    never clobbers another's numbers.  The full registry:
+
+    ==================  =============================================
+    key                 owner
+    ==================  =============================================
+    ``evaluate``        this bench (warm vs cold cache hit)
+    ``dynamic``         this bench (vDNN_dyn probe-ladder reuse)
+    ``schedule``        this bench (admission-ladder cache reuse)
+    ``allocator``       this bench (bisect pool vs linear scan)
+    ``cache``           this bench (sweep-cache hit statistics)
+    ``core_speed``      ``bench_core_speed.py`` (compiled-plan core
+                        vs the vendored pre-overhaul reference)
+    ``obs_overhead``    ``bench_obs_overhead.py`` (instrumented vs
+                        no-op runs)
+    ``serving``         ``bench_ext_serving.py`` (SLO attainment,
+                        tail latency, goodput)
+    ==================  =============================================
+
+    A new bench must claim a fresh key and follow the same
+    read-modify-write idiom (see ``bench_core_speed._flush_results``).
     """
     payload = {}
     if RESULTS_PATH.exists():

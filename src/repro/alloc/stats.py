@@ -26,37 +26,58 @@ class UsageSample:
 
 
 class UsageTracker:
-    """Collects a step function of live bytes over simulated time."""
+    """Collects a step function of live bytes over simulated time.
+
+    Slot-based like :class:`~repro.sim.timeline.Timeline`: samples live
+    in two parallel arrays and :class:`UsageSample` objects are only
+    materialised by the :attr:`samples` view, so the simulator's
+    per-alloc/free sampling appends two scalars instead of constructing
+    a dataclass.
+    """
+
+    __slots__ = ("_times", "_bytes")
 
     def __init__(self) -> None:
-        self._samples: List[UsageSample] = []
+        self._times: List[float] = []
+        self._bytes: List[int] = []
 
     def record(self, time: float, live_bytes: int) -> None:
         """Append one sample; timestamps must be non-decreasing."""
         if live_bytes < 0:
             raise ValueError("live_bytes cannot be negative")
-        if self._samples and time < self._samples[-1].time:
+        times = self._times
+        if times and time < times[-1]:
             raise ValueError(
-                f"time went backwards: {time} after {self._samples[-1].time}"
+                f"time went backwards: {time} after {times[-1]}"
             )
-        self._samples.append(UsageSample(time, live_bytes))
+        times.append(time)
+        self._bytes.append(live_bytes)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, UsageTracker):
             return NotImplemented
-        return self._samples == other._samples
+        # Bit-identity is the contract here, not approximation: two
+        # trackers are equal iff they recorded identical curves.
+        return self._times == other._times \
+            and self._bytes == other._bytes  # repro: allow(LINT204)
 
     __hash__ = None  # mutable container; value-equal, not hashable
+
+    def __getstate__(self) -> Tuple[List[float], List[int]]:
+        return (self._times, self._bytes)
+
+    def __setstate__(self, state) -> None:
+        self._times, self._bytes = state
 
     # ------------------------------------------------------------------
     @property
     def samples(self) -> List[UsageSample]:
-        return list(self._samples)
+        return [UsageSample(t, b) for t, b in zip(self._times, self._bytes)]
 
     @property
     def max_bytes(self) -> int:
         """Peak of the recorded curve (0 when empty)."""
-        return max((s.live_bytes for s in self._samples), default=0)
+        return max(self._bytes, default=0)
 
     @property
     def average_bytes(self) -> float:
@@ -65,16 +86,17 @@ class UsageTracker:
         Falls back to the arithmetic mean of the samples when all
         samples share one timestamp (e.g. analytic, zero-duration runs).
         """
-        if not self._samples:
+        times, live = self._times, self._bytes
+        if not times:
             return 0.0
-        duration = self._samples[-1].time - self._samples[0].time
+        duration = times[-1] - times[0]
         if duration <= 0:
-            return sum(s.live_bytes for s in self._samples) / len(self._samples)
+            return sum(live) / len(live)
         weighted = 0.0
-        for current, following in zip(self._samples, self._samples[1:]):
-            weighted += current.live_bytes * (following.time - current.time)
+        for i in range(len(times) - 1):
+            weighted += live[i] * (times[i + 1] - times[i])
         return weighted / duration
 
     def curve(self) -> List[Tuple[float, int]]:
         """The raw (time, live_bytes) step function."""
-        return [(s.time, s.live_bytes) for s in self._samples]
+        return list(zip(self._times, self._bytes))

@@ -568,6 +568,47 @@ def _cmd_verify(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_profile(args) -> int:
+    """cProfile any other repro invocation, then print a hotspot table.
+
+    Runs the nested command through :func:`main` under
+    :mod:`cProfile`, so the table covers exactly what the user-visible
+    command does — plan compilation, simulation, rendering — with no
+    import-time noise (imports resolve before the profiler starts).
+    See docs/performance.md for how to read the output.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        print("profile: missing nested command, e.g. "
+              "repro profile evaluate vgg16 --policy all",
+              file=sys.stderr)
+        return 2
+    if argv[0] == "profile":
+        print("profile: cannot profile itself", file=sys.stderr)
+        return 2
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = main(argv)
+    finally:
+        profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(f"\n--- profile: {' '.join(argv)} "
+          f"(top {args.top} by {args.sort}) ---")
+    print(stream.getvalue().rstrip())
+    return status
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -737,6 +778,17 @@ def make_parser() -> argparse.ArgumentParser:
                            help="write the export to a file instead of "
                                 "stdout")
 
+    p_prof = sub.add_parser(
+        "profile", help="cProfile another repro invocation")
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="rows of the hotspot table to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key for the table")
+    p_prof.add_argument("argv", nargs=argparse.REMAINDER,
+                        help="the repro command to profile, e.g. "
+                             "evaluate vgg16 --policy all")
+
     p_verify = sub.add_parser(
         "verify", help="run the schedule sanitizer over simulated plans")
     p_verify.add_argument("network", nargs="?", choices=available(),
@@ -771,6 +823,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "faults": _cmd_faults,
     "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
 }
 
 

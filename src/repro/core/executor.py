@@ -32,17 +32,22 @@ from ..alloc.pool import Allocation, PoolAllocator
 from ..alloc.stats import UsageTracker
 from ..analysis.trace import ScheduleTrace
 from ..faults import DMAAbortError, FaultInjector, FaultReport, FaultSpec, make_injector
-from ..graph.layer import LayerKind
 from ..graph.network import Network
 from ..hw.config import SystemConfig
-from ..kernels.latency import LatencyModel
 from ..obs import Instrumentation
-from ..sim.stream import SimStream, make_stream_pair
+from ..sim.stream import make_stream_pair
 from ..sim.timeline import EventKind, Timeline
 from .algo_config import AlgoConfig
-from .liveness import LivenessAnalysis, StorageInfo
+from .liveness import LivenessAnalysis
+from .plan import BackwardStep, CompiledPlan, ForwardStep, StorageRecord, \
+    compiled_plan
 from .policy import TransferPolicy
 from .prefetcher import PrefetchState, find_prefetch_layer
+
+_FORWARD = EventKind.FORWARD
+_BACKWARD = EventKind.BACKWARD
+_OFFLOAD = EventKind.OFFLOAD
+_PREFETCH = EventKind.PREFETCH
 
 #: Pool capacity used for simulation runs; trainability is decided by
 #: comparing peak usage to the *real* GPU capacity afterwards.
@@ -112,14 +117,16 @@ class IterationResult:
         return f"{self.policy_label}({self.algo_label})"
 
 
-def _feature_extraction_time(network: Network, timeline: Timeline) -> float:
+def _feature_extraction_time(
+    network: Network, timeline: Timeline, classifier=None
+) -> float:
     """Wall time minus the classifier window (Section V-C's metric)."""
-    classifier = {n.index for n in network.classifier_nodes}
-    events = [e for e in timeline.events if e.layer_index in classifier]
-    if not events:
+    if classifier is None:
+        classifier = {n.index for n in network.classifier_nodes}
+    window = timeline.layer_window(classifier)
+    if window is None:
         return timeline.span
-    window = max(e.end for e in events) - min(e.start for e in events)
-    return max(timeline.span - window, 0.0)
+    return max(timeline.span - (window[1] - window[0]), 0.0)
 
 
 # ----------------------------------------------------------------------
@@ -159,10 +166,9 @@ def simulate_baseline(
     obs: Optional[Instrumentation] = None,
 ) -> IterationResult:
     """One iteration under the network-wide allocation policy."""
-    latency = LatencyModel(system.gpu)
+    plan = compiled_plan(network, system, algos)
     compute, _memory, timeline = make_stream_pair()
-    liveness = LivenessAnalysis(network)
-    breakdown = baseline_allocation_bytes(network, algos, liveness)
+    breakdown = plan.baseline_breakdown
     total = breakdown["total"]
 
     usage = UsageTracker()
@@ -177,27 +183,25 @@ def simulate_baseline(
     if trace is not None:
         trace.alloc("NET", total, label="network-wide")
 
-    for index in network.forward_schedule():
-        node = network[index]
-        if node.kind is LayerKind.INPUT:
+    for step in plan.forward:
+        if step.is_input:
             continue
-        timing = latency.forward(network, node, algos.profile(node))
-        event = compute.enqueue(EventKind.FORWARD, node.name, timing.seconds,
-                                nbytes=int(timing.dram_bytes), layer_index=index)
+        start, end = compute.push(_FORWARD, step.name, step.seconds,
+                                  nbytes=step.dram_nbytes,
+                                  layer_index=step.index)
         if trace is not None:
-            trace.kernel(node.name, compute.name, reads=("NET",),
-                         writes=("NET",), layer=index, phase="fwd",
-                         start=event.start, end=event.end)
+            trace.kernel(step.name, compute.name, reads=("NET",),
+                         writes=("NET",), layer=step.index, phase="fwd",
+                         start=start, end=end)
     forward_end = compute.ready_time
-    for index in network.backward_schedule():
-        node = network[index]
-        timing = latency.backward(network, node, algos.profile(node))
-        event = compute.enqueue(EventKind.BACKWARD, node.name, timing.seconds,
-                                nbytes=int(timing.dram_bytes), layer_index=index)
+    for step in plan.backward:
+        start, end = compute.push(_BACKWARD, step.name, step.seconds,
+                                  nbytes=step.dram_nbytes,
+                                  layer_index=step.index)
         if trace is not None:
-            trace.kernel(node.name, compute.name, reads=("NET",),
-                         writes=("NET",), layer=index, phase="bwd",
-                         start=event.start, end=event.end)
+            trace.kernel(step.name, compute.name, reads=("NET",),
+                         writes=("NET",), layer=step.index, phase="bwd",
+                         start=start, end=end)
 
     if trace is not None:
         trace.free("NET", compute.name, label="network-wide", phase="end",
@@ -208,7 +212,8 @@ def simulate_baseline(
                  network=network.name, policy="base")
         obs.span("backward", "phase", forward_end, compute.ready_time,
                  category="phase", network=network.name, policy="base")
-        obs.run_streams(timeline, compute.name)
+        obs.stream_busy(timeline.span,
+                        ((compute.name, compute.busy_seconds),))
     trainable = total <= system.gpu.memory_bytes
     return IterationResult(
         network_name=network.name,
@@ -226,7 +231,8 @@ def simulate_baseline(
         external_bytes=0,
         persistent_bytes=breakdown["weights"] * 2,
         total_time=timeline.span,
-        feature_extraction_time=_feature_extraction_time(network, timeline),
+        feature_extraction_time=_feature_extraction_time(
+            network, timeline, classifier=plan.classifier_indices),
         offload_bytes=0,
         prefetch_bytes=0,
         pinned_peak_bytes=0,
@@ -239,7 +245,14 @@ def simulate_baseline(
 # vDNN manager
 # ----------------------------------------------------------------------
 class _VDNNSimulation:
-    """Stateful walk of one iteration under the vDNN manager."""
+    """Stateful walk of one iteration under the vDNN manager.
+
+    All per-layer decisions (what to allocate, offload, release; kernel
+    timings; DMA durations; trace buffer names) come precomputed from a
+    :class:`~repro.core.plan.CompiledPlan` — the walk itself is a tight
+    loop over plan steps that only tracks the *dynamic* state: stream
+    clocks, pool occupancy, the prefetch flags and any injected faults.
+    """
 
     def __init__(
         self,
@@ -247,6 +260,7 @@ class _VDNNSimulation:
         system: SystemConfig,
         policy: TransferPolicy,
         algos: AlgoConfig,
+        plan: CompiledPlan,
         bounded_prefetch_window: bool = True,
         sync_after_offload: bool = True,
         verify: bool = False,
@@ -257,6 +271,8 @@ class _VDNNSimulation:
         self.system = system
         self.policy = policy
         self.algos = algos
+        self.plan = plan
+        self.wants = plan.offload_indices(policy, network)
         self.bounded_prefetch_window = bounded_prefetch_window
         self.sync_after_offload = sync_after_offload
         self.faults = faults
@@ -267,8 +283,6 @@ class _VDNNSimulation:
         # every Allocation back to its trace identity at free time.
         self._traced: Dict[int, tuple] = {}
 
-        self.latency = LatencyModel(system.gpu)
-        self.liveness = LivenessAnalysis(network)
         self.pool = PoolAllocator(_UNBOUNDED)
         pinned_capacity = system.host.max_pinned_bytes
         if faults is not None and faults.spec.pinned_budget_factor != 1.0:
@@ -278,13 +292,16 @@ class _VDNNSimulation:
         self.compute, self.memory, self.timeline = make_stream_pair()
         self.usage = UsageTracker()
         self.state = PrefetchState.for_network(network)
+        # Fig. 10 search outcomes, reported to obs once per run.
+        self.prefetch_hits = 0
+        self.prefetch_misses = 0
 
         # storage owner -> live device Allocation
         self.device: Dict[int, Allocation] = {}
         # storage owner -> live gradient Allocation
         self.gradients: Dict[int, Allocation] = {}
-        # trigger layer -> storages it offloaded
-        self.offloaded_at: Dict[int, List[StorageInfo]] = {}
+        # trigger layer -> storage records it offloaded
+        self.offloaded_at: Dict[int, List[StorageRecord]] = {}
         # storage owner -> pinned host buffer
         self.host_buffers: Dict[int, object] = {}
         # storage owner -> True once restored by a prefetch
@@ -366,45 +383,47 @@ class _VDNNSimulation:
     # -- DMA with fault injection --------------------------------------
     def _transfer(self, kind, label: str, nbytes: int,
                   earliest_start: float, layer_index: int,
-                  fault_kind: str, direction: str = ""):
+                  fault_kind: str, direction: str = "",
+                  seconds: float = 0.0):
         """Enqueue one DMA on ``stream_memory``, retrying under faults.
 
-        Without an injector this is exactly one :meth:`SimStream.enqueue`
-        at the link's nominal rate.  With one, each attempt draws a
-        (possibly degraded/jittered) duration and may transiently fail;
-        a failed attempt occupies the engine for its full duration (the
-        error surfaces at completion), then the retry backs off
-        exponentially on the same stream before re-attempting, up to
+        Without an injector this is exactly one :meth:`SimStream.push`
+        of ``seconds`` — the link's nominal rate, precomputed by the
+        plan.  With one, each attempt draws a (possibly
+        degraded/jittered) duration and may transiently fail; a failed
+        attempt occupies the engine for its full duration (the error
+        surfaces at completion), then the retry backs off exponentially
+        on the same stream before re-attempting, up to
         ``max_dma_attempts``.
 
         Returns:
-            ``(event, attempts)`` — the successful transfer's timeline
-            event, or ``None`` when the retry budget was exhausted.
+            ``((start, end), attempts)`` — the successful transfer's
+            placement, or ``None`` when the retry budget was exhausted.
         """
         direction = direction or fault_kind
         if self.faults is None:
-            event = self.memory.enqueue(
-                kind, label, self.system.pcie.dma_time(nbytes),
+            start, end = self.memory.push(
+                kind, label, seconds,
                 earliest_start=earliest_start, nbytes=nbytes,
                 layer_index=layer_index,
             )
             if self.obs is not None:
-                self.obs.pcie_transfer(direction, nbytes, event.duration)
-            return event, 1
+                self.obs.pcie_transfer(direction, nbytes, end - start)
+            return (start, end), 1
         attempts = 0
         while True:
             attempts += 1
             duration = self.faults.dma_seconds(self.system.pcie, nbytes)
             if not self.faults.dma_fails(fault_kind):
-                event = self.memory.enqueue(
+                start, end = self.memory.push(
                     kind, label, duration,
                     earliest_start=earliest_start, nbytes=nbytes,
                     layer_index=layer_index,
                 )
                 if self.obs is not None:
-                    self.obs.pcie_transfer(direction, nbytes, event.duration)
-                return event, attempts
-            self.memory.enqueue(
+                    self.obs.pcie_transfer(direction, nbytes, end - start)
+                return (start, end), attempts
+            self.memory.push(
                 EventKind.FAULT, f"{label}!{attempts}", duration,
                 earliest_start=earliest_start, nbytes=nbytes,
                 layer_index=layer_index,
@@ -415,7 +434,7 @@ class _VDNNSimulation:
                 return None, attempts
             backoff = self.faults.spec.backoff_seconds(attempts)
             if backoff > 0:
-                self.memory.enqueue(
+                self.memory.push(
                     EventKind.RETRY, f"{label}~{attempts}", backoff,
                     layer_index=layer_index,
                 )
@@ -430,29 +449,22 @@ class _VDNNSimulation:
         weights are Torch/cuBLAS allocations outside it (Section IV-A)
         and are accounted in :attr:`external_bytes`.
         """
-        persistent = 0
-        self.external_bytes = 0
-        for node in self.network:
-            if not node.weight_bytes:
-                continue
-            if node.is_feature_extraction:
-                self._alloc(node.index, node.weight_bytes, f"W[{node.name}]",
-                            buffer=f"W{node.index}", layer=node.index,
-                            persistent=True)
-                self._alloc(node.index, node.weight_bytes, f"dW[{node.name}]",
-                            buffer=f"dW{node.index}", layer=node.index,
-                            persistent=True)
-            else:
-                self.external_bytes += 2 * node.weight_bytes
-            persistent += 2 * node.weight_bytes
-        return persistent
+        for item in self.plan.persistent:
+            self._alloc(item.index, item.nbytes, item.w_tag,
+                        buffer=item.w_buf, layer=item.index,
+                        persistent=True)
+            self._alloc(item.index, item.nbytes, item.dw_tag,
+                        buffer=item.dw_buf, layer=item.index,
+                        persistent=True)
+        self.external_bytes = self.plan.external_bytes
+        return self.plan.persistent_bytes
 
     # -- forward pass ----------------------------------------------------
     def run_forward(self) -> None:
         start = self.compute.ready_time
         try:
-            for index in self.network.forward_schedule():
-                self._forward_layer(index)
+            for step in self.plan.forward:
+                self._forward_layer(step)
         finally:
             if self.obs is not None:
                 self.obs.span(
@@ -461,143 +473,130 @@ class _VDNNSimulation:
                     category="phase", network=self.network.name,
                     policy=self.policy.describe())
 
-    def _forward_layer(self, index: int) -> None:
-        node = self.network[index]
+    def _forward_layer(self, step: ForwardStep) -> None:
+        index = step.index
 
         # Layer-wise allocation: this layer's output (unless in-place)
         # and its transient convolution workspace.
-        if not node.in_place:
-            storage = self.liveness.storage_of(index)
-            self.device[storage.owner] = self._alloc(
-                storage.owner, storage.nbytes, f"Y[{node.name}]",
-                buffer=f"Y{storage.owner}", layer=index,
-                towner=storage.owner,
+        rec = step.alloc_rec
+        if rec is not None:
+            self.device[rec.owner] = self._alloc(
+                rec.owner, rec.nbytes, step.y_tag,
+                buffer=rec.y_buf, layer=index, towner=rec.owner,
             )
 
-        if node.kind is LayerKind.INPUT:
+        if step.is_input:
             return
 
         workspace: Optional[Allocation] = None
-        ws_bytes = self.algos.workspace_bytes(node)
-        if ws_bytes:
-            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]",
-                                    buffer=f"WSf{index}", layer=index)
+        if step.ws_bytes:
+            workspace = self._alloc(index, step.ws_bytes, step.ws_tag,
+                                    buffer=step.ws_buf, layer=index)
 
-        timing = self.latency.forward(self.network, node, self.algos.profile(node))
-        fwd = self.compute.enqueue(
-            EventKind.FORWARD, node.name, timing.seconds,
-            nbytes=int(timing.dram_bytes), layer_index=index,
+        fwd_start, fwd_end = self.compute.push(
+            _FORWARD, step.name, step.seconds,
+            nbytes=step.dram_nbytes, layer_index=index,
         )
         fwd_op = None
         if self.trace is not None:
-            reads = [f"Y{s.owner}" for s in self.liveness.input_storages(index)]
-            if node.weight_bytes and node.is_feature_extraction:
-                reads.append(f"W{index}")
-            own = self.liveness.storage_of(index)
-            writes = [f"Y{own.owner}"]
-            if workspace is not None:
-                writes.append(f"WSf{index}")
             fwd_op = self.trace.kernel(
-                node.name, self.compute.name, reads=reads, writes=writes,
-                layer=index, phase="fwd", start=fwd.start, end=fwd.end,
+                step.name, self.compute.name, reads=step.trace_reads,
+                writes=step.trace_writes, layer=index, phase="fwd",
+                start=fwd_start, end=fwd_end,
             )
 
-        # Offload/release any input storage whose last consumer we are
-        # (the refcount gate of Figure 3).
-        offloads: List[StorageInfo] = []
-        for storage in self.liveness.input_storages(index):
-            if storage.forward_release_at != index:
-                continue
-            if storage.needed_backward:
-                if self.policy.wants_offload(node):
-                    offloads.append(storage)
-            else:
-                # Dead after forward: release without any transfer
-                # (the black-X arrows of Figure 7).
-                self._free(self.device.pop(storage.owner),
-                           layer=index, phase="fwd")
+        # Release any input storage whose last consumer we are and that
+        # is dead after forward: no transfer needed (the black-X arrows
+        # of Figure 7).
+        for rec in step.dead_releases:
+            self._free(self.device.pop(rec.owner), layer=index, phase="fwd")
 
-        if offloads:
-            completed: List[StorageInfo] = []
-            for storage in offloads:
-                owner_name = self.network[storage.owner].name
-                try:
-                    buffer = self.pinned.alloc(storage.nbytes,
-                                               f"host[{storage.owner}]")
-                except PinnedMemoryError as error:
-                    if self.faults is None:
-                        raise
-                    # Pinned-budget pressure: no staging buffer, so this
-                    # tensor simply stays resident on the device — more
-                    # memory used, but execution stays correct.
-                    self.faults.record(
-                        "pinned-pressure", self.memory.ready_time,
-                        f"Y{storage.owner}", outcome="degraded",
-                        nbytes=storage.nbytes,
-                        detail=f"offload skipped, tensor stays resident "
-                               f"({error})",
-                    )
-                    continue
-                self.host_buffers[storage.owner] = buffer
-                transfer, attempts = self._transfer(
-                    EventKind.OFFLOAD, owner_name, storage.nbytes,
-                    earliest_start=fwd.start, layer_index=index,
-                    fault_kind="offload",
-                )
-                if transfer is None:
-                    # Retry budget exhausted: abandon the offload and
-                    # keep the tensor resident instead.
-                    self.pinned.free(self.host_buffers.pop(storage.owner))
-                    self.faults.record(
-                        "dma-offload", self.memory.ready_time,
-                        f"Y{storage.owner}", attempts=attempts,
-                        outcome="degraded", nbytes=storage.nbytes,
-                        detail="offload abandoned, tensor stays resident",
-                    )
-                    continue
-                if attempts > 1:
-                    self.faults.record(
-                        "dma-offload", transfer.end, f"Y{storage.owner}",
-                        attempts=attempts, outcome="recovered",
-                        nbytes=storage.nbytes,
-                        detail="transient DMA failure, retry succeeded",
-                    )
-                if self.trace is not None:
-                    # The DMA starts no earlier than the trigger kernel,
-                    # i.e. after everything before it on compute: the
-                    # event-wait edge that keeps the producer ordered
-                    # before the transfer that reads its output.
-                    self.trace.offload(
-                        f"Y{storage.owner}", self.memory.name,
-                        nbytes=storage.nbytes,
-                        label=f"off[{owner_name}]",
-                        layer=index, owner=storage.owner, target_layer=index,
-                        wait_stream=self.compute.name,
-                        wait_pos=fwd_op.pos - 1,
-                        start=transfer.start, end=transfer.end,
-                    )
-                self.offload_bytes += storage.nbytes
-                completed.append(storage)
-            if completed:
-                self.offloaded_at[index] = completed
-                self.state.mark_offloaded(index)
-                self.offloaded_layers.append(index)
-
-                if self.sync_after_offload:
-                    self._stall(f"offload-sync {node.name}", index)
-                for storage in completed:
-                    self._free(self.device.pop(storage.owner),
-                               layer=index, phase="fwd")
+        # Offload the rest of the last-consumed inputs if the policy
+        # says so (the refcount gate of Figure 3).
+        if step.offload_candidates and index in self.wants:
+            self._offload_inputs(step, fwd_start, fwd_op)
 
         if workspace is not None:
             self._free(workspace, layer=index, phase="fwd")
+
+    def _offload_inputs(self, step: ForwardStep, fwd_start: float,
+                        fwd_op) -> None:
+        index = step.index
+        completed: List[StorageRecord] = []
+        for rec in step.offload_candidates:
+            try:
+                buffer = self.pinned.alloc(rec.nbytes, rec.host_tag)
+            except PinnedMemoryError as error:
+                if self.faults is None:
+                    raise
+                # Pinned-budget pressure: no staging buffer, so this
+                # tensor simply stays resident on the device — more
+                # memory used, but execution stays correct.
+                self.faults.record(
+                    "pinned-pressure", self.memory.ready_time,
+                    rec.y_buf, outcome="degraded",
+                    nbytes=rec.nbytes,
+                    detail=f"offload skipped, tensor stays resident "
+                           f"({error})",
+                )
+                continue
+            self.host_buffers[rec.owner] = buffer
+            transfer, attempts = self._transfer(
+                _OFFLOAD, rec.name, rec.nbytes,
+                earliest_start=fwd_start, layer_index=index,
+                fault_kind="offload", seconds=rec.dma_seconds,
+            )
+            if transfer is None:
+                # Retry budget exhausted: abandon the offload and
+                # keep the tensor resident instead.
+                self.pinned.free(self.host_buffers.pop(rec.owner))
+                self.faults.record(
+                    "dma-offload", self.memory.ready_time,
+                    rec.y_buf, attempts=attempts,
+                    outcome="degraded", nbytes=rec.nbytes,
+                    detail="offload abandoned, tensor stays resident",
+                )
+                continue
+            if attempts > 1:
+                self.faults.record(
+                    "dma-offload", transfer[1], rec.y_buf,
+                    attempts=attempts, outcome="recovered",
+                    nbytes=rec.nbytes,
+                    detail="transient DMA failure, retry succeeded",
+                )
+            if self.trace is not None:
+                # The DMA starts no earlier than the trigger kernel,
+                # i.e. after everything before it on compute: the
+                # event-wait edge that keeps the producer ordered
+                # before the transfer that reads its output.
+                self.trace.offload(
+                    rec.y_buf, self.memory.name,
+                    nbytes=rec.nbytes,
+                    label=f"off[{rec.name}]",
+                    layer=index, owner=rec.owner, target_layer=index,
+                    wait_stream=self.compute.name,
+                    wait_pos=fwd_op.pos - 1,
+                    start=transfer[0], end=transfer[1],
+                )
+            self.offload_bytes += rec.nbytes
+            completed.append(rec)
+        if completed:
+            self.offloaded_at[index] = completed
+            self.state.mark_offloaded(index)
+            self.offloaded_layers.append(index)
+
+            if self.sync_after_offload:
+                self._stall(f"offload-sync {step.name}", index)
+            for rec in completed:
+                self._free(self.device.pop(rec.owner),
+                           layer=index, phase="fwd")
 
     # -- backward pass ---------------------------------------------------
     def run_backward(self) -> None:
         start = self.compute.ready_time
         try:
-            for index in self.network.backward_schedule():
-                self._backward_layer(index)
+            for step in self.plan.backward:
+                self._backward_layer(step)
             self._release_remaining()
         finally:
             if self.obs is not None:
@@ -607,196 +606,180 @@ class _VDNNSimulation:
                     category="phase", network=self.network.name,
                     policy=self.policy.describe())
 
-    def _required_storages(self, index: int) -> List[StorageInfo]:
-        node = self.network[index]
-        required: Dict[int, StorageInfo] = {}
-        if node.layer.backward_needs_x:
-            for storage in self.liveness.input_storages(index):
-                required[storage.owner] = storage
-        if node.layer.backward_needs_y:
-            storage = self.liveness.storage_of(index)
-            required[storage.owner] = storage
-        return list(required.values())
-
-    def _restore_on_demand(self, storage: StorageInfo, index: int) -> None:
+    def _restore_on_demand(self, rec: StorageRecord, index: int) -> None:
         """Blocking prefetch for data the scheduler failed to stage."""
-        self.device[storage.owner] = self._alloc(
-            storage.owner, storage.nbytes, f"X[{storage.owner}](demand)",
-            buffer=f"Y{storage.owner}", layer=index, towner=storage.owner,
+        self.device[rec.owner] = self._alloc(
+            rec.owner, rec.nbytes, rec.demand_tag,
+            buffer=rec.y_buf, layer=index, towner=rec.owner,
         )
         if self.obs is not None:
             self.obs.prefetch_event("demand")
         transfer, attempts = self._transfer(
-            EventKind.PREFETCH,
-            self.network[storage.owner].name + "(demand)",
-            storage.nbytes,
+            _PREFETCH, rec.name + "(demand)", rec.nbytes,
             earliest_start=self.compute.ready_time, layer_index=index,
             fault_kind="prefetch", direction="demand",
+            seconds=rec.dma_seconds,
         )
         if transfer is None:
             # The backward kernel cannot run without this tensor and the
             # link refuses to deliver it: the iteration fails, loudly.
-            self._free(self.device.pop(storage.owner), layer=index)
+            self._free(self.device.pop(rec.owner), layer=index)
             self.faults.record(
-                "dma-demand", self.memory.ready_time, f"Y{storage.owner}",
-                attempts=attempts, outcome="fatal", nbytes=storage.nbytes,
+                "dma-demand", self.memory.ready_time, rec.y_buf,
+                attempts=attempts, outcome="fatal", nbytes=rec.nbytes,
                 detail="demand fetch exhausted its retry budget",
             )
             raise DMAAbortError(
-                f"demand fetch of Y{storage.owner} for layer {index} "
+                f"demand fetch of Y{rec.owner} for layer {index} "
                 f"failed after {attempts} attempts"
             )
         if attempts > 1:
             self.faults.record(
-                "dma-demand", transfer.end, f"Y{storage.owner}",
+                "dma-demand", transfer[1], rec.y_buf,
                 attempts=attempts, outcome="recovered",
-                nbytes=storage.nbytes,
+                nbytes=rec.nbytes,
                 detail="transient DMA failure, retry succeeded",
             )
         if self.trace is not None:
             self.trace.prefetch(
-                f"Y{storage.owner}", self.memory.name,
-                nbytes=storage.nbytes,
-                label=f"pre[{self.network[storage.owner].name}](demand)",
-                layer=index, owner=storage.owner,
+                rec.y_buf, self.memory.name,
+                nbytes=rec.nbytes,
+                label=f"pre[{rec.name}](demand)",
+                layer=index, owner=rec.owner,
                 wait_stream=self.compute.name,
                 wait_pos=self.trace.position(self.compute.name),
-                demand=True, start=transfer.start, end=transfer.end,
+                demand=True, start=transfer[0], end=transfer[1],
             )
-        self.prefetch_bytes += storage.nbytes
-        self._stall(f"demand-fetch {storage.owner}", index,
+        self.prefetch_bytes += rec.nbytes
+        self._stall(f"demand-fetch {rec.owner}", index,
                     cause="demand-fetch")
-        self.pinned.free(self.host_buffers.pop(storage.owner))
-        self.restored[storage.owner] = True
+        self.pinned.free(self.host_buffers.pop(rec.owner))
+        self.restored[rec.owner] = True
 
-    def _backward_layer(self, index: int) -> None:
-        node = self.network[index]
+    def _backward_layer(self, step: BackwardStep) -> None:
+        index = step.index
+        device = self.device
+        gradients = self.gradients
 
         # Safety net: anything this kernel reads must be on-device.
-        for storage in self._required_storages(index):
-            if storage.owner not in self.device:
-                self._restore_on_demand(storage, index)
+        for rec in step.required:
+            if rec.owner not in device:
+                self._restore_on_demand(rec, index)
 
         # Gradient twins born at this backward step.
-        for storage in self.liveness.all_storages():
-            if storage.needs_gradient and storage.gradient_alloc_at == index \
-                    and storage.owner not in self.gradients:
-                self.gradients[storage.owner] = self._alloc(
-                    storage.owner, storage.nbytes, f"dY[{storage.owner}]",
-                    buffer=f"dY{storage.owner}", layer=index,
-                    towner=storage.owner,
+        for rec in step.grad_allocs:
+            if rec.owner not in gradients:
+                gradients[rec.owner] = self._alloc(
+                    rec.owner, rec.nbytes, rec.g_tag,
+                    buffer=rec.g_buf, layer=index, towner=rec.owner,
                 )
 
         workspace: Optional[Allocation] = None
-        ws_bytes = self.algos.workspace_bytes(node)
-        if ws_bytes:
-            workspace = self._alloc(index, ws_bytes, f"WS[{node.name}]",
-                                    buffer=f"WSb{index}", layer=index)
+        if step.ws_bytes:
+            workspace = self._alloc(index, step.ws_bytes, step.ws_tag,
+                                    buffer=step.ws_buf, layer=index)
 
         # Figure 10: launch (at most) one prefetch overlapped with this
-        # backward kernel.
+        # backward kernel.  Search outcomes are counted in plain ints
+        # (the return value says hit or miss) and reported to obs once
+        # per run — no per-step hook dispatch.
         prefetch_target = find_prefetch_layer(
             self.network, self.state, index,
             bounded_window=self.bounded_prefetch_window,
-            obs=self.obs,
         )
+        if prefetch_target is None:
+            self.prefetch_misses += 1
+        else:
+            self.prefetch_hits += 1
         launched_prefetch = False
         kernel_start = max(self.compute.ready_time, 0.0)
         if prefetch_target is not None:
-            for storage in self.offloaded_at.get(prefetch_target, []):
-                if self.restored.get(storage.owner):
+            for rec in self.offloaded_at.get(prefetch_target, []):
+                if self.restored.get(rec.owner):
                     continue
-                self.device[storage.owner] = self._alloc(
-                    storage.owner, storage.nbytes, f"X[{storage.owner}](pre)",
-                    buffer=f"Y{storage.owner}", layer=index,
-                    towner=storage.owner,
+                device[rec.owner] = self._alloc(
+                    rec.owner, rec.nbytes, rec.pre_tag,
+                    buffer=rec.y_buf, layer=index, towner=rec.owner,
                 )
                 transfer, attempts = self._transfer(
-                    EventKind.PREFETCH,
-                    self.network[storage.owner].name,
-                    storage.nbytes,
+                    _PREFETCH, rec.name, rec.nbytes,
                     earliest_start=kernel_start, layer_index=index,
-                    fault_kind="prefetch",
+                    fault_kind="prefetch", seconds=rec.dma_seconds,
                 )
                 if transfer is None:
                     # Prefetch abandoned: roll back the claim so the
                     # layer stays eligible (Fig. 10 retry or the demand
                     # safety net) instead of its X being silently lost.
-                    self._free(self.device.pop(storage.owner), layer=index)
+                    self._free(device.pop(rec.owner), layer=index)
                     self.state.unclaim(prefetch_target)
                     if self.obs is not None:
                         self.obs.prefetch_event("unclaimed")
                     self.faults.record(
                         "dma-prefetch", self.memory.ready_time,
-                        f"Y{storage.owner}", attempts=attempts,
-                        outcome="deferred", nbytes=storage.nbytes,
+                        rec.y_buf, attempts=attempts,
+                        outcome="deferred", nbytes=rec.nbytes,
                         detail="prefetch abandoned, claim rolled back; "
                                "will retry or demand-fetch",
                     )
                     continue
                 if attempts > 1:
                     self.faults.record(
-                        "dma-prefetch", transfer.end, f"Y{storage.owner}",
+                        "dma-prefetch", transfer[1], rec.y_buf,
                         attempts=attempts, outcome="recovered",
-                        nbytes=storage.nbytes,
+                        nbytes=rec.nbytes,
                         detail="transient DMA failure, retry succeeded",
                     )
                 if self.trace is not None:
                     self.trace.prefetch(
-                        f"Y{storage.owner}", self.memory.name,
-                        nbytes=storage.nbytes,
-                        label=f"pre[{self.network[storage.owner].name}]",
-                        layer=index, owner=storage.owner,
+                        rec.y_buf, self.memory.name,
+                        nbytes=rec.nbytes,
+                        label=f"pre[{rec.name}]",
+                        layer=index, owner=rec.owner,
                         target_layer=prefetch_target,
                         wait_stream=self.compute.name,
                         wait_pos=self.trace.position(self.compute.name),
-                        start=transfer.start, end=transfer.end,
+                        start=transfer[0], end=transfer[1],
                     )
-                self.prefetch_bytes += storage.nbytes
-                self.pinned.free(self.host_buffers.pop(storage.owner))
-                self.restored[storage.owner] = True
+                self.prefetch_bytes += rec.nbytes
+                self.pinned.free(self.host_buffers.pop(rec.owner))
+                self.restored[rec.owner] = True
                 launched_prefetch = True
 
-        timing = self.latency.backward(self.network, node, self.algos.profile(node))
-        bwd = self.compute.enqueue(
-            EventKind.BACKWARD, node.name, timing.seconds,
-            nbytes=int(timing.dram_bytes), layer_index=index,
+        bwd_start, bwd_end = self.compute.push(
+            _BACKWARD, step.name, step.seconds,
+            nbytes=step.dram_nbytes, layer_index=index,
         )
         if self.trace is not None:
-            own = self.liveness.storage_of(index)
-            reads = [f"Y{s.owner}" for s in self._required_storages(index)]
-            if own.owner in self.gradients:
-                reads.append(f"dY{own.owner}")
-            if node.weight_bytes and node.is_feature_extraction:
+            reads = [rec.y_buf for rec in step.required]
+            if step.y_owner in gradients:
+                reads.append(f"dY{step.y_owner}")
+            if step.has_weight:
                 reads.append(f"W{index}")
-            writes = [f"dY{s.owner}"
-                      for s in self.liveness.input_storages(index)
-                      if s.owner in self.gradients and s.owner != own.owner]
-            if node.weight_bytes and node.is_feature_extraction:
+            writes = [g_buf for owner, g_buf in step.grad_write_candidates
+                      if owner in gradients]
+            if step.has_weight:
                 writes.append(f"dW{index}")
             if workspace is not None:
-                writes.append(f"WSb{index}")
+                writes.append(step.ws_buf)
             self.trace.kernel(
-                node.name, self.compute.name, reads=reads, writes=writes,
-                layer=index, phase="bwd", start=bwd.start, end=bwd.end,
+                step.name, self.compute.name, reads=reads, writes=writes,
+                layer=index, phase="bwd", start=bwd_start, end=bwd_end,
             )
 
         # "Any prefetch operation launched during layer(n)'s backward
         # computation is guaranteed to be ready before layer(n-1)'s."
         if launched_prefetch:
-            self._stall(f"prefetch-sync {node.name}", index,
+            self._stall(f"prefetch-sync {step.name}", index,
                         cause="prefetch-sync")
 
-        # Release whatever this backward step finished with (Figure 8).
-        for storage in self.liveness.all_storages():
-            if storage.needed_backward and storage.backward_release_after == index:
-                allocation = self.device.pop(storage.owner, None)
-                if allocation is not None:
-                    self._free(allocation, layer=index, phase="bwd")
-            if storage.needs_gradient and storage.gradient_release_after == index:
-                allocation = self.gradients.pop(storage.owner, None)
-                if allocation is not None:
-                    self._free(allocation, layer=index, phase="bwd")
+        # Release whatever this backward step finished with (Figure 8);
+        # the plan precomputed the exact interleaved free order the
+        # per-step storage scan used to produce.
+        for owner, is_gradient in step.releases:
+            allocation = (gradients if is_gradient else device).pop(
+                owner, None)
+            if allocation is not None:
+                self._free(allocation, layer=index, phase="bwd")
 
         if workspace is not None:
             self._free(workspace, layer=index, phase="bwd")
@@ -854,9 +837,10 @@ def simulate_vdnn(
         The :class:`IterationResult`; ``trainable`` reflects whether the
         peak pool usage fits the physical GPU.
     """
+    plan = compiled_plan(network, system, algos)
     injector = make_injector(faults, fault_seed, obs=obs)
     sim = _VDNNSimulation(
-        network, system, policy, algos,
+        network, system, policy, algos, plan,
         bounded_prefetch_window=bounded_prefetch_window,
         sync_after_offload=sync_after_offload,
         verify=verify,
@@ -882,7 +866,10 @@ def simulate_vdnn(
                         sim.pool.fragmentation)
         obs.pool_peak(sim.pool.peak_bytes)
         obs.pinned_peak(sim.pinned.peak_bytes)
-        obs.run_streams(sim.timeline, sim.compute.name, sim.memory.name)
+        obs.prefetch_searches(sim.prefetch_hits, sim.prefetch_misses)
+        obs.stream_busy(sim.timeline.span,
+                        ((sim.compute.name, sim.compute.busy_seconds),
+                         (sim.memory.name, sim.memory.busy_seconds)))
         obs.span("iteration", "phase", 0.0, sim.timeline.end_time,
                  category="phase", network=network.name,
                  policy=policy.describe(), algo=algos.label)
@@ -908,7 +895,8 @@ def simulate_vdnn(
         external_bytes=sim.external_bytes,
         persistent_bytes=persistent,
         total_time=sim.timeline.span,
-        feature_extraction_time=_feature_extraction_time(network, sim.timeline),
+        feature_extraction_time=_feature_extraction_time(
+            network, sim.timeline, classifier=plan.classifier_indices),
         offload_bytes=sim.offload_bytes,
         prefetch_bytes=sim.prefetch_bytes,
         pinned_peak_bytes=sim.pinned.peak_bytes,

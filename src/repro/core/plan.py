@@ -1,0 +1,320 @@
+"""Compiled per-layer execution plans for the simulator core.
+
+Every simulated iteration used to re-derive the same facts layer by
+layer: liveness lookups (`all_storages()` scans per backward step —
+O(L²) overall), roofline kernel timings, workspace sizes, DMA
+durations, offload/release decisions and even the trace buffer names.
+None of those depend on anything that changes between runs of the same
+``(network, algo-config, hardware)`` point, so this module hoists all
+of it into a :class:`CompiledPlan` built once and cached.
+
+The plan deliberately holds **no reference to the network** (only
+per-storage records, strings and numbers).  That keeps the cache — a
+:class:`weakref.WeakKeyDictionary` keyed by the network — leak-free:
+when the last outside reference to a network dies, its plans die with
+it.  Policies are applied as an overlay: the per-layer offload
+*candidates* (refcount gate: last forward reader + needed backward)
+live in the plan, and :meth:`CompiledPlan.offload_indices` resolves a
+:class:`~repro.core.policy.TransferPolicy` to the set of trigger layers
+that actually offload, cached per policy.
+
+:class:`AlgoConfig` is mutable (``downgrade`` swaps algorithms in
+place), so plans are keyed by a content signature of its profiles, not
+by identity.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..graph.layer import LayerKind
+from ..graph.network import Network
+from ..hw.config import SystemConfig
+from ..kernels.latency import LatencyModel
+from .algo_config import AlgoConfig
+from .liveness import LivenessAnalysis, StorageInfo
+from .policy import TransferPolicy
+
+
+class StorageRecord:
+    """One feature-map storage with every derived fact the executor
+    needs precomputed: liveness, DMA duration on this link, and the
+    tag/buffer strings the allocator and schedule trace use."""
+
+    __slots__ = ("info", "owner", "nbytes", "name", "y_buf", "g_buf",
+                 "g_tag", "host_tag", "pre_tag", "demand_tag",
+                 "dma_seconds")
+
+    def __init__(self, info: StorageInfo, name: str, dma_seconds: float):
+        self.info = info
+        self.owner = info.owner
+        self.nbytes = info.nbytes
+        self.name = name
+        self.y_buf = f"Y{info.owner}"
+        self.g_buf = f"dY{info.owner}"
+        self.g_tag = f"dY[{info.owner}]"
+        self.host_tag = f"host[{info.owner}]"
+        self.pre_tag = f"X[{info.owner}](pre)"
+        self.demand_tag = f"X[{info.owner}](demand)"
+        self.dma_seconds = dma_seconds
+
+
+class ForwardStep:
+    """Everything one forward layer does, decided ahead of time."""
+
+    __slots__ = ("index", "name", "is_input", "alloc_rec", "y_tag",
+                 "y_owner", "ws_bytes", "ws_tag", "ws_buf", "seconds",
+                 "dram_nbytes", "offload_candidates", "dead_releases",
+                 "trace_reads", "trace_writes")
+
+    def __init__(self, index: int, name: str):
+        self.index = index
+        self.name = name
+        self.is_input = False
+        self.alloc_rec: Optional[StorageRecord] = None
+        self.y_tag = ""
+        self.y_owner = -1
+        self.ws_bytes = 0
+        self.ws_tag = ""
+        self.ws_buf = ""
+        self.seconds = 0.0
+        self.dram_nbytes = 0
+        self.offload_candidates: Tuple[StorageRecord, ...] = ()
+        self.dead_releases: Tuple[StorageRecord, ...] = ()
+        self.trace_reads: Tuple[str, ...] = ()
+        self.trace_writes: Tuple[str, ...] = ()
+
+
+class BackwardStep:
+    """Everything one backward layer does, decided ahead of time.
+
+    ``releases`` is the interleaved (owner, is_gradient) free order the
+    refcount walk used to produce by scanning ``all_storages()`` per
+    step — precomputing it removes the O(L²) scans while preserving the
+    exact pool free order (free order shapes the pool's hole structure,
+    hence later offsets)."""
+
+    __slots__ = ("index", "name", "required", "grad_allocs", "ws_bytes",
+                 "ws_tag", "ws_buf", "seconds", "dram_nbytes", "releases",
+                 "y_owner", "has_weight", "grad_write_candidates")
+
+    def __init__(self, index: int, name: str):
+        self.index = index
+        self.name = name
+        self.required: Tuple[StorageRecord, ...] = ()
+        self.grad_allocs: Tuple[StorageRecord, ...] = ()
+        self.ws_bytes = 0
+        self.ws_tag = ""
+        self.ws_buf = ""
+        self.seconds = 0.0
+        self.dram_nbytes = 0
+        self.releases: Tuple[Tuple[int, bool], ...] = ()
+        self.y_owner = -1
+        self.has_weight = False
+        self.grad_write_candidates: Tuple[Tuple[int, str], ...] = ()
+
+
+class PersistentAlloc:
+    """One feature-extraction layer's weight + weight-gradient blocks."""
+
+    __slots__ = ("index", "nbytes", "w_tag", "dw_tag", "w_buf", "dw_buf")
+
+    def __init__(self, index: int, nbytes: int, name: str):
+        self.index = index
+        self.nbytes = nbytes
+        self.w_tag = f"W[{name}]"
+        self.dw_tag = f"dW[{name}]"
+        self.w_buf = f"W{index}"
+        self.dw_buf = f"dW{index}"
+
+
+class CompiledPlan:
+    """Per-(network, algos, gpu, pcie) execution plan.
+
+    Policy-independent: offload *candidates* are per forward step, and
+    the per-policy trigger set comes from :meth:`offload_indices`.
+    """
+
+    __slots__ = ("network_name", "forward", "backward", "persistent",
+                 "external_bytes", "persistent_bytes", "classifier_indices",
+                 "records", "baseline_breakdown", "_offload_sets")
+
+    def __init__(self, network: Network, system: SystemConfig,
+                 algos: AlgoConfig):
+        latency = LatencyModel(system.gpu)
+        liveness = LivenessAnalysis(network)
+        pcie = system.pcie
+
+        self.network_name = network.name
+        self.records: Dict[int, StorageRecord] = {
+            info.owner: StorageRecord(info, network[info.owner].name,
+                                      pcie.dma_time(info.nbytes))
+            for info in liveness.all_storages()
+        }
+        records = self.records
+
+        # -- persistent weights ----------------------------------------
+        persistent: List[PersistentAlloc] = []
+        external = 0
+        total = 0
+        for node in network:
+            if not node.weight_bytes:
+                continue
+            if node.is_feature_extraction:
+                persistent.append(PersistentAlloc(
+                    node.index, node.weight_bytes, node.name))
+            else:
+                external += 2 * node.weight_bytes
+            total += 2 * node.weight_bytes
+        self.persistent = tuple(persistent)
+        self.external_bytes = external
+        self.persistent_bytes = total
+        self.classifier_indices = frozenset(
+            n.index for n in network.classifier_nodes)
+
+        # -- forward steps ---------------------------------------------
+        forward: List[ForwardStep] = []
+        for index in network.forward_schedule():
+            node = network[index]
+            step = ForwardStep(index, node.name)
+            own = liveness.storage_of(index)
+            step.y_owner = own.owner
+            if not node.in_place:
+                step.alloc_rec = records[own.owner]
+                step.y_tag = f"Y[{node.name}]"
+            if node.kind is LayerKind.INPUT:
+                step.is_input = True
+                forward.append(step)
+                continue
+            step.ws_bytes = algos.workspace_bytes(node)
+            if step.ws_bytes:
+                step.ws_tag = f"WS[{node.name}]"
+                step.ws_buf = f"WSf{index}"
+            timing = latency.forward(network, node, algos.profile(node))
+            step.seconds = timing.seconds
+            step.dram_nbytes = int(timing.dram_bytes)
+
+            inputs = liveness.input_storages(index)
+            step.offload_candidates = tuple(
+                records[s.owner] for s in inputs
+                if s.forward_release_at == index and s.needed_backward)
+            step.dead_releases = tuple(
+                records[s.owner] for s in inputs
+                if s.forward_release_at == index and not s.needed_backward)
+
+            reads = [records[s.owner].y_buf for s in inputs]
+            if node.weight_bytes and node.is_feature_extraction:
+                reads.append(f"W{index}")
+            writes = [records[own.owner].y_buf]
+            if step.ws_bytes:
+                writes.append(step.ws_buf)
+            step.trace_reads = tuple(reads)
+            step.trace_writes = tuple(writes)
+            forward.append(step)
+        self.forward = tuple(forward)
+
+        # -- backward steps --------------------------------------------
+        all_storages = liveness.all_storages()
+        backward: List[BackwardStep] = []
+        for index in network.backward_schedule():
+            node = network[index]
+            step = BackwardStep(index, node.name)
+            own = liveness.storage_of(index)
+            step.y_owner = own.owner
+            step.has_weight = bool(
+                node.weight_bytes and node.is_feature_extraction)
+
+            required: Dict[int, StorageInfo] = {}
+            if node.layer.backward_needs_x:
+                for storage in liveness.input_storages(index):
+                    required[storage.owner] = storage
+            if node.layer.backward_needs_y:
+                required[own.owner] = own
+            step.required = tuple(records[o] for o in required)
+
+            step.grad_allocs = tuple(
+                records[s.owner] for s in all_storages
+                if s.needs_gradient and s.gradient_alloc_at == index)
+
+            step.ws_bytes = algos.workspace_bytes(node)
+            if step.ws_bytes:
+                step.ws_tag = f"WS[{node.name}]"
+                step.ws_buf = f"WSb{index}"
+            timing = latency.backward(network, node, algos.profile(node))
+            step.seconds = timing.seconds
+            step.dram_nbytes = int(timing.dram_bytes)
+
+            releases: List[Tuple[int, bool]] = []
+            for storage in all_storages:
+                if storage.needed_backward \
+                        and storage.backward_release_after == index:
+                    releases.append((storage.owner, False))
+                if storage.needs_gradient \
+                        and storage.gradient_release_after == index:
+                    releases.append((storage.owner, True))
+            step.releases = tuple(releases)
+
+            step.grad_write_candidates = tuple(
+                (s.owner, records[s.owner].g_buf)
+                for s in liveness.input_storages(index)
+                if s.owner != own.owner)
+            backward.append(step)
+        self.backward = tuple(backward)
+
+        # -- baseline breakdown (policy-independent) -------------------
+        weights = network.total_weight_bytes()
+        feature_maps = liveness.total_feature_map_bytes()
+        gradient_maps = 2 * liveness.max_gradient_bytes()
+        workspace = algos.max_workspace_bytes()
+        self.baseline_breakdown = {
+            "weights": weights,
+            "weight_gradients": weights,
+            "feature_maps": feature_maps,
+            "gradient_maps": gradient_maps,
+            "workspace": workspace,
+            "total": weights * 2 + feature_maps + gradient_maps + workspace,
+        }
+
+        self._offload_sets: Dict[TransferPolicy, FrozenSet[int]] = {}
+
+    def offload_indices(self, policy: TransferPolicy,
+                        network: Network) -> FrozenSet[int]:
+        """Trigger layers whose offload candidates this policy offloads."""
+        cached = self._offload_sets.get(policy)
+        if cached is None:
+            cached = frozenset(
+                step.index for step in self.forward
+                if step.offload_candidates
+                and policy.wants_offload(network[step.index]))
+            self._offload_sets[policy] = cached
+        return cached
+
+
+def _algo_signature(algos: AlgoConfig) -> tuple:
+    """Content signature of a (mutable) AlgoConfig's profiles."""
+    return tuple(sorted(
+        (index, profile.algo, profile.workspace_bytes,
+         profile.time_multiplier)
+        for index, profile in algos.profiles.items()))
+
+
+#: network -> {(gpu, pcie, algo signature) -> CompiledPlan}.  Plans hold
+#: no network reference, so entries die with their network.
+_PLANS: "weakref.WeakKeyDictionary[Network, Dict[tuple, CompiledPlan]]" = \
+    weakref.WeakKeyDictionary()
+
+
+def compiled_plan(network: Network, system: SystemConfig,
+                  algos: AlgoConfig) -> CompiledPlan:
+    """The cached plan for this (network, hardware, algo-config) point."""
+    key = (system.gpu, system.pcie, _algo_signature(algos))
+    table = _PLANS.get(network)
+    if table is None:
+        table = {}
+        _PLANS[network] = table
+    plan = table.get(key)
+    if plan is None:
+        plan = CompiledPlan(network, system, algos)
+        table[key] = plan
+    return plan

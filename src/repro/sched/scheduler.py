@@ -28,6 +28,7 @@ throughput, memory high-water, PCIe traffic).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
@@ -421,18 +422,22 @@ class GPUScheduler:
         self.usage.record(clock, self.pool.live_bytes)
         self.budget_timeline = [(clock, self.budget_bytes)]
 
-        # Timed faults, soonest first.
-        fault_queue: List[Tuple[float, str, object]] = []
+        # Timed faults as a min-heap on (time, seq): seq preserves the
+        # old stable-sort order (shrinks before evictions at equal
+        # timestamps) while replacing the sorted list's O(n) pop(0)
+        # drain with O(log n) heappops.
+        fault_queue: List[Tuple[float, int, str, object]] = []
         if self.faults is not None:
-            fault_queue += [(t, "shrink", f)
-                            for t, f in self.faults.budget_shrinks]
-            fault_queue += [(t, "evict", n) for t, n in self.faults.evictions]
-            fault_queue.sort(key=lambda item: item[0])
+            events = [(t, "shrink", f) for t, f in self.faults.budget_shrinks]
+            events += [(t, "evict", n) for t, n in self.faults.evictions]
+            fault_queue = [(t, seq, kind, payload)
+                           for seq, (t, kind, payload) in enumerate(events)]
+            heapq.heapify(fault_queue)
 
         last_snapshot = None
         while pending or resident or fault_queue:
             while fault_queue and fault_queue[0][0] <= clock:
-                _time, kind, payload = fault_queue.pop(0)
+                _time, _seq, kind, payload = heapq.heappop(fault_queue)
                 if kind == "shrink":
                     self._apply_shrink(payload, clock, pending, resident)
                 else:
@@ -454,16 +459,16 @@ class GPUScheduler:
             last_snapshot = snapshot
 
             self._try_admit(clock, pending, resident)
-            arrivals = sorted(
-                r.job.submit_time for r in pending
-                if r.job.submit_time > clock
+            next_arrival = min(
+                (r.job.submit_time for r in pending
+                 if r.job.submit_time > clock),
+                default=None,
             )
             next_fault = fault_queue[0][0] if fault_queue else None
 
             if not resident:
-                next_times = [t for t in (
-                    arrivals[0] if arrivals else None, next_fault,
-                ) if t is not None]
+                next_times = [t for t in (next_arrival, next_fault)
+                              if t is not None]
                 if next_times:
                     clock = max(clock, min(next_times))
                     continue
@@ -490,8 +495,8 @@ class GPUScheduler:
                 for r, iter_seconds in zip(resident, rates)
             ]
             horizon = min(finish_times)
-            if arrivals:
-                horizon = min(horizon, arrivals[0])
+            if next_arrival is not None:
+                horizon = min(horizon, next_arrival)
             if next_fault is not None:
                 horizon = min(horizon, next_fault)
 

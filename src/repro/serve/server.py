@@ -31,7 +31,7 @@ guard (the scheduler's idiom) so a logic bug surfaces as a loud
 
 from __future__ import annotations
 
-import bisect
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -179,6 +179,70 @@ def _queue_key(request: Request) -> Tuple[int, float, int]:
     return (-request.priority, request.time, request.rid)
 
 
+class _PendingQueue:
+    """The pending-request queue as a pair of heaps over one live set.
+
+    The old implementation kept a sorted list (``bisect.insort`` is
+    O(n) per admit, and shed displacement popped from the far end).
+    Here a min-heap yields the service order and a max-heap (the same
+    keys negated) yields the worst-ranked request for displacement;
+    whichever heap a request leaves through, its rid is removed from
+    the live set and the stale twin entry is discarded lazily on the
+    next peek.
+
+    Every heap entry is ``(key, seq, request)`` with ``seq`` a monotone
+    admission counter as an explicit tie-breaker.  ``_queue_key`` is
+    already a total order (rid is unique), so heap order is *identical*
+    to the sorted-list order — the seq exists so that comparisons can
+    never fall through to the (uncomparable) Request object, by
+    construction rather than by reliance on rid uniqueness.
+    """
+
+    __slots__ = ("_best", "_worst", "_live", "_seq")
+
+    def __init__(self) -> None:
+        self._best: List[tuple] = []
+        self._worst: List[tuple] = []
+        self._live: set = set()
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def push(self, request: Request) -> None:
+        priority, time, rid = _queue_key(request)
+        seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._best, ((priority, time, rid), seq, request))
+        heapq.heappush(self._worst, ((-priority, -time, -rid), seq, request))
+        self._live.add(request.rid)
+
+    def worst(self) -> Optional[Request]:
+        """The request shed displacement would evict (None when empty)."""
+        heap = self._worst
+        while heap and heap[0][2].rid not in self._live:
+            heapq.heappop(heap)
+        return heap[0][2] if heap else None
+
+    def pop_worst(self) -> Request:
+        request = self.worst()
+        if request is None:
+            raise IndexError("pop_worst from an empty queue")
+        heapq.heappop(self._worst)
+        self._live.remove(request.rid)
+        return request
+
+    def pop_best(self) -> Request:
+        heap = self._best
+        while heap and heap[0][2].rid not in self._live:
+            heapq.heappop(heap)
+        if not heap:
+            raise IndexError("pop_best from an empty queue")
+        request = heapq.heappop(heap)[2]
+        self._live.remove(request.rid)
+        return request
+
+
 class _ModelState:
     """Mutable per-model serving state."""
 
@@ -301,7 +365,7 @@ def simulate_serving(
     pool = PoolAllocator(config.budget_bytes)
     timeline = Timeline()
     records: List[RequestRecord] = []
-    pending: List[Request] = []
+    pending = _PendingQueue()
     shrink_events = sorted(config.faults.budget_shrinks)
     evict_events = sorted(config.faults.evictions)
     cold_starts = 0
@@ -429,14 +493,14 @@ def simulate_serving(
             obs.serve_request(request.model, "rejected")
             return
         if (len(pending) >= config.shed_depth
-                and request.priority > pending[-1].priority):
-            worst = pending.pop()
+                and request.priority > pending.worst().priority):
+            worst = pending.pop_worst()
             records.append(RequestRecord(
                 rid=worst.rid, model=worst.model,
                 priority=worst.priority, arrival=worst.time,
                 outcome="shed"))
             obs.serve_request(worst.model, "shed")
-        bisect.insort(pending, request, key=_queue_key)
+        pending.push(request)
         obs.serve_queue_depth(len(pending))
 
     # -- the event loop ------------------------------------------------
@@ -463,7 +527,7 @@ def simulate_serving(
         if len(pending) >= config.shrink_depth:
             shrink_ladder()
 
-        request = pending.pop(0)
+        request = pending.pop_best()
         state = states[request.model]
         plan = state.plan
         lane = MODEL_STREAM_PREFIX + request.model
@@ -532,7 +596,7 @@ def simulate_serving(
 
     apply_timed_faults(float("inf"))
     obs.pool_peak(pool.peak_bytes)
-    makespan = timeline.span if timeline.events else 0.0
+    makespan = timeline.span if len(timeline) else 0.0
     obs.sched_makespan(makespan)
     records.sort(key=lambda r: r.rid)
     return ServeResult(

@@ -65,12 +65,19 @@ class PowerReport:
 def analyze_power(
     timeline: Timeline, gpu: GPUSpec, model: PowerModel = PowerModel()
 ) -> PowerReport:
-    """Integrate the power model over a timeline's activity intervals."""
-    events = timeline.events
-    if not events:
+    """Integrate the power model over a timeline's activity intervals.
+
+    Single pass: the boundary instants come precomputed (and cached)
+    from the timeline, and because each simulated stream executes in
+    order, its events never overlap — so instead of rescanning every
+    event per interval, two monotone cursors sweep the compute and
+    transfer event lists alongside the ascending interval midpoints.
+    """
+    if not len(timeline):
         return PowerReport(model.idle_watts, model.idle_watts, 0.0, 0.0)
 
-    boundaries = sorted({e.start for e in events} | {e.end for e in events})
+    boundaries = timeline.boundaries()
+    events = timeline.events
     compute_events = [
         e for e in events
         if e.stream == COMPUTE_STREAM and e.kind is not EventKind.STALL
@@ -84,23 +91,29 @@ def analyze_power(
     energy = 0.0
     max_power = model.idle_watts
     total = boundaries[-1] - boundaries[0]
+    ci, ti = 0, 0
+    n_compute, n_transfer = len(compute_events), len(transfer_events)
     for lo, hi in zip(boundaries, boundaries[1:]):
         if hi <= lo:
             continue
         mid = (lo + hi) / 2.0
-        active_kernel = next(
-            (e for e in compute_events if e.start <= mid < e.end), None
-        )
+        while ci < n_compute and compute_events[ci].end <= mid:
+            ci += 1
+        active_kernel = None
+        if ci < n_compute and compute_events[ci].start <= mid:
+            active_kernel = compute_events[ci]
         computing = active_kernel is not None
         dram_bw = 0.0
         if active_kernel is not None and active_kernel.duration > 0:
             dram_bw = active_kernel.nbytes / active_kernel.duration
-        transferring = any(e.start <= mid < e.end for e in transfer_events)
+        while ti < n_transfer and transfer_events[ti].end <= mid:
+            ti += 1
+        transferring = ti < n_transfer and transfer_events[ti].start <= mid
         if transferring:
             # Offload/prefetch DMA also reads/writes device DRAM.
-            for e in transfer_events:
-                if e.start <= mid < e.end and e.duration > 0:
-                    dram_bw += e.nbytes / e.duration
+            transfer = transfer_events[ti]
+            if transfer.duration > 0:
+                dram_bw += transfer.nbytes / transfer.duration
         power = model.instantaneous(computing, dram_bw / gpu.dram_bandwidth, transferring)
         energy += power * (hi - lo)
         max_power = max(max_power, power)

@@ -19,6 +19,11 @@ from .timeline import EventKind, Timeline, TimelineEvent
 COMPUTE_STREAM = "stream_compute"
 MEMORY_STREAM = "stream_memory"
 
+#: STALL never goes through :meth:`SimStream.push` (it is recorded
+#: directly on the timeline), so RETRY is the only pushed kind the
+#: busy-time definition excludes.
+_RETRY = EventKind.RETRY
+
 
 @dataclass
 class SimStream:
@@ -27,6 +32,15 @@ class SimStream:
     name: str
     timeline: Timeline
     ready_time: float = 0.0
+    #: Running occupancy total, maintained incrementally so observers
+    #: never need an O(events) sweep.  Matches
+    #: :meth:`~repro.sim.timeline.Timeline.busy_times` bit for bit: the
+    #: summed term is ``end - start`` (NOT ``duration`` — with FP
+    #: rounding ``(start + d) - start`` can differ from ``d``), terms
+    #: accumulate in push order (= the merge's sorted order, since an
+    #: in-order stream's starts are non-decreasing and its events never
+    #: overlap), and RETRY backoff idling is excluded just as the merge
+    #: excludes it.
     busy_seconds: float = field(default=0.0)
 
     def enqueue(
@@ -40,16 +54,37 @@ class SimStream:
     ) -> TimelineEvent:
         """Append one operation; it starts when the stream *and* its
         dependencies are ready, and runs for ``duration`` seconds."""
+        start, end = self.push(kind, label, duration, earliest_start,
+                               nbytes, layer_index)
+        return TimelineEvent(self.name, kind, label, start, end,
+                             nbytes, layer_index)
+
+    def push(
+        self,
+        kind: EventKind,
+        label: str,
+        duration: float,
+        earliest_start: float = 0.0,
+        nbytes: int = 0,
+        layer_index: int = -1,
+    ) -> tuple:
+        """:meth:`enqueue` without the event-object construction.
+
+        The simulator hot loop only ever needs the operation's placement
+        in time, so this returns the bare ``(start, end)`` pair and lets
+        the slot-based timeline store the rest.
+        """
         if duration < 0:
             raise ValueError(f"negative duration for {label!r}")
         start = max(self.ready_time, earliest_start)
         end = start + duration
-        event = self.timeline.record(
-            self.name, kind, label, start, end, nbytes=nbytes, layer_index=layer_index
+        self.timeline.append(
+            self.name, kind, label, start, end, nbytes, layer_index
         )
         self.ready_time = end
-        self.busy_seconds += duration
-        return event
+        if kind is not _RETRY:
+            self.busy_seconds += end - start
+        return start, end
 
     def wait_for(self, other: "SimStream") -> float:
         """cudaStreamSynchronize-style join: this stream's next operation

@@ -1,10 +1,21 @@
 """Execution timeline: the record of what ran when, on which stream.
 
-The executor emits one :class:`TimelineEvent` per kernel or DMA transfer.
-The timeline is the ground truth for every time-derived result: iteration
-latency (Figure 14), reuse distances (Figure 6), overlap visualization
+The executor emits one event per kernel or DMA transfer.  The timeline
+is the ground truth for every time-derived result: iteration latency
+(Figure 14), reuse distances (Figure 6), overlap visualization
 (Figure 9), DRAM-bandwidth accounting (Figure 13) and the power model
 (Section V-D).
+
+Storage is **slot-based**: events live in append-only parallel arrays
+(one python list per field), not one object per event — the hot
+simulation loop appends seven scalars instead of constructing a frozen
+dataclass.  :class:`TimelineEvent` survives as the *view* type: the
+:attr:`Timeline.events` property materialises (and caches) the familiar
+event objects for analysis-time consumers, so everything downstream of
+the simulator keeps its API while the simulator itself stops paying for
+it.  Derived facts that analysis passes need repeatedly — the sorted
+start/end boundary set, the stream-name set — are computed in one pass
+over the arrays and cached until the next append.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ class EventKind(enum.Enum):
 
 @dataclass(frozen=True)
 class TimelineEvent:
-    """One interval of activity on one stream."""
+    """One interval of activity on one stream (a view over the slots)."""
 
     stream: str
     kind: EventKind
@@ -59,23 +70,63 @@ class EmptyTimelineError(ValueError):
         )
 
 
+_SLOTS = ("_stream", "_kind", "_label", "_start", "_end", "_nbytes",
+          "_layer", "_t0", "_t1")
+
+
 class Timeline:
-    """Append-only event log with simple analytics.
+    """Append-only slot-array event log with simple analytics.
 
     Time bounds (``t0``/``t1``) are tracked incrementally on append, so
     ``span``/``end_time``/``render_ascii`` never rescan the whole log.
     Timelines compare equal when they hold equal event sequences.
     """
 
+    __slots__ = _SLOTS + ("_view", "_bounds", "_streams")
+
     def __init__(self) -> None:
-        self._events: List[TimelineEvent] = []
+        self._stream: List[str] = []
+        self._kind: List[EventKind] = []
+        self._label: List[str] = []
+        self._start: List[float] = []
+        self._end: List[float] = []
+        self._nbytes: List[int] = []
+        self._layer: List[int] = []
         self._t0: Optional[float] = None
         self._t1: Optional[float] = None
+        # Caches derived from the arrays; invalidated by every append.
+        self._view: Optional[List[TimelineEvent]] = None
+        self._bounds: Optional[List[float]] = None
+        self._streams: Optional[List[str]] = None
 
-    def add(self, event: TimelineEvent) -> TimelineEvent:
-        self._events.append(event)
-        self._extend_bounds(event)
-        return self
+    # -- appending ------------------------------------------------------
+    def append(
+        self,
+        stream: str,
+        kind: EventKind,
+        label: str,
+        start: float,
+        end: float,
+        nbytes: int = 0,
+        layer_index: int = -1,
+    ) -> None:
+        """Hot-path append: seven scalar pushes, no event object."""
+        if end < start:
+            raise ValueError(f"event {label!r} ends before it starts")
+        self._stream.append(stream)
+        self._kind.append(kind)
+        self._label.append(label)
+        self._start.append(start)
+        self._end.append(end)
+        self._nbytes.append(nbytes)
+        self._layer.append(layer_index)
+        if self._t0 is None or start < self._t0:
+            self._t0 = start
+        if self._t1 is None or end > self._t1:
+            self._t1 = end
+        self._view = None
+        self._bounds = None
+        self._streams = None
 
     def record(
         self,
@@ -87,28 +138,59 @@ class Timeline:
         nbytes: int = 0,
         layer_index: int = -1,
     ) -> TimelineEvent:
-        event = TimelineEvent(stream, kind, label, start, end, nbytes, layer_index)
-        self._events.append(event)
-        self._extend_bounds(event)
-        return event
+        """Append and return the event view (compat API)."""
+        self.append(stream, kind, label, start, end, nbytes, layer_index)
+        return TimelineEvent(stream, kind, label, start, end, nbytes,
+                             layer_index)
 
-    def _extend_bounds(self, event: TimelineEvent) -> None:
-        if self._t0 is None or event.start < self._t0:
-            self._t0 = event.start
-        if self._t1 is None or event.end > self._t1:
-            self._t1 = event.end
+    def add(self, event: TimelineEvent) -> "Timeline":
+        self.append(event.stream, event.kind, event.label, event.start,
+                    event.end, event.nbytes, event.layer_index)
+        return self
 
+    # -- identity -------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Timeline):
             return NotImplemented
-        return self._events == other._events
+        # Bit-identity is the contract here, not approximation: two
+        # timelines are equal iff they hold identical event sequences.
+        return (self._stream == other._stream
+                and self._kind == other._kind
+                and self._label == other._label
+                and self._start == other._start
+                and self._end == other._end
+                and self._nbytes == other._nbytes  # repro: allow(LINT204)
+                and self._layer == other._layer)
 
     __hash__ = None  # mutable container; value-equal, not hashable
+
+    def __len__(self) -> int:
+        return len(self._start)
+
+    def __getstate__(self) -> dict:
+        # Pickle the arrays only — the caches are derivable and would
+        # bloat every cached IterationResult with view objects.
+        return {name: getattr(self, name) for name in _SLOTS}
+
+    def __setstate__(self, state: dict) -> None:
+        for name in _SLOTS:
+            setattr(self, name, state[name])
+        self._view = None
+        self._bounds = None
+        self._streams = None
 
     # ------------------------------------------------------------------
     @property
     def events(self) -> List[TimelineEvent]:
-        return list(self._events)
+        """Materialised event views (cached until the next append)."""
+        if self._view is None:
+            self._view = [
+                TimelineEvent(*fields)
+                for fields in zip(self._stream, self._kind, self._label,
+                                  self._start, self._end, self._nbytes,
+                                  self._layer)
+            ]
+        return list(self._view)
 
     @property
     def t0(self) -> float:
@@ -136,13 +218,48 @@ class Timeline:
         return self._t1 if self._t1 is not None else 0.0
 
     def of_kind(self, *kinds: EventKind) -> List[TimelineEvent]:
-        return [e for e in self._events if e.kind in kinds]
+        return [e for e in self.events if e.kind in kinds]
 
     def on_stream(self, stream: str) -> List[TimelineEvent]:
-        return [e for e in self._events if e.stream == stream]
+        return [e for e in self.events if e.stream == stream]
 
     def for_layer(self, layer_index: int) -> List[TimelineEvent]:
-        return [e for e in self._events if e.layer_index == layer_index]
+        return [e for e in self.events if e.layer_index == layer_index]
+
+    def streams(self) -> List[str]:
+        """Sorted distinct stream names, one pass, cached."""
+        if self._streams is None:
+            self._streams = sorted(set(self._stream))
+        return list(self._streams)
+
+    def boundaries(self) -> List[float]:
+        """Sorted distinct event start/end instants, one pass, cached.
+
+        The power model (and any other sweep over activity intervals)
+        consumes this instead of rebuilding ``sorted({starts}|{ends})``
+        per call.
+        """
+        if self._bounds is None:
+            self._bounds = sorted(set(self._start).union(self._end))
+        return list(self._bounds)
+
+    def layer_window(self, layer_indices) -> Optional[Tuple[float, float]]:
+        """(earliest start, latest end) over events of the given layers.
+
+        One pass over the arrays, no view materialisation; ``None`` when
+        no event belongs to any of the layers.
+        """
+        lo: Optional[float] = None
+        hi: Optional[float] = None
+        for layer, start, end in zip(self._layer, self._start, self._end):
+            if layer in layer_indices:
+                if lo is None or start < lo:
+                    lo = start
+                if hi is None or end > hi:
+                    hi = end
+        if lo is None or hi is None:
+            return None
+        return lo, hi
 
     def busy_time(self, stream: str) -> float:
         """Union length of the stream's productive intervals.
@@ -156,12 +273,13 @@ class Timeline:
         """:meth:`busy_time` for several streams in one pass over the log."""
         per_stream: Dict[str, List[Tuple[float, float]]] = {
             s: [] for s in streams}
-        for e in self._events:
-            bucket = per_stream.get(e.stream)
-            if bucket is not None \
-                    and e.kind is not EventKind.STALL \
-                    and e.kind is not EventKind.RETRY:
-                bucket.append((e.start, e.end))
+        stall, retry = EventKind.STALL, EventKind.RETRY
+        for name, kind, start, end in zip(self._stream, self._kind,
+                                          self._start, self._end):
+            bucket = per_stream.get(name)
+            if bucket is not None and kind is not stall \
+                    and kind is not retry:
+                bucket.append((start, end))
         out: Dict[str, float] = {}
         for stream, intervals in per_stream.items():
             intervals.sort()
@@ -176,17 +294,18 @@ class Timeline:
 
     def transferred_bytes(self, *kinds: EventKind) -> int:
         kinds = kinds or (EventKind.OFFLOAD, EventKind.PREFETCH)
-        return sum(e.nbytes for e in self._events if e.kind in kinds)
+        return sum(n for n, k in zip(self._nbytes, self._kind)
+                   if k in kinds)
 
     # ------------------------------------------------------------------
     def render_ascii(self, width: int = 100, streams: Optional[Iterable[str]] = None) -> str:
         """Render a Figure-9 style two-row timeline as ASCII art."""
-        if not self._events:
+        if not self._start:
             return "(empty timeline)"
         t0, t1 = self.t0, self.t1
         scale = (width - 1) / (t1 - t0) if t1 > t0 else 0.0
 
-        names = list(streams) if streams else sorted({e.stream for e in self._events})
+        names = list(streams) if streams else self.streams()
         rows = []
         for name in names:
             row = [" "] * width

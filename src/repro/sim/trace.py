@@ -74,7 +74,7 @@ def timeline_to_trace_events(
     the span lanes — phases and job lifecycles lined up on the same
     time axis as the stream rows.
     """
-    streams = sorted({e.stream for e in timeline.events})
+    streams = timeline.streams()
     plain = [s for s in streams if lane_name(s) is None]
     jobs = [s for s in streams if lane_name(s) is not None]
 

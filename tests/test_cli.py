@@ -208,6 +208,7 @@ class TestSmokeEverySubcommand:
         ["serve", "--arrivals", "poisson:rate=50,seed=1",
          "--models", "googlenet,alexnet", "--requests", "20",
          "--budget", "1GiB"],
+        ["profile", "--top", "5", "networks"],
     ], ids=lambda argv: argv[0])
     def test_subcommand_smoke(self, argv, capsys):
         assert main(argv) == 0
@@ -220,6 +221,33 @@ class TestSmokeEverySubcommand:
         smoked = {
             "networks", "evaluate", "sweep", "capacity", "plan",
             "figures", "train-demo", "schedule", "verify", "faults",
-            "metrics", "serve",
+            "metrics", "serve", "profile",
         }
         assert smoked == set(_COMMANDS)
+
+
+class TestProfile:
+    def test_wraps_nested_command(self, capsys):
+        assert main(["profile", "--top", "20", "evaluate", "alexnet",
+                     "--batch", "8", "--policy", "all"]) == 0
+        out = capsys.readouterr().out
+        # Nested command's own report, then the hotspot table.
+        assert "iteration time" in out
+        assert "Ordered by: cumulative time" in out
+        assert "_cmd_evaluate" in out
+
+    def test_nested_exit_status_propagates(self, capsys):
+        status = main(["profile", "evaluate", "vgg416", "--policy",
+                       "base"])  # very-deep VGG is untrainable baseline
+        assert status != 0
+
+    def test_requires_nested_command(self, capsys):
+        assert main(["profile"]) == 2
+
+    def test_cannot_profile_itself(self, capsys):
+        assert main(["profile", "profile", "networks"]) == 2
+
+    def test_double_dash_separator(self, capsys):
+        assert main(["profile", "--sort", "tottime", "--",
+                     "networks"]) == 0
+        assert "Ordered by: internal time" in capsys.readouterr().out

@@ -144,6 +144,88 @@ def test_sanitizer_clean_on_instrumented_schedule():
 
 
 # ----------------------------------------------------------------------
+# The compiled-plan fast path: warm plan-cache runs stay bit-neutral
+# ----------------------------------------------------------------------
+# ``compiled_plan`` memoizes per-(network, system, algos) plans in a
+# weak-keyed cache, so the second simulation of one network object
+# takes the warm fast path (no liveness/latency rebuild).  verify=True
+# and Instrumentation must perturb nothing on that path either — the
+# debug hooks read plan fields instead of recomputing them, and these
+# tests pin that a warm instrumented/traced run is event-for-event
+# identical to a cold plain one.
+def _warm_plan_case():
+    from repro.core.algo_config import AlgoConfig
+    from repro.core.executor import simulate_vdnn
+    from repro.core.plan import compiled_plan
+    from repro.core.policy import TransferPolicy
+    from repro.hw import PAPER_SYSTEM
+
+    network = build("googlenet", 64)
+    algos = AlgoConfig.memory_optimal(network)
+    policy = TransferPolicy.vdnn_all()
+    cold = simulate_vdnn(network, PAPER_SYSTEM, policy, algos)
+    # Same object out of the cache == the fast path is actually taken.
+    plan = compiled_plan(network, PAPER_SYSTEM, algos)
+    assert compiled_plan(network, PAPER_SYSTEM, algos) is plan
+    return network, PAPER_SYSTEM, policy, algos, cold
+
+
+def test_warm_plan_instrumented_bit_neutral():
+    from repro.core.executor import simulate_vdnn
+
+    network, system, policy, algos, cold = _warm_plan_case()
+    obs = Instrumentation()
+    warm = simulate_vdnn(network, system, policy, algos, obs=obs)
+    _assert_results_identical(cold, warm)
+    assert len(obs.registry) > 0
+
+
+def _assert_traced_matches(plain, traced):
+    """Traced == plain, modulo the documented SYNC debug markers.
+
+    ``verify=True`` adds zero-duration SYNC events to the timeline (the
+    ordering edges the sanitizer checks) — by design, in the legacy
+    core too.  Everything *simulated* must still match bit for bit:
+    every non-SYNC event, the usage curve, and all summary quantities.
+    """
+    from repro.sim.timeline import EventKind
+
+    real = [e for e in traced.timeline.events
+            if e.kind is not EventKind.SYNC]
+    assert real == plain.timeline.events
+    assert traced.usage.curve() == plain.usage.curve()
+    for attr in ("trainable", "managed_max_bytes", "managed_avg_bytes",
+                 "external_bytes", "persistent_bytes", "total_time",
+                 "feature_extraction_time", "offload_bytes",
+                 "prefetch_bytes", "pinned_peak_bytes",
+                 "compute_stall_seconds", "offloaded_layers"):
+        assert getattr(traced, attr) == getattr(plain, attr), attr
+
+
+def test_warm_plan_verify_bit_neutral():
+    from repro.analysis.verify import verify_result
+    from repro.core.executor import simulate_vdnn
+
+    network, system, policy, algos, cold = _warm_plan_case()
+    traced = simulate_vdnn(network, system, policy, algos, verify=True)
+    _assert_traced_matches(cold, traced)
+    assert traced.schedule_trace is not None
+    assert len(traced.schedule_trace) > 0
+    report = verify_result(traced, network=network)
+    assert report.ok, report.render_text()
+
+
+def test_warm_plan_verify_and_obs_together():
+    from repro.core.executor import simulate_vdnn
+
+    network, system, policy, algos, cold = _warm_plan_case()
+    obs = Instrumentation()
+    both = simulate_vdnn(network, system, policy, algos, verify=True,
+                         obs=obs)
+    _assert_traced_matches(cold, both)
+
+
+# ----------------------------------------------------------------------
 # CLI: --metrics appends an export without touching the report
 # ----------------------------------------------------------------------
 def test_cli_evaluate_report_unchanged_by_metrics(capsys):
