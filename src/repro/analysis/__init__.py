@@ -7,7 +7,10 @@ Three passes over already-generated artifacts (no re-simulation):
 * :mod:`~repro.analysis.safety` — symbolic replay of the allocation
   schedule against pool semantics (MS1xx rules);
 * :mod:`~repro.analysis.lint` — AST lint of the repo source for
-  reproducibility invariants (LINT2xx rules).
+  reproducibility invariants (LINT2xx rules);
+* :mod:`~repro.analysis.static_plan` — abstract interpretation of
+  compiled plans, proving the vDNN schedule and memory invariants
+  before anything runs (SP4xx rules; ``repro verify --static``).
 
 :mod:`~repro.analysis.verify` drives the trace passes over simulations
 (``repro verify``); :func:`~repro.analysis.verify.verify_schedule`
@@ -42,6 +45,16 @@ _EXPORTS = {
     "SWEEP_POLICIES": "verify",
     "lint_paths": "lint",
     "lint_file": "lint",
+    "PlanInterpretation": "static_plan",
+    "interpret_plan": "static_plan",
+    "audit_plan": "static_plan",
+    "verify_compiled_plan": "static_plan",
+    "verify_plan": "static_plan",
+    "plan_dynamic_static": "static_plan",
+    "verify_point_static": "static_plan",
+    "verify_zoo_static": "static_plan",
+    "verify_recompute_plan": "static_plan",
+    "verify_service_plan": "static_plan",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -13,7 +13,12 @@ Rule-id namespaces:
 * ``MS1xx`` — memory-safety violations (:mod:`repro.analysis.safety`);
 * ``MT3xx`` — multi-tenant shared-pool schedules
   (:func:`repro.analysis.verify.verify_schedule`);
-* ``LINT2xx`` — repo source lint (:mod:`repro.analysis.lint`).
+* ``LINT2xx`` — repo source lint (:mod:`repro.analysis.lint`);
+* ``SP4xx`` — static plan proofs (:mod:`repro.analysis.static_plan`):
+  invariants proved over a :class:`~repro.core.plan.CompiledPlan` (or a
+  serve :class:`~repro.serve.layering.ServicePlan` / recompute
+  :class:`~repro.core.recompute.CheckpointPlan`) *before* any
+  simulation runs.
 
 A diagnostic can be suppressed in source with ``# repro: allow(RULE)``
 (lint rules) or filtered by rule id when rendering (see
@@ -97,6 +102,49 @@ RULES: Dict[str, Tuple[Severity, str]] = {
     "LINT204": (Severity.ERROR,
                 "float == / != on a byte/latency quantity (compare "
                 "with a tolerance, or against a literal-zero sentinel)"),
+    "LINT205": (Severity.ERROR,
+                "per-iteration allocation (list/dict/set literal, "
+                "comprehension, f-string, sorted()) inside a region "
+                "marked '# repro: hot'"),
+    "LINT206": (Severity.ERROR,
+                "Network/Timeline reference retained in a cache-keyed "
+                "or plan structure (would make WeakKeyDictionary "
+                "entries immortal)"),
+    "LINT207": (Severity.WARNING,
+                "unused '# repro: allow(RULE)' suppression (the rule "
+                "no longer fires on that line)"),
+    "LINT208": (Severity.ERROR,
+                "mutation of a CompiledPlan/StorageRecord field "
+                "outside its constructor (plans are shared cache "
+                "entries)"),
+    # -- static plan proofs ---------------------------------------------
+    "SP401": (Severity.WARNING,
+              "statically computed peak usage exceeds the device "
+              "budget (reports the exact first-violating step), or "
+              "the pinned-host budget aborts the plan"),
+    "SP402": (Severity.ERROR,
+              "refcount gate of Fig. 3 violated in the plan: a feature "
+              "map is released before its last forward consumer, "
+              "discarded while backward needs it, or freed before its "
+              "offload transfer is covered by a sync"),
+    "SP403": (Severity.ERROR,
+              "prefetch discipline of Fig. 10 / SIII-C violated: a "
+              "restored buffer is read before its prefetch is synced, "
+              "or (warning) the prefetch target lies outside the "
+              "CONV-bounded search window"),
+    "SP404": (Severity.ERROR,
+              "release lists do not free every allocation exactly "
+              "once: static leak, double free, or a release scheduled "
+              "at the wrong backward step (use-after-free)"),
+    "SP405": (Severity.ERROR,
+              "recompute plan cannot re-materialize a dropped storage "
+              "before its backward consumer (regeneration bottoms out "
+              "at freed state, or the checkpoint partition is "
+              "inconsistent)"),
+    "SP406": (Severity.ERROR,
+              "ServicePlan accounting inconsistent: residency/window/"
+              "footprint/stall invariants of the demand-layering "
+              "pipeline do not hold"),
 }
 
 
@@ -117,9 +165,23 @@ class Diagnostic:
 
     @classmethod
     def make(cls, rule: str, message: str, subject: str = "",
-             location: str = "", refs: Iterable[str] = ()) -> "Diagnostic":
-        """Build a diagnostic with the rule's catalog severity."""
-        return cls(rule=rule, severity=rule_severity(rule), message=message,
+             location: str = "", refs: Iterable[str] = (),
+             severity: "Severity" = None) -> "Diagnostic":
+        """Build a diagnostic with the rule's catalog severity.
+
+        ``severity`` overrides the catalog default for rules whose
+        findings span severities (e.g. SP403's window violations are
+        warnings, mirroring HB004, while its ordering violations are
+        errors).  Overrides may only *lower* severity — an override
+        above the catalog default would let a pass silently promote a
+        documented warning into a gate failure.
+        """
+        default = rule_severity(rule)
+        if severity is not None and severity.rank > default.rank:
+            raise ValueError(
+                f"severity override {severity.value} exceeds {rule}'s "
+                f"catalog severity {default.value}")
+        return cls(rule=rule, severity=severity or default, message=message,
                    subject=subject, location=location, refs=tuple(refs))
 
     def to_dict(self) -> dict:
@@ -147,9 +209,11 @@ class Report:
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     def add(self, rule: str, message: str, location: str = "",
-            refs: Iterable[str] = ()) -> Diagnostic:
+            refs: Iterable[str] = (),
+            severity: Severity = None) -> Diagnostic:
         diagnostic = Diagnostic.make(rule, message, subject=self.subject,
-                                     location=location, refs=refs)
+                                     location=location, refs=refs,
+                                     severity=severity)
         self.diagnostics.append(diagnostic)
         return diagnostic
 
@@ -206,11 +270,24 @@ class Report:
 
 
 def render_reports_json(reports: List[Report]) -> str:
-    """Aggregate JSON for a batch of reports (the ``--format json`` CLI)."""
+    """Aggregate JSON for a batch of reports (the ``--format json`` CLI).
+
+    Exit-code contract (documented in docs/analysis.md): the CLI that
+    prints this payload exits 0 iff ``payload["ok"]`` is true — i.e.
+    non-zero whenever any ERROR finding exists, for both output
+    formats.  ``rule_counts`` aggregates finding counts by rule id
+    across every report, so CI can gate or trend on individual rules
+    without re-walking ``reports``.
+    """
+    rule_counts: Dict[str, int] = {}
+    for report in reports:
+        for rule, count in report.counts().items():
+            rule_counts[rule] = rule_counts.get(rule, 0) + count
     payload = {
         "ok": all(r.ok for r in reports),
         "errors": sum(len(r.errors) for r in reports),
         "warnings": sum(len(r.warnings) for r in reports),
+        "rule_counts": rule_counts,
         "reports": [r.to_dict() for r in reports],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -137,13 +137,59 @@ def verify_zoo(
     batch: Optional[int] = None,
     jobs: int = 1,
     policies: Sequence[Tuple[str, str]] = SWEEP_POLICIES,
+    mode: str = "dynamic",
 ) -> List[Report]:
-    """Verify every (network, policy, algo) point of the sweep grid."""
+    """Verify every (network, policy, algo) point of the sweep grid.
+
+    ``mode`` selects the engine:
+
+    * ``dynamic`` — simulate each point with tracing on and run the
+      trace passes (the historical behaviour; one simulation per point).
+    * ``static`` — prove the SP4xx invariants by abstract
+      interpretation of the compiled plans
+      (:mod:`repro.analysis.static_plan`); no simulation executes.
+    * ``hybrid`` — static sweep first, then dynamic re-verification
+      only for the points the static pass could not certify clean.
+      Since static-clean implies dynamic-clean (the differential suite
+      proves it), the skipped simulations are redundant by
+      construction.  Reports keep grid order; re-verified points carry
+      the dynamic report.
+    """
     from ..zoo import available
+
+    if mode not in ("dynamic", "static", "hybrid"):
+        raise ValueError(f"unknown verify mode {mode!r}")
+    if mode == "static":
+        from .static_plan import verify_zoo_static
+
+        return verify_zoo_static(names=names, batch=batch,
+                                 policies=policies)
 
     names = list(names) if names else available()
     tasks = [(name, batch, policy, algo)
              for name in names for policy, algo in policies]
+
+    if mode == "hybrid":
+        from .static_plan import verify_zoo_static
+
+        reports = verify_zoo_static(names=names, batch=batch,
+                                    policies=policies)
+        tasks = [task for task, report in zip(tasks, reports)
+                 if not report.ok]
+        if not tasks:
+            return reports
+        merged = list(reports)
+        dirty = iter(_run_tasks(tasks, jobs))
+        for position, report in enumerate(merged):
+            if not report.ok:
+                merged[position] = next(dirty)
+        return merged
+
+    return _run_tasks(tasks, jobs)
+
+
+def _run_tasks(tasks: Sequence[Tuple[str, Optional[int], str, str]],
+               jobs: int) -> List[Report]:
     if jobs > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             return list(pool.map(_verify_point_task, tasks))

@@ -528,29 +528,48 @@ def _cmd_metrics(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    """Exit-code contract (both output formats): 0 when every report is
+    free of errors (warnings do not fail the gate), 1 when any finding
+    of error severity exists, 2 on usage errors.  The JSON payload's
+    ``ok`` field mirrors the 0-vs-1 decision and ``rule_counts``
+    aggregates findings per rule."""
     from .analysis.diagnostics import render_reports_json
     from .analysis.verify import (SWEEP_POLICIES, verify_point,
                                   verify_schedule, verify_zoo)
 
+    mode = "static" if args.static else "hybrid" if args.hybrid \
+        else "dynamic"
     reports = []
     if args.all_zoo:
-        reports.extend(verify_zoo(batch=args.batch, jobs=args.jobs))
-        # The multi-tenant scheduler's shared-pool schedules, one per
-        # admission policy over the headline workload.
-        from .sched import Job, schedule_jobs
+        reports.extend(verify_zoo(batch=args.batch, jobs=args.jobs,
+                                  mode=mode))
+        if mode != "static":
+            # The multi-tenant scheduler's shared-pool schedules, one
+            # per admission policy over the headline workload.  Static
+            # mode skips them: they exist only as simulation artifacts,
+            # and --static promises to execute none.
+            from .sched import Job, schedule_jobs
 
-        jobs = [Job.parse(spec, index)
-                for index, spec in enumerate(DEFAULT_WORKLOAD.split(","))]
-        for policy in ("fifo", "sjf", "best_fit"):
-            result = schedule_jobs(jobs, system=PAPER_SYSTEM, policy=policy)
-            reports.append(verify_schedule(result))
+            jobs = [Job.parse(spec, index)
+                    for index, spec in enumerate(DEFAULT_WORKLOAD.split(","))]
+            for policy in ("fifo", "sjf", "best_fit"):
+                result = schedule_jobs(jobs, system=PAPER_SYSTEM,
+                                       policy=policy)
+                reports.append(verify_schedule(result))
     elif args.network:
+        from .analysis.static_plan import verify_point_static
+
         network = build(args.network, args.batch)
-        if args.policy:
-            reports.append(verify_point(network, args.policy, args.algo))
-        else:
-            for policy, algo in SWEEP_POLICIES:
+        points = [(args.policy, args.algo)] if args.policy \
+            else list(SWEEP_POLICIES)
+        for policy, algo in points:
+            if mode == "dynamic":
                 reports.append(verify_point(network, policy, algo))
+            else:
+                report = verify_point_static(network, policy, algo)
+                if mode == "hybrid" and not report.ok:
+                    report = verify_point(network, policy, algo)
+                reports.append(report)
     else:
         print("verify: give a network or --all-zoo", file=sys.stderr)
         return 2
@@ -804,6 +823,15 @@ def make_parser() -> argparse.ArgumentParser:
                                "plus the multi-tenant schedules")
     p_verify.add_argument("--jobs", type=int, default=1,
                           help="worker processes for the sweep")
+    verify_mode = p_verify.add_mutually_exclusive_group()
+    verify_mode.add_argument("--static", action="store_true",
+                             help="prove the SP4xx invariants by abstract "
+                                  "interpretation of the compiled plans; "
+                                  "no simulation executes")
+    verify_mode.add_argument("--hybrid", action="store_true",
+                             help="static sweep first, dynamic "
+                                  "re-verification only for points the "
+                                  "static pass could not certify")
     p_verify.add_argument("--format", choices=["text", "json"],
                           default="text")
 

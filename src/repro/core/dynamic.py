@@ -90,12 +90,10 @@ def _probe(
 
 def _greedy_downgrade(
     network: Network,
-    system: SystemConfig,
     policy: TransferPolicy,
-    passes: List[ProfilingPass],
+    probe,
     max_probes: int = 64,
-    use_cache: Optional[bool] = None,
-) -> Optional[Tuple[AlgoConfig, IterationResult]]:
+) -> Optional[Tuple[AlgoConfig, object]]:
     """Pass-3 greedy: shrink the most workspace-hungry layers until fit.
 
     The paper walks layers in order and downgrades any whose fastest
@@ -106,10 +104,8 @@ def _greedy_downgrade(
     algos = AlgoConfig.performance_optimal(network)
     algos.label = "dyn"
     for probe_index in range(max_probes):
-        result = _probe(
-            network, system, policy, algos,
-            f"greedy[{policy.describe()}] probe {probe_index}", passes,
-            use_cache=use_cache,
+        result = probe(
+            policy, algos, f"greedy[{policy.describe()}] probe {probe_index}"
         )
         if result.trainable:
             return algos, result
@@ -131,6 +127,65 @@ def _greedy_downgrade(
     return None
 
 
+def run_profiling_ladder(
+    network: Network,
+    probe,
+    budget_bytes: int,
+) -> Tuple[TransferPolicy, AlgoConfig, object]:
+    """The vDNN_dyn ladder, abstracted over how configurations are tried.
+
+    ``probe(policy, algos, description)`` evaluates one configuration
+    and returns an object with ``trainable`` and ``max_usage_bytes``
+    attributes.  :func:`plan_dynamic` probes by *simulating* (via the
+    result cache); the static verifier probes by *interpreting* the
+    compiled plan, replaying the identical probe sequence without a
+    single simulation — both walk this one ladder, so their adopted
+    configurations can never drift apart.
+
+    Returns the adopted ``(policy, algos, probe_result)``; raises
+    :class:`UntrainableError` when the pass-1 feasibility probe fails.
+    """
+    memory_optimal = AlgoConfig.memory_optimal(network)
+    performance_optimal = AlgoConfig.performance_optimal(network)
+
+    # Pass 1: trainability probe — vDNN_all, memory-optimal.
+    feasibility = probe(
+        TransferPolicy.vdnn_all(), memory_optimal,
+        "pass1: vDNN_all(m) feasibility",
+    )
+    if not feasibility.trainable:
+        raise UntrainableError(
+            f"{network.name}: even vDNN_all with memory-optimal algorithms "
+            f"needs {feasibility.max_usage_bytes} bytes "
+            f"(> {budget_bytes})"
+        )
+
+    # Pass 2: fastest algorithms, no offloading at all.
+    best = probe(
+        TransferPolicy.none(), performance_optimal, "pass2: no-offload(p)"
+    )
+    if best.trainable:
+        return TransferPolicy.none(), performance_optimal, best
+
+    # Pass 2b: fastest algorithms with static offloading.
+    for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
+        result = probe(
+            policy, performance_optimal, f"pass2b: {policy.describe()}(p)"
+        )
+        if result.trainable:
+            return policy, performance_optimal, result
+
+    # Pass 3: greedy per-layer algorithm downgrades.
+    for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
+        greedy = _greedy_downgrade(network, policy, probe)
+        if greedy is not None:
+            algos, result = greedy
+            return policy, algos, result
+
+    # Fallback: the known-feasible configuration from pass 1.
+    return TransferPolicy.vdnn_all(), memory_optimal, feasibility
+
+
 def plan_dynamic(
     network: Network,
     system: SystemConfig,
@@ -138,48 +193,15 @@ def plan_dynamic(
 ) -> DynamicPlan:
     """Run the vDNN_dyn profiling passes and return the adopted plan."""
     passes: List[ProfilingPass] = []
-    memory_optimal = AlgoConfig.memory_optimal(network)
-    performance_optimal = AlgoConfig.performance_optimal(network)
 
-    # Pass 1: trainability probe — vDNN_all, memory-optimal.
-    feasibility = _probe(
-        network, system, TransferPolicy.vdnn_all(), memory_optimal,
-        "pass1: vDNN_all(m) feasibility", passes, use_cache=use_cache,
-    )
-    if not feasibility.trainable:
-        raise UntrainableError(
-            f"{network.name}: even vDNN_all with memory-optimal algorithms "
-            f"needs {feasibility.max_usage_bytes} bytes "
-            f"(> {system.gpu.memory_bytes})"
-        )
+    def probe(policy: TransferPolicy, algos: AlgoConfig,
+              description: str) -> IterationResult:
+        return _probe(network, system, policy, algos, description, passes,
+                      use_cache=use_cache)
 
-    # Pass 2: fastest algorithms, no offloading at all.
-    best = _probe(
-        network, system, TransferPolicy.none(), performance_optimal,
-        "pass2: no-offload(p)", passes, use_cache=use_cache,
-    )
-    if best.trainable:
-        return DynamicPlan(TransferPolicy.none(), performance_optimal, best, passes)
-
-    # Pass 2b: fastest algorithms with static offloading.
-    for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
-        result = _probe(
-            network, system, policy, performance_optimal,
-            f"pass2b: {policy.describe()}(p)", passes, use_cache=use_cache,
-        )
-        if result.trainable:
-            return DynamicPlan(policy, performance_optimal, result, passes)
-
-    # Pass 3: greedy per-layer algorithm downgrades.
-    for policy in (TransferPolicy.vdnn_conv(), TransferPolicy.vdnn_all()):
-        greedy = _greedy_downgrade(network, system, policy, passes,
-                                   use_cache=use_cache)
-        if greedy is not None:
-            algos, result = greedy
-            return DynamicPlan(policy, algos, result, passes)
-
-    # Fallback: the known-feasible configuration from pass 1.
-    return DynamicPlan(TransferPolicy.vdnn_all(), memory_optimal, feasibility, passes)
+    policy, algos, result = run_profiling_ladder(
+        network, probe, system.gpu.memory_bytes)
+    return DynamicPlan(policy, algos, result, passes)
 
 
 def simulate_dynamic(

@@ -263,6 +263,7 @@ class _VDNNSimulation:
         plan: CompiledPlan,
         bounded_prefetch_window: bool = True,
         sync_after_offload: bool = True,
+        sync_after_prefetch: bool = True,
         verify: bool = False,
         faults: Optional[FaultInjector] = None,
         obs: Optional[Instrumentation] = None,
@@ -275,6 +276,7 @@ class _VDNNSimulation:
         self.wants = plan.offload_indices(policy, network)
         self.bounded_prefetch_window = bounded_prefetch_window
         self.sync_after_offload = sync_after_offload
+        self.sync_after_prefetch = sync_after_prefetch
         self.faults = faults
         self.obs = obs
         self.trace: Optional[ScheduleTrace] = ScheduleTrace() if verify else None
@@ -473,7 +475,7 @@ class _VDNNSimulation:
                     category="phase", network=self.network.name,
                     policy=self.policy.describe())
 
-    def _forward_layer(self, step: ForwardStep) -> None:
+    def _forward_layer(self, step: ForwardStep) -> None:  # repro: hot
         index = step.index
 
         # Layer-wise allocation: this layer's output (unless in-place)
@@ -656,7 +658,7 @@ class _VDNNSimulation:
         self.pinned.free(self.host_buffers.pop(rec.owner))
         self.restored[rec.owner] = True
 
-    def _backward_layer(self, step: BackwardStep) -> None:
+    def _backward_layer(self, step: BackwardStep) -> None:  # repro: hot
         index = step.index
         device = self.device
         gradients = self.gradients
@@ -694,7 +696,7 @@ class _VDNNSimulation:
         launched_prefetch = False
         kernel_start = max(self.compute.ready_time, 0.0)
         if prefetch_target is not None:
-            for rec in self.offloaded_at.get(prefetch_target, []):
+            for rec in self.offloaded_at.get(prefetch_target, ()):
                 if self.restored.get(rec.owner):
                     continue
                 device[rec.owner] = self._alloc(
@@ -768,8 +770,10 @@ class _VDNNSimulation:
 
         # "Any prefetch operation launched during layer(n)'s backward
         # computation is guaranteed to be ready before layer(n-1)'s."
-        if launched_prefetch:
-            self._stall(f"prefetch-sync {step.name}", index,
+        if launched_prefetch and self.sync_after_prefetch:
+            # Label allocation bounded by #offloaded layers, and the
+            # stall it names dominates it by orders of magnitude.
+            self._stall(f"prefetch-sync {step.name}", index,  # repro: allow(LINT205)
                         cause="prefetch-sync")
 
         # Release whatever this backward step finished with (Figure 8);
@@ -801,6 +805,7 @@ def simulate_vdnn(
     algos: AlgoConfig,
     bounded_prefetch_window: bool = True,
     sync_after_offload: bool = True,
+    sync_after_prefetch: bool = True,
     verify: bool = False,
     faults: Optional[FaultSpec] = None,
     fault_seed: int = 0,
@@ -818,6 +823,10 @@ def simulate_vdnn(
         sync_after_offload: disable for the end-of-layer-sync ablation
             (release then happens at the same point but compute no
             longer waits — an *unsafe* configuration kept for study).
+        sync_after_prefetch: disable for the prefetch-guarantee ablation
+            of §III-C ("ready before layer(n-1)'s backward") — the
+            backward kernel may then read a still-in-flight prefetch,
+            the defect HB003 (and statically SP403) exists to catch.
         verify: record a :class:`~repro.analysis.trace.ScheduleTrace` of
             every alloc/free/kernel/transfer/sync on the result, for the
             schedule sanitizer (``repro verify``).  Debug-only: traced
@@ -843,6 +852,7 @@ def simulate_vdnn(
         network, system, policy, algos, plan,
         bounded_prefetch_window=bounded_prefetch_window,
         sync_after_offload=sync_after_offload,
+        sync_after_prefetch=sync_after_prefetch,
         verify=verify,
         faults=injector,
         obs=obs,

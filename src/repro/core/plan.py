@@ -290,6 +290,46 @@ class CompiledPlan:
             self._offload_sets[policy] = cached
         return cached
 
+    # -- invariant-relevant views (static verifier) --------------------
+    # These flip the per-step schedules into per-storage maps so
+    # :mod:`repro.analysis.static_plan` can audit each allocation's
+    # whole lifecycle in one lookup.  Verification-path only: built on
+    # demand, never cached, never touched by the executor's hot loop.
+
+    def release_schedule(self) -> Dict[int, List[Tuple[int, bool]]]:
+        """owner -> [(backward step index, is_gradient), ...] in the
+        order the backward pass would free them."""
+        schedule: Dict[int, List[Tuple[int, bool]]] = {}
+        for step in self.backward:
+            for owner, is_gradient in step.releases:
+                schedule.setdefault(owner, []).append(
+                    (step.index, is_gradient))
+        return schedule
+
+    def dead_release_sites(self) -> Dict[int, List[int]]:
+        """owner -> forward step indices that free it without offload."""
+        sites: Dict[int, List[int]] = {}
+        for step in self.forward:
+            for rec in step.dead_releases:
+                sites.setdefault(rec.owner, []).append(step.index)
+        return sites
+
+    def offload_candidate_sites(self) -> Dict[int, List[int]]:
+        """owner -> forward step indices that may offload it."""
+        sites: Dict[int, List[int]] = {}
+        for step in self.forward:
+            for rec in step.offload_candidates:
+                sites.setdefault(rec.owner, []).append(step.index)
+        return sites
+
+    def grad_alloc_sites(self) -> Dict[int, List[int]]:
+        """owner -> backward step indices that allocate its gradient."""
+        sites: Dict[int, List[int]] = {}
+        for step in self.backward:
+            for rec in step.grad_allocs:
+                sites.setdefault(rec.owner, []).append(step.index)
+        return sites
+
 
 def _algo_signature(algos: AlgoConfig) -> tuple:
     """Content signature of a (mutable) AlgoConfig's profiles."""

@@ -16,7 +16,8 @@ memory floor, time overhead, and where each wins.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..alloc.pool import Allocation, PoolAllocator
 from ..alloc.stats import UsageTracker
@@ -31,6 +32,51 @@ from .executor import IterationResult, _feature_extraction_time
 from .liveness import LivenessAnalysis, StorageInfo
 
 _UNBOUNDED = 1 << 50
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Which storages a recompute run keeps vs drops.
+
+    A pure partition of the droppable feature-extraction storages —
+    every droppable owner is a checkpoint or dropped, never both —
+    plus the droppable order the segment walk-back follows.  Built by
+    :func:`checkpoint_plan`; consumed by :class:`_RecomputeSimulation`
+    and audited statically by
+    :func:`repro.analysis.static_plan.verify_recompute_plan` (SP405).
+    """
+
+    checkpoints: FrozenSet[int]
+    dropped: FrozenSet[int]
+    droppable_order: Tuple[int, ...]
+
+
+def checkpoint_plan(network: Network, liveness: LivenessAnalysis,
+                    segment_count: Optional[int] = None) -> CheckpointPlan:
+    """sqrt(L) checkpoint selection over the droppable storages.
+
+    Orders the droppable feature-extraction storages (needed backward,
+    not the INPUT batch) by owner and keeps every segment boundary:
+    ``segment_count`` segments when given, else ``isqrt(count)``.
+    """
+    droppable = [
+        s for s in liveness.all_storages()
+        if s.needed_backward
+        and network[s.owner].is_feature_extraction
+        and network[s.owner].kind is not LayerKind.INPUT
+    ]
+    droppable.sort(key=lambda s: s.owner)
+    count = len(droppable)
+    segments = segment_count or max(1, math.isqrt(count))
+    stride = max(1, math.ceil(count / segments))
+    checkpoints = frozenset(
+        s.owner for i, s in enumerate(droppable) if i % stride == 0)
+    return CheckpointPlan(
+        checkpoints=checkpoints,
+        dropped=frozenset(
+            s.owner for s in droppable if s.owner not in checkpoints),
+        droppable_order=tuple(s.owner for s in droppable),
+    )
 
 
 class _RecomputeSimulation:
@@ -51,27 +97,12 @@ class _RecomputeSimulation:
         self.recompute_kernel_seconds = 0.0
         self._dead_resident: Set[int] = set()
 
-        # Checkpoint plan: order the droppable feature-extraction
-        # storages and keep every segment boundary.
-        droppable = [
-            s for s in self.liveness.all_storages()
-            if s.needed_backward
-            and self.network[s.owner].is_feature_extraction
-            and self.network[s.owner].kind is not LayerKind.INPUT
-        ]
-        droppable.sort(key=lambda s: s.owner)
-        count = len(droppable)
-        segments = segment_count or max(1, math.isqrt(count))
-        stride = max(1, math.ceil(count / segments))
-        self.checkpoints: Set[int] = {
-            s.owner for i, s in enumerate(droppable) if i % stride == 0
-        }
-        self.dropped: Set[int] = {
-            s.owner for s in droppable if s.owner not in self.checkpoints
-        }
+        plan = checkpoint_plan(network, self.liveness, segment_count)
+        self.checkpoints = plan.checkpoints
+        self.dropped = plan.dropped
         # Map each storage to the checkpointed segment that regenerates
         # it: the contiguous run of dropped owners after a checkpoint.
-        self._droppable_order = [s.owner for s in droppable]
+        self._droppable_order = plan.droppable_order
 
     # -- helpers --------------------------------------------------------
     def _sample(self) -> None:

@@ -285,6 +285,19 @@ def plan_service(
     )
 
 
+def streamed_layer_bytes(network: Network,
+                         plan: ServicePlan) -> Dict[int, int]:
+    """Per-layer weight bytes the plan streams (weights minus pins).
+
+    The static verifier (SP406) re-derives the plan's accounting from
+    this map: summing it must give ``streamed_bytes``, and its maximum
+    bounds the feasible window floor.
+    """
+    weights = weight_load_bytes(network)
+    pinned = frozenset(plan.pinned_layers)
+    return {i: w for i, w in weights.items() if i not in pinned}
+
+
 def shrink_window(
     network: Network,
     system: SystemConfig,

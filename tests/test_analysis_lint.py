@@ -106,6 +106,134 @@ class TestQuantityComparisonRule:
             tmp_path, "def f(a, b):\n    return a.name == b.name\n")
         assert findings == []
 
+    def test_named_zero_constant_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "NO_STALL = 0.0\n"
+            "def f(a):\n    return a.stall_seconds == NO_STALL\n")
+        assert findings == []
+
+    def test_float_inf_sentinel_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(a):\n"
+            "    return a.deadline_seconds == float('inf') or "
+            "a.budget_bytes != -float('inf')\n")
+        assert findings == []
+
+    def test_math_inf_sentinel_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import math\n"
+            "def f(a):\n    return a.deadline_seconds != math.inf\n")
+        assert findings == []
+
+    def test_nonzero_named_constant_still_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "LIMIT = 5.0\n"
+            "def f(a):\n    return a.stall_seconds == LIMIT\n")
+        assert rules(findings) == ["LINT204"]
+
+
+class TestHotRegionRule:
+    def test_list_literal_in_hot_loop_fires_lint205(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(items):\n"
+            "    out = None\n"
+            "    for item in items:  # repro: hot\n"
+            "        out = [item]\n"
+            "    return out\n")
+        assert rules(findings) == ["LINT205"]
+
+    def test_fstring_and_sorted_in_hot_function_fire(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "# repro: hot\n"
+            "def f(self, step):\n"
+            "    label = f'go {step}'\n"
+            "    return sorted(label)\n")
+        assert rules(findings) == ["LINT205", "LINT205"]
+
+    def test_unmarked_loop_is_not_checked(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(items):\n"
+            "    return [i for i in items]\n")
+        assert findings == []
+
+    def test_cold_guard_branch_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(self, items):  # repro: hot\n"
+            "    for item in items:\n"
+            "        if self.trace is not None:\n"
+            "            self.trace.add([item])\n"
+            "        if self.obs:\n"
+            "            self.obs.emit(f'saw {item}')\n")
+        assert findings == []
+
+    def test_raise_path_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def f(self, items):  # repro: hot\n"
+            "    for item in items:\n"
+            "        if item < 0:\n"
+            "            raise ValueError(f'negative {item}')\n")
+        assert findings == []
+
+
+class TestStructureRules:
+    def test_network_annotation_in_plan_class_fires_lint206(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "class ShadowPlan:\n"
+            "    network: Network\n"
+            "    label: str\n")
+        assert rules(findings) == ["LINT206"]
+
+    def test_self_network_store_in_record_class_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "class CacheRecord:\n"
+            "    def __init__(self, network):\n"
+            "        self.net = network\n")
+        assert rules(findings) == ["LINT206"]
+
+    def test_heavy_ref_in_non_struct_class_is_allowed(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "class Simulation:\n"
+            "    def __init__(self, network):\n"
+            "        self.network = network\n")
+        assert findings == []
+
+    def test_plan_class_mutating_itself_outside_init_fires(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "class CompiledPlan:\n"
+            "    def __init__(self):\n"
+            "        self.forward = ()\n"
+            "    def rewire(self):\n"
+            "        self.forward = None\n")
+        assert rules(findings) == ["LINT208"]
+
+    def test_external_plan_field_store_fires_lint208(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def corrupt(step):\n"
+            "    step.dead_releases = ()\n")
+        assert rules(findings) == ["LINT208"]
+
+    def test_plan_home_module_is_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "def build(step):\n"
+            "    step.dead_releases = ()\n",
+            rel="repro/core/plan.py")
+        assert findings == []
+
 
 class TestSuppression:
     def test_allow_comment_suppresses_the_rule_on_that_line(self, tmp_path):
@@ -115,10 +243,41 @@ class TestSuppression:
         assert findings == []
 
     def test_allow_comment_for_a_different_rule_does_not(self, tmp_path):
+        # The stale LINT204 allow itself now draws a LINT207 warning.
         findings = lint_snippet(
             tmp_path,
             "import time\nt = time.time()  # repro: allow(LINT204)\n")
-        assert rules(findings) == ["LINT203"]
+        assert rules(findings) == ["LINT203", "LINT207"]
+
+    def test_unused_allow_fires_lint207(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "x = 1  # repro: allow(LINT203)\n")
+        assert rules(findings) == ["LINT207"]
+        assert findings[0].severity.value == "warning"
+
+    def test_firing_allow_is_not_stale(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            "import time\nt = time.time()  # repro: allow(LINT203)\n")
+        assert findings == []
+
+    def test_allow_lint207_is_exempt_from_staleness(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "x = 1  # repro: allow(LINT207)\n")
+        assert findings == []
+
+
+class TestStrictMode:
+    def test_warning_only_file_passes_default_but_fails_strict(
+            self, tmp_path, capsys):
+        from repro.analysis.lint import main
+
+        path = tmp_path / "repro" / "sim" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1  # repro: allow(LINT203)\n")
+        assert main([str(tmp_path / "repro")]) == 0
+        assert main([str(tmp_path / "repro"), "--strict"]) == 1
+        assert "LINT207" in capsys.readouterr().out
 
 
 class TestRepoGate:

@@ -151,6 +151,62 @@ class TestCommands:
         assert main(["verify"]) == 2
         assert "--all-zoo" in capsys.readouterr().err
 
+    def test_verify_static_point(self, capsys):
+        assert main(["verify", "alexnet", "--static",
+                     "--policy", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "all(p): ok" in out and "0 error(s)" in out
+
+    def test_verify_static_grid(self, capsys):
+        assert main(["verify", "alexnet", "--static"]) == 0
+        out = capsys.readouterr().out
+        for point in ("base(m)", "conv(p)", "all(m)", "dyn"):
+            assert point in out
+        assert "7 schedule(s) verified" in out
+
+    def test_verify_hybrid_point(self, capsys):
+        assert main(["verify", "alexnet", "--hybrid",
+                     "--policy", "conv", "--algo", "m"]) == 0
+        assert "conv(m): ok" in capsys.readouterr().out
+
+    def test_verify_static_and_hybrid_are_mutually_exclusive(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["verify", "alexnet",
+                                      "--static", "--hybrid"])
+
+    def test_verify_static_json_counts_warnings_but_exits_zero(
+            self, capsys):
+        # ResNet-152's baseline does not fit the paper GPU: SP401 is a
+        # warning (untrainable, not unsafe), so the gate still passes.
+        import json
+
+        assert main(["verify", "resnet152", "--static", "--policy",
+                     "base", "--algo", "m", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["rule_counts"] == {"SP401": 1}
+
+    def test_verify_json_exits_nonzero_on_error_findings(
+            self, capsys, monkeypatch):
+        import json
+
+        from repro.analysis import static_plan
+        from repro.analysis.diagnostics import Report
+
+        def dirty(network, policy="all", algo="p", system=None):
+            report = Report(subject=f"{network.name} {policy}({algo})")
+            report.add("SP404", "planted leak for the exit-code test")
+            return report
+
+        monkeypatch.setattr(static_plan, "verify_point_static", dirty)
+        assert main(["verify", "alexnet", "--static", "--policy", "all",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["rule_counts"] == {"SP404": 1}
+
     def test_faults_reports_recovery(self, capsys):
         assert main(["faults", "alexnet", "--batch", "8",
                      "--spec", "dma=0.2", "--seed", "7"]) == 0

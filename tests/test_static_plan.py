@@ -1,0 +1,461 @@
+"""The static plan verifier: differential proofs and SP4xx fixtures.
+
+Three layers of evidence that ``repro verify --static`` is sound:
+
+* **bit-equality** — on clean plans the abstract walk reproduces the
+  simulator's accounting exactly (peak == ``managed_max_bytes``, same
+  offload/prefetch/pinned bytes, same trainability verdict);
+* **differential parity** — static-clean implies dynamic-clean, and
+  each ablation that fires HB00x/MS10x dynamically fires the
+  corresponding SP4xx statically (same finding counts where the rules
+  are one-to-one twins);
+* **known-bad fixtures** — one per SP4xx rule, each firing exactly
+  once, including the release-list corruption the mutation test
+  demands.
+
+Corrupted plans are always built with the ``CompiledPlan`` constructor
+directly — never via :func:`repro.core.plan.compiled_plan` — so the
+process-wide plan cache is never poisoned for other tests.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import make_deep_cnn, make_fork_join_cnn, make_linear_cnn
+from repro.analysis.static_plan import (
+    audit_plan,
+    interpret_plan,
+    plan_dynamic_static,
+    verify_compiled_plan,
+    verify_plan,
+    verify_point_static,
+    verify_recompute_plan,
+    verify_service_plan,
+    verify_zoo_static,
+)
+from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.verify import analyze_trace, verify_point, verify_zoo
+from repro.core.algo_config import AlgoConfig
+from repro.core.dynamic import plan_dynamic
+from repro.core.executor import _VDNNSimulation, simulate_vdnn
+from repro.core.liveness import LivenessAnalysis
+from repro.core.plan import CompiledPlan, compiled_plan
+from repro.core.policy import TransferPolicy
+from repro.core.recompute import CheckpointPlan, checkpoint_plan
+from repro.hw import PAPER_SYSTEM
+from repro.serve.layering import RESIDENCY_POLICIES, plan_service
+from repro.zoo import build
+
+
+def rules(report):
+    return sorted(d.rule for d in report.diagnostics)
+
+
+def algos_for(network):
+    return AlgoConfig.performance_optimal(network)
+
+
+def fresh_plan(network, algos=None):
+    """A private plan safe to corrupt (bypasses the compiled_plan cache)."""
+    return CompiledPlan(network, PAPER_SYSTEM, algos or algos_for(network))
+
+
+def dynamic_report(network, plan, policy, algos, **flags):
+    """Run the real simulator over a (possibly corrupted) plan, traced."""
+    sim = _VDNNSimulation(network, PAPER_SYSTEM, policy, algos, plan,
+                          verify=True, **flags)
+    sim.allocate_persistent()
+    sim.run_forward()
+    sim.run_backward()
+    return analyze_trace(sim.trace, network=network,
+                         liveness=LivenessAnalysis(network))
+
+
+def tiny_gpu(memory_bytes):
+    return dataclasses.replace(
+        PAPER_SYSTEM,
+        gpu=dataclasses.replace(PAPER_SYSTEM.gpu,
+                                memory_bytes=memory_bytes))
+
+
+# ----------------------------------------------------------------------
+# Bit-equality: the walk reproduces the simulator's accounting exactly
+# ----------------------------------------------------------------------
+class TestBitEquality:
+    NETWORKS = [make_linear_cnn, make_fork_join_cnn, make_deep_cnn]
+    POLICIES = [TransferPolicy.vdnn_all, TransferPolicy.vdnn_conv,
+                TransferPolicy.none]
+
+    @pytest.mark.parametrize("make_net", NETWORKS)
+    @pytest.mark.parametrize("make_policy", POLICIES)
+    def test_toy_networks_match_simulation(self, make_net, make_policy):
+        network = make_net()
+        algos = algos_for(network)
+        policy = make_policy()
+        plan = compiled_plan(network, PAPER_SYSTEM, algos)
+        interp = interpret_plan(network, PAPER_SYSTEM, plan, policy)
+        result = simulate_vdnn(network, PAPER_SYSTEM, policy, algos,
+                               verify=True)
+        assert interp.peak_bytes == result.managed_max_bytes
+        assert interp.offload_bytes == result.offload_bytes
+        assert interp.prefetch_bytes == result.prefetch_bytes
+        assert interp.pinned_peak_bytes == result.pinned_peak_bytes
+        assert interp.max_usage_bytes == result.max_usage_bytes
+        assert interp.trainable == result.trainable
+
+    def test_zoo_network_matches_simulation(self):
+        network = build("alexnet")
+        algos = algos_for(network)
+        policy = TransferPolicy.vdnn_all()
+        plan = compiled_plan(network, PAPER_SYSTEM, algos)
+        interp = interpret_plan(network, PAPER_SYSTEM, plan, policy)
+        result = simulate_vdnn(network, PAPER_SYSTEM, policy, algos,
+                               verify=True)
+        assert interp.peak_bytes == result.managed_max_bytes
+        assert interp.offload_bytes == result.offload_bytes
+        assert interp.prefetch_bytes == result.prefetch_bytes
+        assert interp.pinned_peak_bytes == result.pinned_peak_bytes
+        assert interp.trainable == result.trainable
+
+
+# ----------------------------------------------------------------------
+# Differential harness: static-clean implies dynamic-clean
+# ----------------------------------------------------------------------
+class TestStaticImpliesDynamic:
+    @pytest.mark.parametrize("make_net", [make_linear_cnn, make_deep_cnn,
+                                          make_fork_join_cnn])
+    def test_toy_networks(self, make_net):
+        network = make_net()
+        algos = algos_for(network)
+        policy = TransferPolicy.vdnn_all()
+        static = verify_plan(network, PAPER_SYSTEM, policy, algos)
+        assert static.ok, static.render_text()
+        result = simulate_vdnn(network, PAPER_SYSTEM, policy, algos,
+                               verify=True)
+        dynamic = analyze_trace(result.schedule_trace, network=network,
+                                liveness=LivenessAnalysis(network))
+        assert dynamic.ok, dynamic.render_text()
+
+    @pytest.mark.parametrize("policy,algo", [
+        ("all", "p"), ("conv", "m"), ("base", "p"), ("dyn", "-"),
+    ])
+    def test_zoo_point_parity(self, policy, algo):
+        network = build("alexnet")
+        static = verify_point_static(network, policy=policy, algo=algo)
+        assert static.ok, static.render_text()
+        dynamic = verify_point(network, policy=policy, algo=algo)
+        assert dynamic.ok, dynamic.render_text()
+        # Subjects pair up so the sweeps zip together point for point.
+        assert static.subject == dynamic.subject
+
+    def test_dyn_ladder_adopts_identical_configuration(self):
+        network = build("alexnet")
+        policy, algos, probes = plan_dynamic_static(network, PAPER_SYSTEM)
+        simulated = plan_dynamic(network, PAPER_SYSTEM)
+        assert policy.describe() == simulated.policy.describe()
+        assert algos.label == simulated.algos.label
+        assert [p.description for p in probes] \
+            == [p.description for p in simulated.passes]
+        assert [p.trainable for p in probes] \
+            == [p.trainable for p in simulated.passes]
+
+
+# ----------------------------------------------------------------------
+# Mutation parity: each unsafe ablation fires twin rules in both worlds
+# ----------------------------------------------------------------------
+class TestMutationParity:
+    """The three executor ablations, statically and dynamically.
+
+    Where the rules are one-to-one twins the finding *counts* match
+    too: one SP402 per unsafely-freed offload == one HB002 per
+    racing transfer, one SP403 error per unsynced prefetch read ==
+    one HB003, one SP403 window warning == one HB004.
+    """
+
+    def run_pair(self, network, **flags):
+        algos = algos_for(network)
+        policy = TransferPolicy.vdnn_all()
+        static = verify_plan(network, PAPER_SYSTEM, policy, algos, **flags)
+        result = simulate_vdnn(network, PAPER_SYSTEM, policy, algos,
+                               verify=True, **flags)
+        dynamic = analyze_trace(result.schedule_trace, network=network,
+                                liveness=LivenessAnalysis(network))
+        return static, dynamic
+
+    @pytest.mark.parametrize("make_net", [make_linear_cnn, make_deep_cnn])
+    def test_missing_offload_sync_fires_sp402_and_hb002(self, make_net):
+        static, dynamic = self.run_pair(make_net(),
+                                        sync_after_offload=False)
+        sp402 = static.by_rule("SP402")
+        hb002 = dynamic.by_rule("HB002")
+        assert sp402 and not static.ok and not dynamic.ok
+        assert len(sp402) == len(hb002)
+        assert dynamic.by_rule("MS104")  # free during in-flight transfer
+
+    @pytest.mark.parametrize("make_net", [make_linear_cnn, make_deep_cnn])
+    def test_missing_prefetch_sync_fires_sp403_and_hb003(self, make_net):
+        static, dynamic = self.run_pair(make_net(),
+                                        sync_after_prefetch=False)
+        sp403 = static.by_rule("SP403")
+        assert sp403 and not static.ok and not dynamic.ok
+        assert all(d.severity is Severity.ERROR for d in sp403)
+        assert len(sp403) == len(dynamic.by_rule("HB003"))
+        assert dynamic.by_rule("HB001")
+
+    @pytest.mark.parametrize("make_net", [make_linear_cnn, make_deep_cnn,
+                                          make_fork_join_cnn])
+    def test_unbounded_window_fires_sp403_and_hb004_warnings(self, make_net):
+        static, dynamic = self.run_pair(make_net(),
+                                        bounded_prefetch_window=False)
+        sp403 = static.by_rule("SP403")
+        hb004 = dynamic.by_rule("HB004")
+        assert sp403 and len(sp403) == len(hb004)
+        assert all(d.severity is Severity.WARNING for d in sp403)
+        # Warnings, not errors: both reports still pass the gate.
+        assert static.ok and dynamic.ok
+
+    def test_moved_dead_release_fires_sp402_and_ms105(self):
+        # resnet18's Y22 becomes dead at forward step 26; releasing it
+        # three steps early frees a buffer step 26 still reads.
+        network = build("resnet18")
+        algos = algos_for(network)
+        plan = fresh_plan(network, algos)
+        steps = {step.index: step for step in plan.forward}
+        record = next(d for d in steps[26].dead_releases if d.owner == 22)
+        steps[26].dead_releases = tuple(
+            d for d in steps[26].dead_releases if d.owner != 22)
+        steps[24].dead_releases = steps[24].dead_releases + (record,)
+
+        policy = TransferPolicy.vdnn_conv()
+        static = verify_compiled_plan(network, PAPER_SYSTEM, plan, policy)
+        assert rules(static) == ["SP402"]
+        dynamic = dynamic_report(network, plan, policy, algos)
+        assert dynamic.by_rule("MS101") and dynamic.by_rule("MS105")
+
+
+# ----------------------------------------------------------------------
+# Known-bad fixtures: one per rule, firing exactly once
+# ----------------------------------------------------------------------
+class TestKnownBadFixtures:
+    def test_sp401_over_budget_fires_once_as_warning(self):
+        network = make_deep_cnn()
+        report = verify_plan(network, tiny_gpu(1 << 16),
+                             TransferPolicy.none(), algos_for(network))
+        assert rules(report) == ["SP401"]
+        (finding,) = report.diagnostics
+        assert finding.severity is Severity.WARNING
+        # Over-budget means untrainable, not unsafe: the gate passes.
+        assert report.ok
+        assert "first over-budget allocation" in finding.message
+
+    def test_sp402_moved_dead_release_fires_once(self):
+        network = build("resnet18")
+        plan = fresh_plan(network)
+        steps = {step.index: step for step in plan.forward}
+        record = next(d for d in steps[26].dead_releases if d.owner == 22)
+        steps[26].dead_releases = tuple(
+            d for d in steps[26].dead_releases if d.owner != 22)
+        steps[24].dead_releases = steps[24].dead_releases + (record,)
+        report = verify_compiled_plan(network, PAPER_SYSTEM, plan,
+                                      TransferPolicy.vdnn_conv())
+        assert rules(report) == ["SP402"]
+
+    def test_sp403_single_unsynced_prefetch_fires_once(self):
+        # Offload exactly one layer, then drop the prefetch sync: the
+        # one asynchronous restore is read unsynced — one SP403.
+        network = make_deep_cnn()
+        convs = [n.index for n in network if n.kind.name == "CONV"]
+        report = verify_plan(network, PAPER_SYSTEM,
+                             TransferPolicy.custom([convs[1]]),
+                             algos_for(network),
+                             sync_after_prefetch=False)
+        assert rules(report) == ["SP403"]
+        assert report.diagnostics[0].severity is Severity.ERROR
+
+    def test_sp404_dropped_release_list_entry_fires_once(self):
+        """The ISSUE's mutation test: corrupt a CompiledPlan release
+        list and assert SP404 catches the leak."""
+        network = make_deep_cnn()
+        algos = algos_for(network)
+        plan = fresh_plan(network, algos)
+        victim = None
+        for step in plan.backward:
+            features = [r for r in step.releases if not r[1]]
+            if features:
+                victim = features[0]
+                step.releases = tuple(
+                    r for r in step.releases if r != victim)
+                break
+        assert victim is not None
+        report = verify_compiled_plan(network, PAPER_SYSTEM, plan,
+                                      TransferPolicy.vdnn_all())
+        assert rules(report) == ["SP404"]
+        assert "never freed" in report.diagnostics[0].message
+        # The dynamic passes do NOT see this defect (the trace ends
+        # with an end-sweep that mops the leak up): static-only catch.
+        dynamic = dynamic_report(network, plan, TransferPolicy.vdnn_all(),
+                                 algos)
+        assert dynamic.ok
+
+    def test_sp404_release_moved_earlier_is_use_after_free(self):
+        # Freeing Y before its last backward consumer: the simulator
+        # would crash outright on this plan — the static audit names
+        # the defect without running anything.
+        network = make_deep_cnn()
+        plan = fresh_plan(network)
+        steps = list(plan.backward)
+        for position, step in enumerate(steps):
+            features = [r for r in step.releases if not r[1]]
+            if features and position >= 2:
+                step.releases = tuple(
+                    r for r in step.releases if r != features[0])
+                steps[position - 2].releases = \
+                    steps[position - 2].releases + (features[0],)
+                break
+        report = verify_compiled_plan(network, PAPER_SYSTEM, plan,
+                                      TransferPolicy.vdnn_all())
+        assert rules(report) == ["SP404"]
+        assert "use-after-free" in report.diagnostics[0].message
+
+    def test_sp405_checkpoint_overlap_fires_once(self):
+        network = make_deep_cnn()
+        plan = checkpoint_plan(network, LivenessAnalysis(network), None)
+        stray = sorted(plan.dropped)[0]
+        bad = CheckpointPlan(checkpoints=plan.checkpoints | {stray},
+                             dropped=plan.dropped,
+                             droppable_order=plan.droppable_order)
+        report = verify_recompute_plan(network, plan=bad)
+        assert rules(report) == ["SP405"]
+        assert "both checkpointed and dropped" in \
+            report.diagnostics[0].message
+
+    def test_sp406_broken_service_identity_fires_once(self):
+        network = build("alexnet")
+        algos = algos_for(network)
+        plan = plan_service(network, PAPER_SYSTEM, algos,
+                            residency="layered")
+        bad = dataclasses.replace(
+            plan, service_seconds=plan.service_seconds + 0.5)
+        report = verify_service_plan(network, PAPER_SYSTEM, algos, bad)
+        assert rules(report) == ["SP406"]
+
+
+# ----------------------------------------------------------------------
+# Structural audit specifics
+# ----------------------------------------------------------------------
+class TestAuditPlan:
+    def test_clean_plan_flags_nothing(self):
+        network = make_deep_cnn()
+        report = Report(subject="audit")
+        flagged = audit_plan(network, fresh_plan(network), report)
+        assert flagged == set() and report.diagnostics == []
+
+    def test_audit_and_walk_never_double_report(self):
+        # One corrupted owner must yield exactly one finding even
+        # though both the audit and the walk can see the defect.
+        network = make_deep_cnn()
+        plan = fresh_plan(network)
+        victim = None
+        for step in plan.backward:
+            features = [r for r in step.releases if not r[1]]
+            if features:
+                victim = features[0]
+                step.releases = tuple(
+                    r for r in step.releases if r != victim)
+                break
+        report = verify_compiled_plan(network, PAPER_SYSTEM, plan,
+                                      TransferPolicy.vdnn_all())
+        owner_mentions = [d for d in report.diagnostics
+                          if f"Y{victim[0]}" in d.message]
+        assert len(owner_mentions) == 1
+
+
+# ----------------------------------------------------------------------
+# SP405: recompute plans
+# ----------------------------------------------------------------------
+class TestRecomputeVerifier:
+    @pytest.mark.parametrize("make_net", [make_linear_cnn, make_deep_cnn,
+                                          make_fork_join_cnn])
+    def test_generated_plans_are_clean(self, make_net):
+        report = verify_recompute_plan(make_net())
+        assert report.ok and report.diagnostics == []
+
+    def test_zoo_plan_is_clean(self):
+        report = verify_recompute_plan(build("alexnet"), segment_count=4)
+        assert report.ok and report.diagnostics == []
+
+    def test_input_protection_ablation(self):
+        # Force the first droppable storage (whose only producer is the
+        # input batch) into the dropped set.  With the executor's
+        # input-protection guard modelled (keep_input=True) the segment
+        # regenerates from the protected input; without it, every
+        # replay in that segment bottoms out at freed state.
+        network = make_deep_cnn()
+        plan = checkpoint_plan(network, LivenessAnalysis(network), None)
+        first = plan.droppable_order[0]
+        forced = CheckpointPlan(checkpoints=plan.checkpoints - {first},
+                                dropped=plan.dropped | {first},
+                                droppable_order=plan.droppable_order)
+        assert verify_recompute_plan(network, plan=forced,
+                                     keep_input=True).ok
+        broken = verify_recompute_plan(network, plan=forced,
+                                       keep_input=False)
+        assert not broken.ok
+        assert all(d.rule == "SP405" for d in broken.diagnostics)
+
+
+# ----------------------------------------------------------------------
+# SP406: serve plans
+# ----------------------------------------------------------------------
+class TestServicePlanVerifier:
+    @pytest.mark.parametrize("residency", RESIDENCY_POLICIES)
+    def test_planned_services_are_clean(self, residency):
+        network = build("alexnet")
+        algos = algos_for(network)
+        extra = {"pinned_bytes": 32 << 20} if residency == "pinned" else {}
+        plan = plan_service(network, PAPER_SYSTEM, algos,
+                            residency=residency, **extra)
+        report = verify_service_plan(network, PAPER_SYSTEM, algos, plan)
+        assert report.ok and report.diagnostics == [], report.render_text()
+
+
+# ----------------------------------------------------------------------
+# Sweep drivers: no simulation executes, hybrid skips clean points
+# ----------------------------------------------------------------------
+class TestSweepDrivers:
+    @pytest.fixture
+    def no_simulation(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("a simulation ran during a static sweep")
+
+        for module in ("repro.core.executor", "repro.analysis.verify"):
+            monkeypatch.setattr(f"{module}.simulate_vdnn", boom)
+            monkeypatch.setattr(f"{module}.simulate_baseline", boom)
+
+    def test_static_sweep_runs_no_simulation(self, no_simulation):
+        reports = verify_zoo_static(names=["alexnet", "overfeat"])
+        assert len(reports) == 14
+        assert all(report.ok for report in reports)
+
+    def test_hybrid_skips_simulation_for_clean_points(self, no_simulation):
+        # alexnet is fully static-clean, so hybrid mode has nothing
+        # left to re-verify dynamically — the patched simulators stay
+        # untouched.
+        reports = verify_zoo(names=["alexnet"], mode="hybrid")
+        assert len(reports) == 7
+        assert all(report.ok for report in reports)
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown verify mode"):
+            verify_zoo(names=["alexnet"], mode="psychic")
+
+    def test_static_subjects_match_dynamic_grid(self):
+        static = verify_zoo_static(names=["alexnet"])
+        name = build("alexnet").name
+        assert [r.subject for r in static] == [
+            f"{name} base(m)", f"{name} base(p)",
+            f"{name} conv(m)", f"{name} conv(p)",
+            f"{name} all(m)", f"{name} all(p)",
+            f"{name} dyn",
+        ]
