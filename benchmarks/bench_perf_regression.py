@@ -63,6 +63,8 @@ def _flush_results() -> None:
                         no-op runs)
     ``serving``         ``bench_ext_serving.py`` (SLO attainment,
                         tail latency, goodput)
+    ``cluster``         ``bench_ext_cluster.py`` (topology scaling
+                        efficiency, fleet utilization/fairness)
     ==================  =============================================
 
     A new bench must claim a fresh key and follow the same

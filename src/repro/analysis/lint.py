@@ -68,11 +68,12 @@ FINGERPRINT_PATHS = (
 
 #: Packages whose modules must be pure functions of their inputs
 #: (LINT203 scope).  ``numerics`` (host-side reference math) and
-#: ``profiler`` (wall-clock by design) are deliberately out.  ``serve``
-#: and ``faults`` are in: both draw randomness (arrival processes,
-#: fault streams) and both must replay bit-identically from a seed.
+#: ``profiler`` (wall-clock by design) are deliberately out.  ``serve``,
+#: ``faults`` and ``cluster`` are in: all draw randomness (arrival
+#: processes, fault streams) and all must replay bit-identically from a
+#: seed.
 PURE_PACKAGES = ("sim", "alloc", "core", "sched", "kernels", "hw",
-                 "graph", "perf", "serve", "faults")
+                 "graph", "perf", "serve", "faults", "cluster")
 
 #: Wall-clock entry points LINT203 rejects in pure modules.
 _CLOCK_CALLS = {("time", "time"), ("time", "monotonic"),

@@ -61,21 +61,33 @@ _BYTE_SUFFIXES = {
 
 
 def _parse_bytes(text: str) -> int:
-    """Parse a human size string — ``4GiB``, ``512MB``, ``65536``."""
+    """Parse a human size string — ``4GiB``, ``512MB``, ``65536``.
+
+    A size is a *positive* byte count: zero and negative results are
+    rejected with the same error as unparseable text, so ``-4GiB``
+    cannot flow into ``--budget``/``--window`` and corrupt allocator
+    math downstream.
+    """
     cleaned = text.strip().lower().replace(" ", "")
+    nbytes = None
     for suffix in sorted(_BYTE_SUFFIXES, key=len, reverse=True):
         if cleaned.endswith(suffix):
             number = cleaned[: -len(suffix)]
             try:
-                return int(float(number) * _BYTE_SUFFIXES[suffix])
+                nbytes = int(float(number) * _BYTE_SUFFIXES[suffix])
             except ValueError:
-                break
-    try:
-        return int(cleaned)
-    except ValueError:
+                pass
+            break
+    if nbytes is None:
+        try:
+            nbytes = int(cleaned)
+        except ValueError:
+            nbytes = None
+    if nbytes is None or nbytes <= 0:
         raise ValueError(
             f"cannot parse size {text!r} (try 4GiB, 512MiB, 65536)"
-        ) from None
+        )
+    return nbytes
 
 
 @contextmanager
@@ -287,6 +299,12 @@ def _cmd_train_demo(args) -> int:
 #: networks as four co-tenant jobs on one 12 GB TITAN X.
 DEFAULT_WORKLOAD = "alexnet:128:50,vgg16:64:50,resnet50:32:50,googlenet:128:50"
 
+#: Default ``cluster`` workload: one 4-GPU data-parallel gang (the
+#: PCIe-bound network, where ring allreduce meets vDNN DMA) plus
+#: single-GPU fill jobs.
+DEFAULT_CLUSTER_WORKLOAD = \
+    "resnet50:32:30:4,alexnet:128:40,vgg16:64:20,googlenet:128:40"
+
 
 def _cmd_schedule(args) -> int:
     from .sched import Job, JobState, schedule_jobs, schedule_report
@@ -407,6 +425,100 @@ def _cmd_serve(args) -> int:
                    spans=result.obs.spans.spans)
         print(f"wrote {args.trace}")
     return 0 if result.completed else 1
+
+
+def _cmd_cluster(args) -> int:
+    """Fleet simulation: place jobs across an N-GPU cluster topology.
+
+    Exit-code contract: 0 when every job finished (and, under
+    ``--verify``, every worker trace is sanitizer-clean), 1 otherwise,
+    2 on usage errors.
+    """
+    from .cluster import (ClusterJob, cluster_report, schedule_fleet,
+                          simulate_cluster_iteration, topology_table,
+                          worker_results)
+    from .hw import make_topology
+    from .sched import JobState
+
+    try:
+        jobs = [
+            ClusterJob.parse(spec, index)
+            for index, spec in enumerate(args.jobs.split(","))
+            if spec.strip()
+        ]
+    except (KeyError, ValueError) as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("no jobs given", file=sys.stderr)
+        return 2
+    budget = int(args.budget_gb * (1 << 30))
+    if budget <= 0:
+        print(f"budget must be positive, got {args.budget_gb} GB",
+              file=sys.stderr)
+        return 2
+    try:
+        topology = make_topology(args.topology, args.gpus)
+    except (KeyError, ValueError) as exc:
+        print(f"bad topology: {exc}", file=sys.stderr)
+        return 2
+    obs = _make_obs() if args.metrics else None
+    try:
+        result = schedule_fleet(
+            jobs, topology=topology, placement=args.placement,
+            budget_bytes=budget, arrival_rate=args.arrival_rate,
+            seed=args.seed, preemption=not args.no_preempt, obs=obs,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"cluster run failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.contention:
+        # The acceptance lens: each gang's allreduce/offload contention
+        # across every topology preset, independent of the schedule.
+        gangs = sorted({
+            (j.network, j.batch_size, j.num_gpus)
+            for j in jobs if j.num_gpus > 1
+        })
+        for network, batch, gpus in gangs:
+            reports = [
+                simulate_cluster_iteration(
+                    network, batch, gpus, make_topology(name, args.gpus))
+                for name in ("pcie-switch", "nvlink-ring", "nvlink-mesh")
+            ]
+            print(topology_table(reports))
+            print()
+
+    print(cluster_report(result))
+
+    clean = True
+    if args.verify:
+        print()
+        checked = 0
+        for record in result.records:
+            gang = getattr(record.job, "num_gpus", 1)
+            if record.state is not JobState.FINISHED or record.rung is None:
+                continue
+            for report in worker_results(
+                    record.job.network, record.job.batch_size, gang,
+                    topology, rung=record.rung):
+                checked += 1
+                clean = clean and report.ok
+                status = "ok" if report.ok \
+                    else f"{len(report.errors)} error(s)"
+                print(f"  verify {report.subject}: {status}")
+        print(f"{checked} worker trace(s) verified: "
+              f"{'clean' if clean else 'ERRORS'}")
+
+    if obs is not None:
+        print()
+        print(_render_metrics(obs, args.metrics, meta={
+            "command": "cluster", "topology": topology.name,
+            "gpus": topology.num_gpus, "placement": args.placement,
+        }).rstrip("\n"))
+    finished = sum(1 for r in result.records
+                   if r.state is JobState.FINISHED)
+    return 0 if finished == len(result.records) and clean else 1
 
 
 def _cmd_faults(args) -> int:
@@ -749,6 +861,42 @@ def make_parser() -> argparse.ArgumentParser:
                          default="table",
                          help="report rendering (json = stable schema)")
 
+    p_cluster = sub.add_parser(
+        "cluster", help="fleet scheduling across an N-GPU topology")
+    p_cluster.add_argument(
+        "--jobs", default=DEFAULT_CLUSTER_WORKLOAD,
+        help="comma-separated job specs, each "
+             "network[:batch[:iterations[:gpus]]] (gpus > 1 = "
+             "data-parallel gang with ring allreduce)")
+    p_cluster.add_argument("--topology", default="pcie-switch",
+                           choices=["pcie-switch", "nvlink-ring",
+                                    "nvlink-mesh"],
+                           help="cluster interconnect preset")
+    p_cluster.add_argument("--gpus", type=int, default=4,
+                           help="GPUs in the cluster")
+    p_cluster.add_argument("--placement", default="bin_pack",
+                           choices=["bin_pack", "spread"],
+                           help="GPU placement policy")
+    p_cluster.add_argument("--budget-gb", type=float, default=12.0,
+                           help="per-GPU memory budget in GiB")
+    p_cluster.add_argument("--arrival-rate", type=float, default=0.0,
+                           help="Poisson arrival rate in jobs/s "
+                                "(0 = all jobs arrive at t=0)")
+    p_cluster.add_argument("--seed", type=int, default=0,
+                           help="seed for the deterministic arrival "
+                                "stream")
+    p_cluster.add_argument("--no-preempt", action="store_true",
+                           help="disable priority preempt-and-migrate")
+    p_cluster.add_argument("--contention", action="store_true",
+                           help="also print each gang's allreduce/offload "
+                                "contention across every topology preset")
+    p_cluster.add_argument("--verify", action="store_true",
+                           help="run the schedule sanitizer on every "
+                                "worker's trace")
+    p_cluster.add_argument("--metrics", nargs="?", const="prom",
+                           choices=["prom", "json"], default=None,
+                           help="append the run's metrics export")
+
     p_faults = sub.add_parser(
         "faults", help="simulate under deterministic fault injection")
     p_faults.add_argument("network", choices=available())
@@ -848,6 +996,7 @@ _COMMANDS = {
     "train-demo": _cmd_train_demo,
     "schedule": _cmd_schedule,
     "serve": _cmd_serve,
+    "cluster": _cmd_cluster,
     "verify": _cmd_verify,
     "faults": _cmd_faults,
     "metrics": _cmd_metrics,

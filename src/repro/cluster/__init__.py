@@ -1,0 +1,53 @@
+"""Cluster simulation: N virtualized GPUs behind shared interconnects.
+
+Scales vDNN from one GPU (the paper's scope) to the ROADMAP's fleet: a
+:class:`~repro.hw.interconnects.ClusterTopology` wires N GPUs through
+shared links, :mod:`~repro.cluster.contention` splits each link between
+data-parallel ring-allreduce traffic and the workers' offload/prefetch
+DMA, and :mod:`~repro.cluster.fleet` places whole jobs — gangs included
+— across the GPUs with bin-pack/spread policies, priority preemption,
+and fleet metrics (utilization, Jain fairness, JCT distribution).
+"""
+
+from .contention import FleetContention, PlacedGang
+from .dataparallel import (
+    ClusterIterationReport,
+    simulate_cluster_iteration,
+    topology_sweep,
+    worker_results,
+)
+from .fleet import (
+    ClusterResult,
+    FleetScheduler,
+    available_placements,
+    make_placement,
+    schedule_fleet,
+    stagger_arrivals,
+)
+from .job import ClusterJob
+from .report import (
+    cluster_fleet_table,
+    cluster_job_table,
+    cluster_report,
+    topology_table,
+)
+
+__all__ = [
+    "ClusterIterationReport",
+    "ClusterJob",
+    "ClusterResult",
+    "FleetContention",
+    "FleetScheduler",
+    "PlacedGang",
+    "available_placements",
+    "cluster_fleet_table",
+    "cluster_job_table",
+    "cluster_report",
+    "make_placement",
+    "schedule_fleet",
+    "simulate_cluster_iteration",
+    "stagger_arrivals",
+    "topology_sweep",
+    "topology_table",
+    "worker_results",
+]

@@ -1,0 +1,75 @@
+"""Cluster jobs: training requests that may gang-span several GPUs.
+
+A :class:`ClusterJob` extends the scheduler's :class:`~repro.sched.job.Job`
+with a gang width.  ``batch_size`` stays the *per-replica* batch (the
+convention of the data-parallel literature: "4x VGG-16 (64)" means four
+replicas at batch 64 each), so the admission controller's degradation
+ladder — keyed by ``(network, batch_size)`` — evaluates each replica
+exactly as a single-GPU job and its memoization stays correct unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sched.job import Job
+from ..zoo import available
+
+
+@dataclass(frozen=True)
+class ClusterJob(Job):
+    """A training request for ``num_gpus`` data-parallel replicas.
+
+    Each replica runs the full network at ``batch_size``; gradients are
+    ring-allreduced across the gang every iteration.  ``num_gpus == 1``
+    degenerates to an ordinary single-GPU job with no allreduce.
+    """
+
+    num_gpus: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.num_gpus < 1:
+            raise ValueError("a job needs at least one GPU")
+
+    @property
+    def global_batch(self) -> int:
+        """Effective cluster-wide batch per iteration (replicas summed)."""
+        if self.batch_size is None:
+            raise ValueError(
+                "global_batch needs an explicit per-replica batch_size"
+            )
+        return self.batch_size * self.num_gpus
+
+    @classmethod
+    def parse(cls, spec: str, index: int = 0) -> "ClusterJob":
+        """Parse a cluster job spec: ``network[:batch[:iters[:gpus]]]``.
+
+        Examples: ``vgg16``, ``vgg16:64``, ``vgg16:64:200``,
+        ``vgg16:64:200:4`` (a 4-GPU gang).
+        """
+        parts = spec.strip().split(":")
+        if not parts[0]:
+            raise ValueError(f"empty network name in job spec {spec!r}")
+        network = parts[0]
+        if network not in available():
+            raise ValueError(
+                f"unknown network {network!r} in job spec {spec!r};"
+                f" available: {', '.join(available())}"
+            )
+        try:
+            batch = int(parts[1]) if len(parts) > 1 and parts[1] else None
+            iterations = int(parts[2]) if len(parts) > 2 and parts[2] else 100
+            gpus = int(parts[3]) if len(parts) > 3 and parts[3] else 1
+        except ValueError:
+            raise ValueError(
+                f"batch, iterations and gpus must be integers in {spec!r}"
+                " (network[:batch[:iterations[:gpus]]])"
+            ) from None
+        return cls(
+            name=f"{network}#{index}",
+            network=network,
+            batch_size=batch,
+            iterations=iterations,
+            num_gpus=gpus,
+        )

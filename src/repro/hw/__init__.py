@@ -12,15 +12,23 @@ from .gpu import (
 )
 from .host import HostSpec, I7_5930K
 from .interconnects import (
+    ClusterTopology,
     NVLINK_1,
     NVLINK_2,
     PCIE_GEN4,
+    TOPOLOGY_PRESETS,
+    available_topologies,
     interconnect_sweep,
+    make_topology,
+    nvlink_mesh,
+    nvlink_ring,
+    pcie_switch_tree,
     system_with_link,
 )
 from .pcie import PCIE_GEN3, PCIeLink, TransferMode
 
 __all__ = [
+    "ClusterTopology",
     "GPU_PRESETS",
     "GPUSpec",
     "HBM_CLASS",
@@ -35,9 +43,15 @@ __all__ = [
     "PCIeLink",
     "SystemConfig",
     "TITAN_X",
+    "TOPOLOGY_PRESETS",
     "TransferMode",
+    "available_topologies",
     "gpu_preset",
     "interconnect_sweep",
+    "make_topology",
+    "nvlink_mesh",
+    "nvlink_ring",
     "oracular",
+    "pcie_switch_tree",
     "system_with_link",
 ]

@@ -11,17 +11,45 @@ Numbers: PCIe gen3 x16 is the paper's testbed (16 GB/s line rate,
 (contemporary with the paper: P100) offers 4 bidirectional bricks of
 20 GB/s each direction; a typical CPU<->GPU wiring exposes 2 bricks,
 i.e. 40 GB/s line rate with ~90% achievable by DMA.
+
+Every preset states all three knobs that differ between generations —
+bandwidths *and* ``dma_setup_latency`` — explicitly, so adjacent points
+of :func:`interconnect_sweep` never conflate an intended change with a
+silently inherited default (a sweep test pins this).
+
+Beyond single links, this module models **cluster topologies**: N GPUs
+wired through shared, contended links.  A :class:`ClusterTopology` names
+its links (each a :class:`~repro.hw.pcie.PCIeLink` point model) and two
+route kinds over them:
+
+* ``dma_path(gpu)`` — the links host<->GPU DMA traverses: vDNN
+  offload/prefetch traffic;
+* ``route(a, b)`` — the links a peer-to-peer transfer between two GPUs
+  traverses: ring-allreduce gradient hops of a data-parallel job.
+
+Where the two route kinds share a link (every PCIe-switch fabric), the
+allreduce traffic of a data-parallel job contends with each worker's
+vDNN DMA — the cluster-level bottleneck the Compressing DMA Engine paper
+(Rhu et al. 2017) identifies.  NVLink topologies give peers dedicated
+side links, so the same workload recovers most of the contention gap.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
 from .config import SystemConfig
 from .gpu import TITAN_X
 from .host import I7_5930K
-from .pcie import PCIeLink
+from .pcie import PCIE_GEN3, PCIeLink
 
-#: PCIe gen4 x16: double gen3's rates.
-PCIE_GEN4 = PCIeLink(max_bandwidth=32.0e9, dma_bandwidth=25.6e9)
+#: PCIe gen4 x16: double gen3's rates.  Setup latency is stated, not
+#: inherited: gen4-era copy engines halve the launch overhead, which
+#: also aligns it with the NVLink presets so the gen4 -> NVLink sweep
+#: steps vary bandwidth alone.
+PCIE_GEN4 = PCIeLink(max_bandwidth=32.0e9, dma_bandwidth=25.6e9,
+                     dma_setup_latency=5e-6)
 
 #: NVLink 1.0, two bricks CPU<->GPU (Pascal-era POWER8 wiring).
 NVLINK_1 = PCIeLink(max_bandwidth=40.0e9, dma_bandwidth=36.0e9,
@@ -39,8 +67,6 @@ def system_with_link(link: PCIeLink) -> SystemConfig:
 
 def interconnect_sweep():
     """(label, SystemConfig) pairs, slowest link first."""
-    from .pcie import PCIE_GEN3
-
     links = {
         "PCIe gen3 (paper)": PCIE_GEN3,
         "PCIe gen4": PCIE_GEN4,
@@ -48,3 +74,255 @@ def interconnect_sweep():
         "NVLink 2.0": NVLINK_2,
     }
     return [(label, system_with_link(link)) for label, link in links.items()]
+
+
+# ----------------------------------------------------------------------
+# Cluster topologies
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterTopology:
+    """N GPUs wired through shared, individually contended links.
+
+    Attributes:
+        name: preset label (``pcie-switch``, ``nvlink-ring``, ...).
+        num_gpus: worker count the route tables cover.
+        links: one :class:`PCIeLink` point model per physical link.
+        link_names: display label per link (same order as ``links``).
+        dma_paths: per GPU, the link indices its host DMA traverses.
+        peer_paths: ``peer_paths[a][b]`` — link indices a peer transfer
+            from GPU ``a`` to GPU ``b`` traverses (empty on the
+            diagonal).  Routes are precomputed tables so the topology
+            stays a frozen value type the simulators can hash and reuse.
+    """
+
+    name: str
+    num_gpus: int
+    links: Tuple[PCIeLink, ...]
+    link_names: Tuple[str, ...]
+    dma_paths: Tuple[Tuple[int, ...], ...]
+    peer_paths: Tuple[Tuple[Tuple[int, ...], ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("a cluster needs at least one GPU")
+        if len(self.links) != len(self.link_names):
+            raise ValueError("links and link_names must pair up")
+        if len(self.dma_paths) != self.num_gpus \
+                or len(self.peer_paths) != self.num_gpus:
+            raise ValueError("route tables must cover every GPU")
+        for path in self.dma_paths:
+            self._check_path(path)
+            if not path:
+                raise ValueError("every GPU needs a host DMA path")
+        for row_index, row in enumerate(self.peer_paths):
+            if len(row) != self.num_gpus:
+                raise ValueError("peer_paths must be a full N x N table")
+            for col_index, path in enumerate(row):
+                self._check_path(path)
+                if row_index == col_index and path:
+                    raise ValueError("a GPU has no route to itself")
+                if row_index != col_index and self.num_gpus > 1 \
+                        and not path:
+                    raise ValueError(
+                        f"no route between GPUs {row_index} and "
+                        f"{col_index}")
+
+    def _check_path(self, path: Tuple[int, ...]) -> None:
+        for index in path:
+            if not 0 <= index < len(self.links):
+                raise ValueError(f"link index {index} out of range")
+
+    # ------------------------------------------------------------------
+    def dma_path(self, gpu: int) -> Tuple[int, ...]:
+        """Link indices host<->``gpu`` DMA (offload/prefetch) traverses."""
+        return self.dma_paths[gpu]
+
+    def route(self, a: int, b: int) -> Tuple[int, ...]:
+        """Link indices a peer transfer GPU ``a`` -> GPU ``b`` traverses."""
+        return self.peer_paths[a][b]
+
+    def host_link(self, gpu: int) -> PCIeLink:
+        """The first hop of ``gpu``'s host DMA path (its local link)."""
+        return self.links[self.dma_paths[gpu][0]]
+
+    def system(self, gpu: int = 0) -> SystemConfig:
+        """The paper's node behind ``gpu``'s local host link.
+
+        Per-worker single-GPU simulations (admission ladders, compiled
+        plans, sanitizer traces) run against this system; the cluster
+        layer then adds the *shared*-link contention on top.
+        """
+        return system_with_link(self.host_link(gpu))
+
+
+def pcie_switch_tree(
+    num_gpus: int = 4,
+    gpus_per_switch: int = 4,
+    link: PCIeLink = PCIE_GEN3,
+) -> ClusterTopology:
+    """PCIe-switch tree: GPUs behind PLX switches, one uplink each.
+
+    Every GPU has its own x16 link to its switch; each switch shares a
+    single x16 uplink to the host.  Host DMA crosses both (GPU link +
+    uplink), so all workers under one switch contend for the uplink;
+    peer transfers between GPUs under the same switch turn around at the
+    switch (GPU links only), while cross-switch peers also cross both
+    uplinks.  This is the paper-era commodity fabric — and the topology
+    where a data-parallel job's allreduce shares every link with the
+    workers' vDNN offload/prefetch DMA.
+    """
+    if num_gpus < 1:
+        raise ValueError("a cluster needs at least one GPU")
+    if gpus_per_switch < 1:
+        raise ValueError("gpus_per_switch must be positive")
+    num_switches = -(-num_gpus // gpus_per_switch)
+    links: List[PCIeLink] = []
+    names: List[str] = []
+    gpu_link = []
+    for gpu in range(num_gpus):
+        gpu_link.append(len(links))
+        links.append(link)
+        names.append(f"pcie[gpu{gpu}]")
+    uplink = []
+    for switch in range(num_switches):
+        uplink.append(len(links))
+        links.append(link)
+        names.append(f"pcie[switch{switch}-uplink]")
+
+    def switch_of(gpu: int) -> int:
+        return gpu // gpus_per_switch
+
+    dma_paths = tuple(
+        (gpu_link[gpu], uplink[switch_of(gpu)]) for gpu in range(num_gpus)
+    )
+    peer_rows = []
+    for a in range(num_gpus):
+        row = []
+        for b in range(num_gpus):
+            if a == b:
+                row.append(())
+            elif switch_of(a) == switch_of(b):
+                row.append((gpu_link[a], gpu_link[b]))
+            else:
+                row.append((gpu_link[a], uplink[switch_of(a)],
+                            uplink[switch_of(b)], gpu_link[b]))
+        peer_rows.append(tuple(row))
+    return ClusterTopology(
+        name="pcie-switch", num_gpus=num_gpus,
+        links=tuple(links), link_names=tuple(names),
+        dma_paths=dma_paths, peer_paths=tuple(peer_rows),
+    )
+
+
+def _nvlink_topology(
+    name: str,
+    num_gpus: int,
+    nvlink: PCIeLink,
+    host_link: PCIeLink,
+    pair_links: Callable[[int, int], bool],
+) -> ClusterTopology:
+    """Shared scaffolding: dedicated host PCIe + NVLink side fabric."""
+    if num_gpus < 1:
+        raise ValueError("a cluster needs at least one GPU")
+    links: List[PCIeLink] = []
+    names: List[str] = []
+    host = []
+    for gpu in range(num_gpus):
+        host.append(len(links))
+        links.append(host_link)
+        names.append(f"pcie[gpu{gpu}]")
+    side: Dict[Tuple[int, int], int] = {}
+    for a in range(num_gpus):
+        for b in range(a + 1, num_gpus):
+            if pair_links(a, b):
+                side[(a, b)] = len(links)
+                links.append(nvlink)
+                names.append(f"nvlink[{a}-{b}]")
+
+    def hop(a: int, b: int) -> int:
+        return side[(a, b) if a < b else (b, a)]
+
+    def walk(a: int, b: int) -> Tuple[int, ...]:
+        """Multi-hop route along the ring, shorter direction first."""
+        forward = (b - a) % num_gpus
+        step = 1 if forward <= num_gpus - forward else -1
+        path, here = [], a
+        while here != b:
+            nxt = (here + step) % num_gpus
+            path.append(hop(here, nxt))
+            here = nxt
+        return tuple(path)
+
+    peer_rows = []
+    for a in range(num_gpus):
+        row = []
+        for b in range(num_gpus):
+            if a == b:
+                row.append(())
+            elif (min(a, b), max(a, b)) in side:
+                row.append((hop(a, b),))
+            else:
+                row.append(walk(a, b))
+        peer_rows.append(tuple(row))
+    return ClusterTopology(
+        name=name, num_gpus=num_gpus,
+        links=tuple(links), link_names=tuple(names),
+        dma_paths=tuple((h,) for h in host),
+        peer_paths=tuple(peer_rows),
+    )
+
+
+def nvlink_ring(
+    num_gpus: int = 4,
+    nvlink: PCIeLink = NVLINK_2,
+    host_link: PCIeLink = PCIE_GEN3,
+) -> ClusterTopology:
+    """NVLink ring: dedicated host PCIe per GPU + NVLink between
+    ring neighbours.
+
+    Host DMA (vDNN offload/prefetch) keeps a private x16 link per GPU;
+    ring-allreduce hops ride dedicated NVLinks that touch no PCIe link
+    at all.  The two traffic classes are disjoint, which is exactly how
+    this topology recovers the PCIe-switch contention gap.
+    """
+    if num_gpus == 1:
+        return _nvlink_topology("nvlink-ring", 1, nvlink, host_link,
+                                lambda a, b: False)
+    return _nvlink_topology(
+        "nvlink-ring", num_gpus, nvlink, host_link,
+        lambda a, b: b - a == 1 or (a == 0 and b == num_gpus - 1),
+    )
+
+
+def nvlink_mesh(
+    num_gpus: int = 4,
+    nvlink: PCIeLink = NVLINK_2,
+    host_link: PCIeLink = PCIE_GEN3,
+) -> ClusterTopology:
+    """Fully connected NVLink mesh: a dedicated link per GPU pair."""
+    return _nvlink_topology("nvlink-mesh", num_gpus, nvlink, host_link,
+                            lambda a, b: True)
+
+
+#: Topology factories by preset name (each takes ``num_gpus``).
+TOPOLOGY_PRESETS: Dict[str, Callable[[int], ClusterTopology]] = {
+    "pcie-switch": pcie_switch_tree,
+    "nvlink-ring": nvlink_ring,
+    "nvlink-mesh": nvlink_mesh,
+}
+
+
+def available_topologies() -> List[str]:
+    """Preset names accepted by :func:`make_topology`."""
+    return sorted(TOPOLOGY_PRESETS)
+
+
+def make_topology(name: str, num_gpus: int = 4) -> ClusterTopology:
+    """Instantiate a topology preset by registry key."""
+    key = name.strip().lower()
+    if key not in TOPOLOGY_PRESETS:
+        raise KeyError(
+            f"unknown topology {name!r}; "
+            f"available: {', '.join(available_topologies())}"
+        )
+    return TOPOLOGY_PRESETS[key](num_gpus)

@@ -419,6 +419,28 @@ class Instrumentation:
         self._makespan.set(seconds)
 
     # ------------------------------------------------------------------
+    # Cluster / fleet
+    # ------------------------------------------------------------------
+    def fleet_summary(self, utilization: float, fairness: float,
+                      gpus: int) -> None:
+        """End-of-run fleet rollup from the cluster scheduler.
+
+        Per-job lifecycle (admissions, JCT histogram) flows through the
+        shared scheduler hooks above; this adds the cluster-only gauges.
+        """
+        self.registry.gauge(
+            "repro_fleet_gpus",
+            "GPUs in the simulated cluster").set(gpus)
+        self.registry.gauge(
+            "repro_fleet_utilization",
+            "Occupied GPU-seconds over available GPU-seconds"
+        ).set(utilization)
+        self.registry.gauge(
+            "repro_fleet_fairness_jain",
+            "Jain's fairness index over finished jobs' slowdowns"
+        ).set(fairness)
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def serve_request(self, model: str, outcome: str) -> None:
@@ -537,6 +559,9 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def sched_makespan(self, seconds):
+        pass
+
+    def fleet_summary(self, utilization, fairness, gpus):
         pass
 
     def serve_request(self, model, outcome):

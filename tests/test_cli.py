@@ -21,6 +21,43 @@ class TestParser:
         assert args.policy == "conv" and args.algo == "m"
 
 
+class TestParseBytes:
+    """A size is a positive byte count; non-positive inputs are bugs.
+
+    ``-4GiB`` used to parse to ``-4294967296`` and flow into
+    ``--budget``/``--window``, corrupting allocator math downstream.
+    """
+
+    @pytest.mark.parametrize("text,expected", [
+        ("4GiB", 4 * (1 << 30)),
+        ("512MiB", 512 * (1 << 20)),
+        ("512MB", 512 * (1 << 20)),
+        ("64k", 64 * (1 << 10)),
+        ("65536", 65536),
+        ("  1.5 GiB ", int(1.5 * (1 << 30))),
+    ])
+    def test_accepts_positive_sizes(self, text, expected):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", [
+        "-4GiB", "-1", "0", "0GiB", "0.0MiB", "-0.5MB",
+        "garbage", "GiB", "",
+    ])
+    def test_rejects_non_positive_and_garbage(self, text):
+        from repro.cli import _parse_bytes
+
+        with pytest.raises(ValueError, match="cannot parse size"):
+            _parse_bytes(text)
+
+    def test_negative_budget_rejected_at_the_cli(self, capsys):
+        assert main(["serve", "--arrivals", "poisson:rate=50,seed=1",
+                     "--models", "alexnet", "--requests", "5",
+                     "--budget=-4GiB"]) == 2
+        assert "bad size" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_networks(self, capsys):
         assert main(["networks"]) == 0
@@ -243,6 +280,36 @@ class TestCommands:
         assert "budget-shrink" in out and "Faults" in out
 
 
+class TestClusterCommand:
+    def test_bad_job_spec_exits_two(self, capsys):
+        assert main(["cluster", "--jobs", "nosuchnet:8:5"]) == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_bad_gang_spec_exits_two(self, capsys):
+        assert main(["cluster", "--jobs", "alexnet:8:5:x"]) == 2
+        assert "bad job spec" in capsys.readouterr().err
+
+    def test_negative_budget_exits_two(self, capsys):
+        assert main(["cluster", "--jobs", "alexnet:8:5",
+                     "--budget-gb", "-1"]) == 2
+        assert "budget must be positive" in capsys.readouterr().err
+
+    def test_gang_run_with_verify_and_contention(self, capsys):
+        assert main(["cluster", "--jobs", "alexnet:8:5:2",
+                     "--gpus", "2", "--verify", "--contention"]) == 0
+        out = capsys.readouterr().out
+        assert "Cluster schedule" in out
+        assert "Data-parallel contention" in out
+        assert "worker trace(s) verified: clean" in out
+
+    def test_metrics_export_includes_fleet_gauges(self, capsys):
+        assert main(["cluster", "--jobs", "alexnet:8:5",
+                     "--gpus", "2", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_fleet_utilization" in out
+        assert "repro_fleet_fairness_jain" in out
+
+
 class TestSmokeEverySubcommand:
     """Every subcommand exits 0 and prints something (cheap args)."""
 
@@ -264,6 +331,8 @@ class TestSmokeEverySubcommand:
         ["serve", "--arrivals", "poisson:rate=50,seed=1",
          "--models", "googlenet,alexnet", "--requests", "20",
          "--budget", "1GiB"],
+        ["cluster", "--jobs", "alexnet:8:5:2,alexnet:8:5", "--gpus", "2",
+         "--topology", "nvlink-ring"],
         ["profile", "--top", "5", "networks"],
     ], ids=lambda argv: argv[0])
     def test_subcommand_smoke(self, argv, capsys):
@@ -277,7 +346,7 @@ class TestSmokeEverySubcommand:
         smoked = {
             "networks", "evaluate", "sweep", "capacity", "plan",
             "figures", "train-demo", "schedule", "verify", "faults",
-            "metrics", "serve", "profile",
+            "metrics", "serve", "cluster", "profile",
         }
         assert smoked == set(_COMMANDS)
 

@@ -123,6 +123,144 @@ class TestPCIe:
             PCIeLink(max_bandwidth=1e9, dma_bandwidth=2e9)
 
 
+class TestInterconnectPresets:
+    """Every sweep preset states its knobs; none inherits silently.
+
+    ``PCIE_GEN4`` once inherited gen3's 10 us ``dma_setup_latency``
+    while the NVLink presets set 5 us, so adjacent points of
+    ``interconnect_sweep()`` conflated a bandwidth change with a
+    silently inherited setup latency.
+    """
+
+    #: Knobs that differ between link generations and must therefore be
+    #: stated explicitly in every non-default preset.
+    KNOBS = {"max_bandwidth", "dma_bandwidth", "dma_setup_latency"}
+
+    def _preset_keywords(self):
+        import ast
+        import inspect
+
+        from repro.hw import interconnects
+
+        tree = ast.parse(inspect.getsource(interconnects))
+        out = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if len(node.targets) != 1 or \
+                    not isinstance(node.targets[0], ast.Name):
+                continue
+            name = node.targets[0].id
+            if not isinstance(node.value, ast.Call):
+                continue
+            func = node.value.func
+            if getattr(func, "id", None) != "PCIeLink":
+                continue
+            out[name] = {kw.arg for kw in node.value.keywords}
+        return out
+
+    def test_every_preset_states_every_generation_knob(self):
+        presets = self._preset_keywords()
+        assert set(presets) == {"PCIE_GEN4", "NVLINK_1", "NVLINK_2"}
+        for name, stated in presets.items():
+            assert self.KNOBS <= stated, (
+                f"{name} inherits {sorted(self.KNOBS - stated)} from the "
+                f"PCIeLink defaults; state each generation knob "
+                f"explicitly so the sweep's deltas are intentional")
+
+    def test_gen4_setup_latency_explicit_and_modern(self):
+        from repro.hw import NVLINK_1, NVLINK_2, PCIE_GEN4
+
+        assert PCIE_GEN4.dma_setup_latency == 5e-6
+        assert PCIE_GEN4.dma_setup_latency == NVLINK_1.dma_setup_latency
+        assert PCIE_GEN4.dma_setup_latency == NVLINK_2.dma_setup_latency
+        # Gen3 (the paper's testbed) keeps the slower 10 us engines.
+        assert PCIE_GEN3.dma_setup_latency == 10e-6
+
+    def test_sweep_orders_by_bandwidth(self):
+        from repro.hw import interconnect_sweep
+
+        rates = [system.pcie.dma_bandwidth
+                 for _label, system in interconnect_sweep()]
+        assert rates == sorted(rates)
+
+
+class TestClusterTopology:
+    def test_presets_cover_both_fabric_families(self):
+        from repro.hw import available_topologies
+
+        assert available_topologies() == \
+            ["nvlink-mesh", "nvlink-ring", "pcie-switch"]
+
+    def test_unknown_preset_lists_available(self):
+        from repro.hw import make_topology
+
+        with pytest.raises(KeyError, match="pcie-switch"):
+            make_topology("torus", 4)
+
+    def test_switch_tree_shares_one_uplink(self):
+        from repro.hw import make_topology
+
+        topo = make_topology("pcie-switch", 4)
+        uplinks = {topo.dma_path(gpu)[-1] for gpu in range(4)}
+        assert len(uplinks) == 1  # all four workers contend for it
+
+    def test_switch_tree_peer_routes(self):
+        from repro.hw import pcie_switch_tree
+
+        topo = pcie_switch_tree(num_gpus=4, gpus_per_switch=2)
+        # Same switch: turn around at the switch, no uplink crossed.
+        same = set(topo.route(0, 1))
+        assert not same & {topo.dma_path(0)[-1], topo.dma_path(2)[-1]}
+        # Cross switch: both uplinks crossed — allreduce meets DMA.
+        cross = set(topo.route(1, 2))
+        assert {topo.dma_path(1)[-1], topo.dma_path(2)[-1]} <= cross
+
+    def test_nvlink_ring_separates_traffic_classes(self):
+        from repro.hw import make_topology
+
+        topo = make_topology("nvlink-ring", 4)
+        dma_links = {link for gpu in range(4)
+                     for link in topo.dma_path(gpu)}
+        # Each worker has a private host link...
+        assert len(dma_links) == 4
+        # ...and ring-neighbour peer routes never touch any of them.
+        for a in range(4):
+            b = (a + 1) % 4
+            assert not set(topo.route(a, b)) & dma_links
+
+    def test_nvlink_ring_walks_shorter_direction(self):
+        from repro.hw import make_topology
+
+        topo = make_topology("nvlink-ring", 6)
+        assert len(topo.route(0, 1)) == 1
+        assert len(topo.route(0, 2)) == 2
+        assert len(topo.route(0, 3)) == 3  # antipode: either way is 3
+
+    def test_mesh_is_single_hop_everywhere(self):
+        from repro.hw import make_topology
+
+        topo = make_topology("nvlink-mesh", 4)
+        for a in range(4):
+            for b in range(4):
+                assert len(topo.route(a, b)) == (0 if a == b else 1)
+
+    def test_route_table_validation(self):
+        from repro.hw import ClusterTopology, PCIE_GEN3
+
+        with pytest.raises(ValueError, match="at least one GPU"):
+            ClusterTopology("bad", 0, (), (), (), ())
+        with pytest.raises(ValueError, match="host DMA path"):
+            ClusterTopology("bad", 1, (PCIE_GEN3,), ("l",), ((),),
+                            (((),),))
+
+    def test_per_gpu_system_uses_local_host_link(self):
+        from repro.hw import NVLINK_1, nvlink_ring
+
+        topo = nvlink_ring(4, host_link=NVLINK_1)
+        assert topo.system(2).pcie is NVLINK_1
+
+
 class TestHost:
     def test_paper_host_is_64gb(self):
         assert I7_5930K.memory_bytes == 64 * (1 << 30)

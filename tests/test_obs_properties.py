@@ -140,6 +140,39 @@ def test_fraction_below_monotone_and_bounded(bounds, values):
         == pytest.approx(within / len(values))
 
 
+@given(bounds=_bounds, values=_counts)
+@settings(max_examples=60, deadline=None)
+def test_fraction_below_excludes_inf_bucket_while_quantile_clamps(
+        bounds, values):
+    """The documented +Inf-bucket asymmetry, pinned against the counts.
+
+    ``fraction_below`` is conservative: an observation in the +Inf
+    bucket is *never* counted as below any finite threshold — including
+    ``bounds[-1]`` itself — so SLO attainment cannot be flattered by
+    overflow samples.  ``quantile`` takes the opposite convention and
+    clamps +Inf-bucket estimates to ``bounds[-1]``.  Both are laws of
+    the raw bucket counts, so either drifting silently fails here.
+    """
+    h = _hist(bounds, values)
+    top = float(bounds[-1])
+    overflow = sum(1 for v in values if v > top)
+    if not values:
+        assert h.fraction_below(top) == 0.0
+        return
+    # fraction_below(bounds[-1]) is exactly the finite buckets' mass:
+    # every count except the +Inf bucket's, over the total.
+    assert h.counts[-1] == overflow
+    assert h.fraction_below(top) == sum(h.counts[:-1]) / h.count
+    assert h.fraction_below(top) == (h.count - overflow) / h.count
+    if overflow:
+        # Overflow keeps attainment strictly below 1.0 however large
+        # the threshold's bucket mass is...
+        assert h.fraction_below(top) < 1.0
+        # ...while the max quantile clamps into the finite range
+        # instead of reporting +Inf.
+        assert h.quantile(1.0) == top
+
+
 # ----------------------------------------------------------------------
 # Counter / gauge laws
 # ----------------------------------------------------------------------
