@@ -1,0 +1,198 @@
+"""Extension: the compressed-DMA / joint-planner capacity frontier.
+
+Two Fig. 11/14-style sweeps, each with a hard dominance gate:
+
+* **Compression** (paper system): ``vDNN_comp`` must move strictly
+  fewer offload PCIe bytes than ``vDNN_all`` at the same algorithm
+  configuration, at equal-or-better iteration time — the cDMA promise
+  (compressed wire format, full-size device buffers) as an inequality
+  over simulated results, not a modeling assumption.
+* **Joint frontier** (constrained budgets): the joint
+  keep/offload/compress/recompute planner must be trainable wherever
+  any pure strategy is, and never slower than any *trainable* pure
+  constituent — keep-all, all-offload, all-compress, all-recompute —
+  at the same memory budget and fastest algorithms.
+
+Results land in ``BENCH_perf.json`` under the ``"frontier"`` key
+(read-modify-write — other benches own their own keys) for CI's
+perf-smoke job to archive.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import AlgoConfig, TransferPolicy, evaluate
+from repro.core.joint import (
+    JointConfig,
+    JointDecision,
+    plan_joint,
+    simulate_joint_config,
+    trigger_costs,
+)
+from repro.core.plan import compiled_plan
+from repro.hw import PAPER_SYSTEM
+from repro.reporting import format_table, gb_str, ms_str
+from repro.zoo import build
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Compression sweep points: the paper's headline networks.
+COMP_NETWORKS = (("alexnet", 128), ("overfeat", 128),
+                 ("googlenet", 128), ("vgg16", 64))
+
+#: Joint sweep points: (network, batch, budget GiB) chosen so keep-all
+#: misses but a mixed plan fits — the regime the planner exists for.
+JOINT_POINTS = (("googlenet", 128, 2.0), ("googlenet", 128, 2.6),
+                ("resnet50", 32, 1.2))
+
+GB = 1 << 30
+
+
+def _flush_results(section: dict) -> None:
+    """Merge this bench's section into BENCH_perf.json (RMW)."""
+    payload = {}
+    if RESULTS_PATH.exists():
+        try:
+            payload = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            payload = {}
+    payload["frontier"] = section
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def compression_sweep() -> dict:
+    """vDNN_all vs vDNN_comp, both algorithm configs, paper system."""
+    out = {}
+    for name, batch in COMP_NETWORKS:
+        network = build(name, batch)
+        row = {}
+        for algo in ("m", "p"):
+            all_r = evaluate(network, PAPER_SYSTEM, "all", algo,
+                             use_cache=False)
+            comp_r = evaluate(network, PAPER_SYSTEM, "comp", algo,
+                              use_cache=False)
+            row[algo] = {
+                "all_offload_bytes": int(all_r.offload_bytes),
+                "comp_offload_bytes": int(comp_r.offload_bytes),
+                "comp_raw_bytes": int(comp_r.offload_raw_bytes),
+                "wire_ratio": round(
+                    comp_r.offload_bytes / all_r.offload_bytes, 4)
+                    if all_r.offload_bytes else 1.0,
+                "all_time_seconds": round(all_r.total_time, 6),
+                "comp_time_seconds": round(comp_r.total_time, 6),
+            }
+        out[f"{name}:{batch}"] = row
+    return out
+
+
+def _pure_constituents(network, system, algos):
+    """The four single-strategy plans the joint planner must dominate."""
+    plan = compiled_plan(network, system, algos)
+    triggers = frozenset(
+        plan.offload_indices(TransferPolicy.vdnn_all(), network))
+    costs = trigger_costs(network, plan)
+    drop_ok = frozenset(t for t in triggers
+                        if JointDecision.RECOMPUTE in costs[t])
+    return {
+        "keep": JointConfig(),
+        "offload": JointConfig(offload=triggers),
+        "compress": JointConfig(compress=triggers),
+        "recompute": JointConfig(offload=triggers - drop_ok,
+                                 drop=drop_ok),
+    }
+
+
+def joint_sweep() -> dict:
+    """The joint planner vs its pure constituents at tight budgets."""
+    out = {}
+    for name, batch, budget_gb in JOINT_POINTS:
+        system = PAPER_SYSTEM.with_gpu_memory(int(budget_gb * GB))
+        network = build(name, batch)
+        jplan = plan_joint(network, system, use_cache=False)
+        algos = AlgoConfig.performance_optimal(network)
+        entry = {
+            "budget_gb": budget_gb,
+            "config": jplan.config.describe(),
+            "algos": jplan.algos.label,
+            "probes": len(jplan.passes),
+            "joint_time_seconds": round(jplan.result.total_time, 6),
+            "joint_peak_bytes": int(jplan.result.max_usage_bytes),
+            "trainable": bool(jplan.result.trainable),
+            "constituents": {},
+        }
+        for label, config in _pure_constituents(network, system,
+                                                algos).items():
+            result = simulate_joint_config(network, system, config, algos)
+            entry["constituents"][label] = {
+                "trainable": bool(result.trainable),
+                "time_seconds": round(result.total_time, 6),
+                "peak_bytes": int(result.max_usage_bytes),
+            }
+        out[f"{name}:{batch}@{budget_gb}"] = entry
+    return out
+
+
+def frontier_tables() -> dict:
+    return {"compression": compression_sweep(), "joint": joint_sweep()}
+
+
+def test_ext_frontier(benchmark, capsys):
+    section = benchmark.pedantic(frontier_tables, rounds=1, iterations=1)
+    comp, joint = section["compression"], section["joint"]
+
+    rows = []
+    for point, row in comp.items():
+        for algo in ("m", "p"):
+            r = row[algo]
+            rows.append([
+                f"{point} ({algo})",
+                gb_str(r["all_offload_bytes"]),
+                gb_str(r["comp_offload_bytes"]),
+                f'{r["wire_ratio"]:.2f}',
+                ms_str(r["all_time_seconds"]),
+                ms_str(r["comp_time_seconds"]),
+            ])
+    jrows = []
+    for point, entry in joint.items():
+        jrows.append([point, entry["config"], entry["algos"],
+                      ms_str(entry["joint_time_seconds"]),
+                      gb_str(entry["joint_peak_bytes"])])
+        for label, c in entry["constituents"].items():
+            jrows.append([
+                f"  pure {label}", "-", "-",
+                ms_str(c["time_seconds"]) + (
+                    "" if c["trainable"] else " (*)"),
+                gb_str(c["peak_bytes"]),
+            ])
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["point", "all wire", "comp wire", "ratio", "all time",
+             "comp time"],
+            rows, title="Extension: cDMA compressed offload frontier",
+        ) + "\n")
+        print(format_table(
+            ["point", "config", "algos", "time", "peak"],
+            jrows,
+            title="Extension: joint planner vs pure strategies "
+                  "(* = exceeds budget)",
+        ) + "\n")
+
+    # Gate 1: compression strictly shrinks wire traffic at
+    # equal-or-better time, for every network and both algo configs.
+    for point, row in comp.items():
+        for algo in ("m", "p"):
+            r = row[algo]
+            assert r["comp_offload_bytes"] < r["all_offload_bytes"], point
+            assert r["comp_time_seconds"] <= r["all_time_seconds"], point
+            assert 0.0 < r["wire_ratio"] < 1.0, point
+
+    # Gate 2: the joint plan trains at every point and is never slower
+    # than any trainable pure constituent at the same budget.
+    for point, entry in joint.items():
+        assert entry["trainable"], point
+        for label, c in entry["constituents"].items():
+            if c["trainable"]:
+                assert entry["joint_time_seconds"] \
+                    <= c["time_seconds"] + 1e-9, (point, label)
+
+    _flush_results(section)

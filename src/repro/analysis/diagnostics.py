@@ -145,6 +145,11 @@ RULES: Dict[str, Tuple[Severity, str]] = {
               "ServicePlan accounting inconsistent: residency/window/"
               "footprint/stall invariants of the demand-layering "
               "pipeline do not hold"),
+    "SP407": (Severity.ERROR,
+              "compressed-transfer model inconsistent: a record's wire "
+              "size escapes (0, nbytes], disagrees with the cDMA "
+              "sparsity model, or its DMA duration drops the engine "
+              "latency"),
 }
 
 

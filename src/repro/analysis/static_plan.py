@@ -38,8 +38,8 @@ step (same allocation order, same ``find_prefetch_layer`` state
 machine, same pinned-exhaustion abort point), so on a clean plan the
 statically computed peak equals the simulated ``managed_max_bytes``
 *exactly* — the differential tests assert bit-equality, not closeness.
-No simulation runs anywhere in this module: the whole 98-point zoo grid
-verifies in well under two seconds, dominated by plan compilation that
+No simulation runs anywhere in this module: the whole 140-point zoo grid
+verifies in a few seconds, dominated by plan compilation that
 every later simulation reuses (see docs/performance.md).
 """
 
@@ -202,37 +202,7 @@ class _PlanInterpreter:
             self._alloc(step.ws_bytes, f"fwd {step.name}: workspace")
 
         for dead in step.dead_releases:
-            nbytes = self.device.pop(dead.owner, None)
-            if nbytes is None:
-                if dead.owner not in self.flagged:
-                    self.report.add(
-                        "SP404",
-                        f"fwd {step.name}: dead release of Y{dead.owner} "
-                        f"targets nothing (buffer not on device)",
-                        refs=(f"fwd#{index}",))
-                continue
-            if dead.owner not in self.flagged:
-                if dead.info.needed_backward:
-                    self.report.add(
-                        "SP402",
-                        f"fwd {step.name}: Y{dead.owner} ({dead.name}) "
-                        f"discarded without offload although backward "
-                        f"still needs it (Fig. 3 refcount gate)",
-                        refs=(f"fwd#{index}",
-                              f"first backward use: "
-                              f"bwd#{dead.info.first_backward_use}"))
-                elif dead.info.forward_release_at != index:
-                    self.report.add(
-                        "SP402",
-                        f"fwd {step.name}: Y{dead.owner} ({dead.name}) "
-                        f"released at forward step {index} but its last "
-                        f"forward consumer is layer "
-                        f"{dead.info.forward_release_at} (released while "
-                        f"a consumer still needs it)",
-                        refs=(f"fwd#{index}",
-                              f"last consumer: "
-                              f"fwd#{dead.info.forward_release_at}"))
-            self._free(nbytes)
+            self._dead_release(step, dead)
 
         if step.offload_candidates and index in self.wants:
             self._offload(step)
@@ -240,24 +210,63 @@ class _PlanInterpreter:
         if step.ws_bytes:
             self._free(step.ws_bytes)
 
+    def _dead_release(self, step, dead) -> None:
+        index = step.index
+        nbytes = self.device.pop(dead.owner, None)
+        if nbytes is None:
+            if dead.owner not in self.flagged:
+                self.report.add(
+                    "SP404",
+                    f"fwd {step.name}: dead release of Y{dead.owner} "
+                    f"targets nothing (buffer not on device)",
+                    refs=(f"fwd#{index}",))
+            return
+        if dead.owner not in self.flagged:
+            if dead.info.needed_backward:
+                self.report.add(
+                    "SP402",
+                    f"fwd {step.name}: Y{dead.owner} ({dead.name}) "
+                    f"discarded without offload although backward "
+                    f"still needs it (Fig. 3 refcount gate)",
+                    refs=(f"fwd#{index}",
+                          f"first backward use: "
+                          f"bwd#{dead.info.first_backward_use}"))
+            elif dead.info.forward_release_at != index:
+                self.report.add(
+                    "SP402",
+                    f"fwd {step.name}: Y{dead.owner} ({dead.name}) "
+                    f"released at forward step {index} but its last "
+                    f"forward consumer is layer "
+                    f"{dead.info.forward_release_at} (released while "
+                    f"a consumer still needs it)",
+                    refs=(f"fwd#{index}",
+                          f"last consumer: "
+                          f"fwd#{dead.info.forward_release_at}"))
+        self._free(nbytes)
+
     def _offload(self, step) -> None:
         index = step.index
+        compress = self.policy.compresses(index)
         completed: List[StorageRecord] = []
         for rec in step.offload_candidates:
-            if self.pinned_live + rec.nbytes > self.pinned_capacity:
+            # Mirror the executor's wire format: compressed offloads
+            # stage and move comp_nbytes; device-side sizes are
+            # untouched (decompression happens on the return DMA).
+            wire = rec.comp_nbytes if compress else rec.nbytes
+            if self.pinned_live + wire > self.pinned_capacity:
                 # The executor raises PinnedMemoryError here and the
                 # iteration aborts with partial stats: stop the walk at
                 # the identical point.
                 raise _AbortWalk(
                     f"host pinned memory exhausted at fwd {step.name}: "
-                    f"{self.pinned_live} + {rec.nbytes} > "
+                    f"{self.pinned_live} + {wire} > "
                     f"{self.pinned_capacity} bytes")
-            self.pinned_live += rec.nbytes
+            self.pinned_live += wire
             self.pinned_peak = max(self.pinned_peak, self.pinned_live)
-            self.host[rec.owner] = rec.nbytes
+            self.host[rec.owner] = wire
             self.mem_pos += 1
             self.offload_pos[rec.owner] = self.mem_pos
-            self.offload_bytes += rec.nbytes
+            self.offload_bytes += wire
             completed.append(rec)
             if rec.owner not in self.flagged and (
                     not rec.info.needed_backward
@@ -307,25 +316,9 @@ class _PlanInterpreter:
             if rec.owner in self.device:
                 continue
             if rec.owner in self.host:
-                # Demand fetch: blocking, so it synchronizes everything
-                # issued so far — it can never race (emits nothing).
-                self.device[rec.owner] = rec.nbytes
-                self._alloc(rec.nbytes,
-                            f"bwd {step.name}: demand restore Y{rec.owner}")
-                self.mem_pos += 1
-                self.prefetch_bytes += rec.nbytes
-                self.synced_through = self.mem_pos
-                self.pinned_live -= self.host.pop(rec.owner)
-                self.restored.add(rec.owner)
+                self._demand_restore(step, rec)
                 continue
-            if rec.owner not in self.flagged:
-                self.report.add(
-                    "SP404",
-                    f"bwd {step.name}: kernel needs Y{rec.owner} but it "
-                    f"is neither on device nor staged in host memory — "
-                    f"a release list freed it too early "
-                    f"(use-after-free)",
-                    refs=(f"bwd#{index}",))
+            self._missing_required(step, rec)
 
         for rec in step.grad_allocs:
             if rec.owner not in self.gradients:
@@ -349,8 +342,9 @@ class _PlanInterpreter:
                             f"bwd {step.name}: prefetch Y{rec.owner}")
                 self.mem_pos += 1
                 self.prefetch_pos[rec.owner] = self.mem_pos
-                self.prefetch_bytes += rec.nbytes
-                self.pinned_live -= self.host.pop(rec.owner)
+                wire = self.host.pop(rec.owner)
+                self.prefetch_bytes += wire
+                self.pinned_live -= wire
                 self.restored.add(rec.owner)
                 self.prefetch_restored.add(rec.owner)
                 launched = True
@@ -396,6 +390,29 @@ class _PlanInterpreter:
 
         if step.ws_bytes:
             self._free(step.ws_bytes)
+
+    def _demand_restore(self, step, rec) -> None:
+        # Demand fetch: blocking, so it synchronizes everything
+        # issued so far — it can never race (emits nothing).
+        self.device[rec.owner] = rec.nbytes
+        self._alloc(rec.nbytes,
+                    f"bwd {step.name}: demand restore Y{rec.owner}")
+        self.mem_pos += 1
+        wire = self.host.pop(rec.owner)
+        self.prefetch_bytes += wire
+        self.synced_through = self.mem_pos
+        self.pinned_live -= wire
+        self.restored.add(rec.owner)
+
+    def _missing_required(self, step, rec) -> None:
+        if rec.owner not in self.flagged:
+            self.report.add(
+                "SP404",
+                f"bwd {step.name}: kernel needs Y{rec.owner} but it "
+                f"is neither on device nor staged in host memory — "
+                f"a release list freed it too early "
+                f"(use-after-free)",
+                refs=(f"bwd#{step.index}",))
 
     def _check_window(self, target: int, issue: int) -> None:
         """SP403 warning: the Fig. 10 CONV-bounded window (HB004 twin)."""
@@ -495,6 +512,150 @@ def interpret_plan(
         bounded_prefetch_window=bounded_prefetch_window,
         sync_after_offload=sync_after_offload,
         sync_after_prefetch=sync_after_prefetch,
+        report=report, flagged=flagged, subject=subject,
+    ).run()
+
+
+# ----------------------------------------------------------------------
+# Abstract interpretation of a joint (keep/offload/compress/recompute)
+# configuration — mirrors core.joint._JointSimulation the same way the
+# base interpreter mirrors _VDNNSimulation
+# ----------------------------------------------------------------------
+class _JointInterpreter(_PlanInterpreter):
+    """Symbolic walk of one compiled plan under a joint decision set.
+
+    Offload and compressed-offload triggers reuse the inherited walk
+    verbatim (the config's policy carries the compress set).  Drop
+    triggers discard their candidates with no DMA and no pinned
+    staging; the backward ``_missing_required`` hook — a hard SP404 in
+    the base walk — becomes the re-materialization recursion here,
+    replaying producer chains abstractly (allocate Y, workspace
+    alloc/free per chain member) in the exact order the executor
+    replays them, so peak bytes still match the simulation bit for bit.
+    """
+
+    def __init__(self, network: Network, system: SystemConfig,
+                 plan: CompiledPlan, config, **kwargs):
+        super().__init__(network, system, plan, config.policy(), **kwargs)
+        self.config = config
+        self.drops = config.drop
+        self.dropped: Set[int] = set()
+        self._dead_resident: Set[int] = set()
+        self._fwd_steps = {step.index: step for step in plan.forward}
+        self._protected = frozenset(
+            node.storage_index for node in network
+            if node.kind is LayerKind.INPUT) if config.drop \
+            else frozenset()
+        self._sp405_seen: Set[int] = set()
+
+    # -- forward --------------------------------------------------------
+    def _dead_release(self, step, dead) -> None:
+        if dead.owner in self._protected:
+            return  # replays may need the input batch
+        super()._dead_release(step, dead)
+
+    def _offload(self, step) -> None:
+        if step.index not in self.drops:
+            super()._offload(step)
+            return
+        # RECOMPUTE: free now, regenerate from producers in backward.
+        for rec in step.offload_candidates:
+            self.dropped.add(rec.owner)
+            nbytes = self.device.pop(rec.owner, None)
+            if nbytes is None:
+                if rec.owner not in self.flagged:
+                    self.report.add(
+                        "SP404",
+                        f"fwd {step.name}: drop of Y{rec.owner} targets "
+                        f"nothing (buffer not on device)",
+                        refs=(f"fwd#{step.index}",))
+                continue
+            self._free(nbytes)
+
+    # -- backward -------------------------------------------------------
+    def _missing_required(self, step, rec) -> None:
+        self._ensure(rec.owner, step)
+
+    def _ensure(self, owner: int, step) -> None:
+        if owner in self.device:
+            return
+        if owner in self.host:
+            self._demand_restore(step, self.plan.records[owner])
+            return
+        self._remat(owner, step)
+
+    def _remat(self, owner: int, step) -> None:
+        rec = self.plan.records.get(owner)
+        if rec is None or self.network[owner].kind is LayerKind.INPUT:
+            # Inputs cannot be recomputed from anything: the replay
+            # would allocate Y and run zero kernels — garbage data.
+            if owner not in self.flagged \
+                    and owner not in self._sp405_seen:
+                self._sp405_seen.add(owner)
+                self.report.add(
+                    "SP405",
+                    f"bwd {step.name}: re-materialization of Y{owner} "
+                    f"bottoms out at the freed INPUT batch — inputs "
+                    f"cannot be recomputed",
+                    refs=(f"bwd#{step.index}",))
+            if rec is None:
+                return
+        info = rec.info
+        if not info.needed_backward:
+            self._dead_resident.add(owner)
+        for member in info.chain:
+            for producer in self.network[member].producers:
+                source = self.network[producer].storage_index
+                if source != owner and source not in self.device:
+                    self._ensure(source, step)
+        self.device[owner] = rec.nbytes
+        self._alloc(rec.nbytes,
+                    f"bwd {step.name}: remat Y{owner} ({rec.name})")
+        for member in info.chain:
+            fstep = self._fwd_steps[member]
+            if fstep.is_input:
+                continue
+            if fstep.ws_bytes:
+                # alloc → replay kernel → free: same peak as the
+                # executor's transient replay workspace.
+                self._alloc(fstep.ws_bytes,
+                            f"bwd {step.name}: remat workspace "
+                            f"{fstep.name}(re)")
+                self._free(fstep.ws_bytes)
+
+    def _backward(self, step) -> None:
+        super()._backward(step)
+        if self._dead_resident:
+            for owner in sorted(self._dead_resident):
+                nbytes = self.device.pop(owner, None)
+                if nbytes is not None:
+                    self._free(nbytes)
+            self._dead_resident.clear()
+
+    # -- end of iteration ----------------------------------------------
+    def _finish(self) -> None:
+        # The protected input survives forward by design when anything
+        # drops; free it silently so the leak sweep stays meaningful.
+        for owner in self._protected:
+            nbytes = self.device.pop(owner, None)
+            if nbytes is not None:
+                self._free(nbytes)
+        super()._finish()
+
+
+def interpret_joint_plan(
+    network: Network,
+    system: SystemConfig,
+    plan: CompiledPlan,
+    config,
+    *,
+    report: Optional[Report] = None,
+    flagged: FrozenSet[int] = frozenset(),
+    subject: str = "",
+) -> PlanInterpretation:
+    """Abstractly execute one (plan, joint config) point."""
+    return _JointInterpreter(
+        network, system, plan, config,
         report=report, flagged=flagged, subject=subject,
     ).run()
 
@@ -630,6 +791,52 @@ def audit_plan(network: Network, plan: CompiledPlan,
 
 
 # ----------------------------------------------------------------------
+# SP407: compression-model consistency
+# ----------------------------------------------------------------------
+def audit_compression(network: Network, system: SystemConfig,
+                      plan: CompiledPlan, report: Report) -> None:
+    """Re-derive every record's wire format from the compression model.
+
+    A plan whose ``comp_nbytes`` disagrees with the model (or escapes
+    ``(0, nbytes]``) would make the static walk and the simulation
+    account different PCIe traffic and pinned pressure for compressed
+    policies — the exact drift the bit-equality differential tests
+    exist to catch, reported here before anything runs.
+    """
+    comp = system.compression
+    relu_owners = frozenset(
+        node.storage_index for node in network
+        if node.kind is LayerKind.ACTV)
+    span = max(1, len(network) - 1)
+    for owner in sorted(plan.records):
+        rec = plan.records[owner]
+        if rec.nbytes and not 0 < rec.comp_nbytes <= rec.nbytes:
+            report.add(
+                "SP407",
+                f"Y{owner} ({rec.name}) wire size {rec.comp_nbytes} "
+                f"escapes (0, {rec.nbytes}] — a compressed transfer must "
+                f"move at least one and at most nbytes bytes")
+            continue
+        expected = comp.compressed_bytes(
+            rec.nbytes, owner in relu_owners, owner / span)
+        if rec.comp_nbytes != expected:  # repro: allow(LINT204)
+            report.add(
+                "SP407",
+                f"Y{owner} ({rec.name}) wire size {rec.comp_nbytes} "
+                f"disagrees with the compression model "
+                f"(expected {expected} bytes)")
+            continue
+        expected_seconds = comp.engine_latency \
+            + system.pcie.dma_time(rec.comp_nbytes)
+        if rec.comp_dma_seconds != expected_seconds:  # repro: allow(LINT204)
+            report.add(
+                "SP407",
+                f"Y{owner} ({rec.name}) compressed DMA duration "
+                f"{rec.comp_dma_seconds} disagrees with engine latency "
+                f"+ link time ({expected_seconds})")
+
+
+# ----------------------------------------------------------------------
 # Entry points for training plans
 # ----------------------------------------------------------------------
 def verify_compiled_plan(
@@ -647,6 +854,7 @@ def verify_compiled_plan(
     report = Report(subject=subject or
                     f"{plan.network_name} {policy.describe()} [static]")
     flagged = frozenset(audit_plan(network, plan, report))
+    audit_compression(network, system, plan, report)
     interp = interpret_plan(
         network, system, plan, policy,
         bounded_prefetch_window=bounded_prefetch_window,
@@ -685,6 +893,43 @@ def verify_plan(
         sync_after_offload=sync_after_offload,
         sync_after_prefetch=sync_after_prefetch,
         subject=subject)
+
+
+def verify_joint_plan(
+    network: Network,
+    system: SystemConfig,
+    config,
+    algos: AlgoConfig,
+    subject: str = "",
+) -> Report:
+    """Prove the SP4xx rules for one joint configuration.
+
+    Same ledger as :func:`verify_compiled_plan` (structural audit,
+    SP407 compression consistency, the abstract walk, the SP401 tail),
+    plus the SP405 obligation every drop trigger adds: each dropped
+    storage must be re-materializable from state the mixed schedule
+    actually keeps resident — which the joint walk itself discharges,
+    reporting any replay that bottoms out at the freed INPUT batch.
+    """
+    report = Report(subject=subject or
+                    f"{network.name} {config.describe()} [static]")
+    plan = compiled_plan(network, system, algos)
+    flagged = frozenset(audit_plan(network, plan, report))
+    audit_compression(network, system, plan, report)
+    interp = interpret_joint_plan(
+        network, system, plan, config,
+        report=report, flagged=flagged, subject=report.subject)
+    if interp.aborted is not None:
+        report.add("SP401",
+                   f"plan aborts before completing: {interp.aborted}",
+                   refs=("pinned-host budget",))
+    elif interp.first_over_budget is not None:
+        report.add("SP401",
+                   f"statically computed peak {interp.max_usage_bytes} "
+                   f"bytes exceeds GPU capacity {interp.budget_bytes} "
+                   f"bytes; first over-budget allocation: "
+                   f"{interp.first_over_budget}")
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -729,6 +974,37 @@ def plan_dynamic_static(
     policy, algos, _adopted = run_profiling_ladder(
         network, probe, system.gpu.memory_bytes)
     return policy, algos, passes
+
+
+def plan_joint_static(
+    network: Network, system: SystemConfig
+) -> Tuple["JointConfig", AlgoConfig, List[StaticProbe]]:
+    """The joint configuration, chosen by interpretation alone.
+
+    The joint analogue of :func:`plan_dynamic_static`: replays
+    :func:`repro.core.joint.run_joint_ladder` probe for probe, each an
+    abstract walk under :class:`_JointInterpreter`.  The ladder adopts
+    by trainability and the deterministic plan-derived cost model only
+    — never by simulated time — so this and
+    :func:`repro.core.joint.plan_joint` always settle on the identical
+    configuration (the parity differential test pins it).
+    """
+    from ..core.joint import run_joint_ladder
+
+    passes: List[StaticProbe] = []
+
+    def probe(config, algos: AlgoConfig,
+              description: str) -> PlanInterpretation:
+        plan = compiled_plan(network, system, algos)
+        interp = interpret_joint_plan(network, system, plan, config,
+                                      subject=description)
+        passes.append(StaticProbe(description, config.describe(),
+                                  algos.label, interp.trainable))
+        return interp
+
+    config, algos, _adopted = run_joint_ladder(
+        network, system, probe, system.gpu.memory_bytes)
+    return config, algos, passes
 
 
 # ----------------------------------------------------------------------
@@ -776,9 +1052,18 @@ def verify_point_static(
             return Report(subject=f"{subject} (untrainable, skipped)")
         return verify_plan(network, system, transfer, algos,
                            subject=subject)
+    if policy == "joint":
+        subject = f"{network.name} joint"
+        try:
+            config, algos, _passes = plan_joint_static(network, system)
+        except UntrainableError:
+            return Report(subject=f"{subject} (untrainable, skipped)")
+        return verify_joint_plan(network, system, config, algos,
+                                 subject=subject)
     transfer = {
         "all": TransferPolicy.vdnn_all,
         "conv": TransferPolicy.vdnn_conv,
+        "comp": TransferPolicy.vdnn_comp,
         "none": TransferPolicy.none,
     }[policy]()
     return verify_plan(network, system, transfer, _algos(network, algo),
@@ -793,7 +1078,7 @@ def verify_zoo_static(
 ) -> List[Report]:
     """Statically verify the whole sweep grid; builds each network once.
 
-    No worker pool: the entire 98-point grid interprets in under two
+    No worker pool: the entire 140-point grid interprets in a few
     seconds, so process fan-out would only add overhead.
     """
     from ..zoo import available, build

@@ -36,13 +36,17 @@ from .hb import HBGraph, check_races
 from .safety import check_memory_safety
 from .trace import ScheduleTrace
 
-#: The CI sweep grid: the four paper policies; dynamic selects its own
-#: algorithm configuration, so it is one point instead of two.
+#: The CI sweep grid: the four paper policies plus the cDMA-compressed
+#: offload and the joint keep/offload/compress/recompute planner;
+#: dynamic and joint select their own algorithm configuration, so each
+#: is one point instead of two.
 SWEEP_POLICIES: Tuple[Tuple[str, str], ...] = (
     ("base", "m"), ("base", "p"),
     ("conv", "m"), ("conv", "p"),
     ("all", "m"), ("all", "p"),
+    ("comp", "m"), ("comp", "p"),
     ("dyn", "-"),
+    ("joint", "-"),
 )
 
 
@@ -104,10 +108,21 @@ def verify_point(
             return Report(subject=f"{subject} (untrainable, skipped)")
         result = simulate_vdnn(network, system, plan.policy, plan.algos,
                                verify=True)
+    elif policy == "joint":
+        subject = f"{network.name} joint"
+        from ..core.joint import plan_joint, simulate_joint_config
+
+        try:
+            jplan = plan_joint(network, system)
+        except UntrainableError:
+            return Report(subject=f"{subject} (untrainable, skipped)")
+        result = simulate_joint_config(network, system, jplan.config,
+                                       jplan.algos, verify=True)
     else:
         transfer = {
             "all": TransferPolicy.vdnn_all,
             "conv": TransferPolicy.vdnn_conv,
+            "comp": TransferPolicy.vdnn_comp,
             "none": TransferPolicy.none,
         }[policy]()
         result = simulate_vdnn(network, system, transfer,

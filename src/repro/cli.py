@@ -192,8 +192,8 @@ def _cmd_sweep(args) -> int:
     sweep = compare_policies(network, jobs=args.jobs)
     oracle = oracular_baseline(network)
     rows = []
-    for key in ("all(m)", "all(p)", "conv(m)", "conv(p)", "dyn",
-                "base(m)", "base(p)"):
+    for key in ("all(m)", "all(p)", "conv(m)", "conv(p)", "comp(m)",
+                "comp(p)", "dyn", "joint", "base(m)", "base(p)"):
         r = sweep[key]
         star = "" if r.trainable else "*"
         rows.append([
@@ -753,7 +753,8 @@ def make_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("network", choices=available())
     p_eval.add_argument("--batch", type=int, default=None)
     p_eval.add_argument("--policy", default="dyn",
-                        choices=["all", "conv", "none", "base", "dyn"])
+                        choices=["all", "conv", "comp", "none", "base",
+                                 "dyn", "joint"])
     p_eval.add_argument("--algo", default="p", choices=["m", "p"])
     p_eval.add_argument("--faults", default=None,
                         help="fault spec, e.g. dma=0.1,pcie=0.5,jitter=0.2")
@@ -902,7 +903,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("network", choices=available())
     p_faults.add_argument("--batch", type=int, default=None)
     p_faults.add_argument("--policy", default="all",
-                          choices=["all", "conv", "dyn"])
+                          choices=["all", "conv", "comp", "dyn"])
     p_faults.add_argument("--algo", default="p", choices=["m", "p"])
     p_faults.add_argument("--spec",
                           default="dma=0.05,pcie=0.7,jitter=0.1",
@@ -923,7 +924,8 @@ def make_parser() -> argparse.ArgumentParser:
                            help="network to evaluate (omit with --schedule)")
     p_metrics.add_argument("--batch", type=int, default=None)
     p_metrics.add_argument("--policy", default="dyn",
-                           choices=["all", "conv", "none", "base", "dyn"])
+                           choices=["all", "conv", "comp", "none", "base",
+                                    "dyn", "joint"])
     p_metrics.add_argument("--algo", default="p", choices=["m", "p"])
     p_metrics.add_argument("--faults", default=None,
                            help="fault spec, e.g. dma=0.1,pcie=0.5")
@@ -963,7 +965,8 @@ def make_parser() -> argparse.ArgumentParser:
                                "grid for it)")
     p_verify.add_argument("--batch", type=int, default=None)
     p_verify.add_argument("--policy", default=None,
-                          choices=["all", "conv", "none", "base", "dyn"],
+                          choices=["all", "conv", "comp", "none", "base",
+                                   "dyn", "joint"],
                           help="verify one policy point instead of the grid")
     p_verify.add_argument("--algo", default="p", choices=["m", "p"])
     p_verify.add_argument("--all-zoo", action="store_true",

@@ -15,8 +15,16 @@ from .inference import (
     simulate_inference,
     weight_load_bytes,
 )
+from .joint import (
+    JointConfig,
+    JointDecision,
+    JointPlan,
+    plan_joint,
+    simulate_joint,
+    simulate_joint_config,
+)
 from .planner import TrainingRunPlan, plan_training_run
-from .recompute import simulate_recompute
+from .recompute import RecomputePlan, plan_recompute, simulate_recompute
 from .dynamic import (
     DynamicPlan,
     ProfilingPass,
@@ -39,7 +47,11 @@ __all__ = [
     "CapacityReport",
     "DataParallelReport",
     "DynamicPlan",
+    "JointConfig",
+    "JointDecision",
+    "JointPlan",
     "PagingReport",
+    "RecomputePlan",
     "TrainingRunPlan",
     "IterationResult",
     "LivenessAnalysis",
@@ -62,12 +74,16 @@ __all__ = [
     "oracular_baseline",
     "paging_vs_vdnn",
     "plan_dynamic",
+    "plan_joint",
+    "plan_recompute",
     "plan_training_run",
     "baseline_inference_bytes",
     "simulate_baseline",
     "simulate_data_parallel",
     "simulate_dynamic",
     "simulate_inference",
+    "simulate_joint",
+    "simulate_joint_config",
     "simulate_page_migration",
     "simulate_recompute",
     "simulate_vdnn",

@@ -9,8 +9,10 @@ Typical use::
     result = evaluate(net, policy="dyn")
     print(result.trainable, result.max_usage_bytes, result.total_time)
 
-``policy`` accepts ``"base"``, ``"all"``, ``"conv"``, ``"none"`` or
-``"dyn"``; ``algo`` accepts ``"m"`` (memory-optimal) or ``"p"``
+``policy`` accepts ``"base"``, ``"all"``, ``"conv"``, ``"comp"``
+(compressed offload through the cDMA engine), ``"none"``, ``"dyn"`` or
+``"joint"`` (the per-layer keep/offload/compress/recompute planner);
+``algo`` accepts ``"m"`` (memory-optimal) or ``"p"``
 (performance-optimal).  ``compare_policies`` reproduces one network's
 column group of the paper's Figures 11/14.
 
@@ -19,7 +21,7 @@ Every entry point consults the content-addressed simulation cache
 are simulated once and replayed from pickled results afterwards.  Pass
 ``use_cache=False`` (or set ``REPRO_NO_CACHE=1``) to force fresh
 simulation; results are bit-identical either way.  ``compare_policies``
-additionally accepts ``jobs`` to fan its seven configurations out
+additionally accepts ``jobs`` to fan its ten configurations out
 across worker processes.
 """
 
@@ -37,7 +39,7 @@ from .dynamic import simulate_dynamic
 from .executor import IterationResult
 from .policy import TransferPolicy
 
-_POLICIES = ("all", "conv", "dyn", "base", "none")
+_POLICIES = ("all", "conv", "comp", "dyn", "joint", "base", "none")
 _ALGOS = ("m", "p")
 
 
@@ -101,9 +103,26 @@ def evaluate(
             result.policy_label = "vDNN_dyn"
             result.algo_label = plan.algos.label
             return result
+        if policy == "joint":
+            if faults is not None:
+                raise ValueError(
+                    "joint planning under fault injection is not "
+                    "supported; fault injection applies to the vDNN "
+                    "transfer policies (all, conv, comp, dyn)")
+            from .joint import plan_joint, simulate_joint_config
+
+            jplan = plan_joint(network, system, use_cache=use_cache)
+            result = simulate_joint_config(
+                network, system, jplan.config, jplan.algos,
+                verify=verify, obs=obs)
+            # Same relabeling contract as dyn above.
+            result.policy_label = "vDNN_joint"
+            result.algo_label = jplan.algos.label
+            return result
         transfer = {
             "all": TransferPolicy.vdnn_all,
             "conv": TransferPolicy.vdnn_conv,
+            "comp": TransferPolicy.vdnn_comp,
             "none": TransferPolicy.none,
         }[policy]()
         return simulate_vdnn(
@@ -111,12 +130,17 @@ def evaluate(
             verify=verify, faults=faults, fault_seed=fault_seed, obs=obs)
     if policy == "dyn":
         return simulate_dynamic(network, system, use_cache=use_cache)
+    if policy == "joint":
+        from .joint import simulate_joint
+
+        return simulate_joint(network, system, use_cache=use_cache)
     algos = _algo_config(network, algo)
     if policy == "base":
         return cached_baseline(network, system, algos, use_cache=use_cache)
     transfer = {
         "all": TransferPolicy.vdnn_all,
         "conv": TransferPolicy.vdnn_conv,
+        "comp": TransferPolicy.vdnn_comp,
         "none": TransferPolicy.none,
     }[policy]()
     return cached_vdnn(network, system, transfer, algos, use_cache=use_cache)
@@ -145,7 +169,8 @@ def compare_policies(
     """One network's full policy x algorithm sweep (Figures 11/14).
 
     Keys follow the paper's column labels: ``all(m)``, ``all(p)``,
-    ``conv(m)``, ``conv(p)``, ``dyn``, ``base(m)``, ``base(p)``.
+    ``conv(m)``, ``conv(p)``, ``comp(m)``, ``comp(p)``, ``dyn``,
+    ``joint``, ``base(m)``, ``base(p)``.
 
     With ``jobs > 1`` the configurations are simulated concurrently in
     worker processes (warming the cache), then assembled serially from
@@ -159,11 +184,13 @@ def compare_policies(
         points = [
             SweepPoint(network=network, policy=policy, algo=algo,
                        system=system)
-            for policy in ("all", "conv") for algo in _ALGOS
+            for policy in ("all", "conv", "comp") for algo in _ALGOS
         ]
         if include_dynamic:
             points.append(
                 SweepPoint(network=network, policy="dyn", system=system))
+            points.append(
+                SweepPoint(network=network, policy="joint", system=system))
         points += [
             SweepPoint(network=network, policy="base", algo=algo,
                        system=system)
@@ -172,13 +199,15 @@ def compare_policies(
         sweep(points, jobs=jobs, use_cache=use_cache)
 
     results: Dict[str, IterationResult] = {}
-    for policy in ("all", "conv"):
+    for policy in ("all", "conv", "comp"):
         for algo in _ALGOS:
             results[f"{policy}({algo})"] = evaluate(
                 network, system, policy, algo, use_cache=use_cache)
     if include_dynamic:
         results["dyn"] = evaluate(network, system, "dyn",
                                   use_cache=use_cache)
+        results["joint"] = evaluate(network, system, "joint",
+                                    use_cache=use_cache)
     for algo in _ALGOS:
         results[f"base({algo})"] = evaluate(
             network, system, "base", algo, use_cache=use_cache)

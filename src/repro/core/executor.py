@@ -84,6 +84,9 @@ class IterationResult:
     prefetch_bytes: int
     pinned_peak_bytes: int
     compute_stall_seconds: float
+    #: Uncompressed bytes behind ``offload_bytes``: equal for plain
+    #: policies, larger when the cDMA engine shrank the wire traffic.
+    offload_raw_bytes: int = 0
     offloaded_layers: List[int] = field(default_factory=list)
     #: Per-layer weight bytes an inference pass must load on-device,
     #: keyed by layer index (populated by ``simulate_inference``; empty
@@ -306,11 +309,17 @@ class _VDNNSimulation:
         self.offloaded_at: Dict[int, List[StorageRecord]] = {}
         # storage owner -> pinned host buffer
         self.host_buffers: Dict[int, object] = {}
+        # storage owner -> wire bytes / DMA seconds actually staged on
+        # the host (compressed offloads shrink both; the return trip
+        # replays the same wire format).
+        self.host_wire: Dict[int, int] = {}
+        self.host_wire_seconds: Dict[int, float] = {}
         # storage owner -> True once restored by a prefetch
         self.restored: Dict[int, bool] = {}
 
         self.stall_seconds = 0.0
         self.offload_bytes = 0
+        self.offload_raw_bytes = 0
         self.prefetch_bytes = 0
         self.external_bytes = 0
         self.offloaded_layers: List[int] = []
@@ -524,10 +533,17 @@ class _VDNNSimulation:
     def _offload_inputs(self, step: ForwardStep, fwd_start: float,
                         fwd_op) -> None:
         index = step.index
+        compress = self.policy.compresses(index)
         completed: List[StorageRecord] = []
         for rec in step.offload_candidates:
+            # Wire format: the cDMA engine stages and moves the
+            # compressed image; decompression happens on the return
+            # trip, so device allocations stay full-size.
+            wire = rec.comp_nbytes if compress else rec.nbytes
+            wire_seconds = rec.comp_dma_seconds if compress \
+                else rec.dma_seconds
             try:
-                buffer = self.pinned.alloc(rec.nbytes, rec.host_tag)
+                buffer = self.pinned.alloc(wire, rec.host_tag)
             except PinnedMemoryError as error:
                 if self.faults is None:
                     raise
@@ -537,16 +553,16 @@ class _VDNNSimulation:
                 self.faults.record(
                     "pinned-pressure", self.memory.ready_time,
                     rec.y_buf, outcome="degraded",
-                    nbytes=rec.nbytes,
+                    nbytes=wire,
                     detail=f"offload skipped, tensor stays resident "
                            f"({error})",
                 )
                 continue
             self.host_buffers[rec.owner] = buffer
             transfer, attempts = self._transfer(
-                _OFFLOAD, rec.name, rec.nbytes,
+                _OFFLOAD, rec.name, wire,
                 earliest_start=fwd_start, layer_index=index,
-                fault_kind="offload", seconds=rec.dma_seconds,
+                fault_kind="offload", seconds=wire_seconds,
             )
             if transfer is None:
                 # Retry budget exhausted: abandon the offload and
@@ -555,7 +571,7 @@ class _VDNNSimulation:
                 self.faults.record(
                     "dma-offload", self.memory.ready_time,
                     rec.y_buf, attempts=attempts,
-                    outcome="degraded", nbytes=rec.nbytes,
+                    outcome="degraded", nbytes=wire,
                     detail="offload abandoned, tensor stays resident",
                 )
                 continue
@@ -563,7 +579,7 @@ class _VDNNSimulation:
                 self.faults.record(
                     "dma-offload", transfer[1], rec.y_buf,
                     attempts=attempts, outcome="recovered",
-                    nbytes=rec.nbytes,
+                    nbytes=wire,
                     detail="transient DMA failure, retry succeeded",
                 )
             if self.trace is not None:
@@ -573,14 +589,19 @@ class _VDNNSimulation:
                 # before the transfer that reads its output.
                 self.trace.offload(
                     rec.y_buf, self.memory.name,
-                    nbytes=rec.nbytes,
+                    nbytes=wire,
                     label=f"off[{rec.name}]",
                     layer=index, owner=rec.owner, target_layer=index,
                     wait_stream=self.compute.name,
                     wait_pos=fwd_op.pos - 1,
                     start=transfer[0], end=transfer[1],
                 )
-            self.offload_bytes += rec.nbytes
+            self.host_wire[rec.owner] = wire
+            self.host_wire_seconds[rec.owner] = wire_seconds
+            self.offload_bytes += wire
+            self.offload_raw_bytes += rec.nbytes
+            if compress and self.obs is not None:
+                self.obs.compression(rec.nbytes, wire)
             completed.append(rec)
         if completed:
             self.offloaded_at[index] = completed
@@ -610,6 +631,9 @@ class _VDNNSimulation:
 
     def _restore_on_demand(self, rec: StorageRecord, index: int) -> None:
         """Blocking prefetch for data the scheduler failed to stage."""
+        wire = self.host_wire.get(rec.owner, rec.nbytes)
+        wire_seconds = self.host_wire_seconds.get(
+            rec.owner, rec.dma_seconds)
         self.device[rec.owner] = self._alloc(
             rec.owner, rec.nbytes, rec.demand_tag,
             buffer=rec.y_buf, layer=index, towner=rec.owner,
@@ -617,10 +641,10 @@ class _VDNNSimulation:
         if self.obs is not None:
             self.obs.prefetch_event("demand")
         transfer, attempts = self._transfer(
-            _PREFETCH, rec.name + "(demand)", rec.nbytes,
+            _PREFETCH, rec.name + "(demand)", wire,
             earliest_start=self.compute.ready_time, layer_index=index,
             fault_kind="prefetch", direction="demand",
-            seconds=rec.dma_seconds,
+            seconds=wire_seconds,
         )
         if transfer is None:
             # The backward kernel cannot run without this tensor and the
@@ -628,7 +652,7 @@ class _VDNNSimulation:
             self._free(self.device.pop(rec.owner), layer=index)
             self.faults.record(
                 "dma-demand", self.memory.ready_time, rec.y_buf,
-                attempts=attempts, outcome="fatal", nbytes=rec.nbytes,
+                attempts=attempts, outcome="fatal", nbytes=wire,
                 detail="demand fetch exhausted its retry budget",
             )
             raise DMAAbortError(
@@ -639,20 +663,20 @@ class _VDNNSimulation:
             self.faults.record(
                 "dma-demand", transfer[1], rec.y_buf,
                 attempts=attempts, outcome="recovered",
-                nbytes=rec.nbytes,
+                nbytes=wire,
                 detail="transient DMA failure, retry succeeded",
             )
         if self.trace is not None:
             self.trace.prefetch(
                 rec.y_buf, self.memory.name,
-                nbytes=rec.nbytes,
+                nbytes=wire,
                 label=f"pre[{rec.name}](demand)",
                 layer=index, owner=rec.owner,
                 wait_stream=self.compute.name,
                 wait_pos=self.trace.position(self.compute.name),
                 demand=True, start=transfer[0], end=transfer[1],
             )
-        self.prefetch_bytes += rec.nbytes
+        self.prefetch_bytes += wire
         self._stall(f"demand-fetch {rec.owner}", index,
                     cause="demand-fetch")
         self.pinned.free(self.host_buffers.pop(rec.owner))
@@ -699,14 +723,17 @@ class _VDNNSimulation:
             for rec in self.offloaded_at.get(prefetch_target, ()):
                 if self.restored.get(rec.owner):
                     continue
+                wire = self.host_wire.get(rec.owner, rec.nbytes)
+                wire_seconds = self.host_wire_seconds.get(
+                    rec.owner, rec.dma_seconds)
                 device[rec.owner] = self._alloc(
                     rec.owner, rec.nbytes, rec.pre_tag,
                     buffer=rec.y_buf, layer=index, towner=rec.owner,
                 )
                 transfer, attempts = self._transfer(
-                    _PREFETCH, rec.name, rec.nbytes,
+                    _PREFETCH, rec.name, wire,
                     earliest_start=kernel_start, layer_index=index,
-                    fault_kind="prefetch", seconds=rec.dma_seconds,
+                    fault_kind="prefetch", seconds=wire_seconds,
                 )
                 if transfer is None:
                     # Prefetch abandoned: roll back the claim so the
@@ -719,7 +746,7 @@ class _VDNNSimulation:
                     self.faults.record(
                         "dma-prefetch", self.memory.ready_time,
                         rec.y_buf, attempts=attempts,
-                        outcome="deferred", nbytes=rec.nbytes,
+                        outcome="deferred", nbytes=wire,
                         detail="prefetch abandoned, claim rolled back; "
                                "will retry or demand-fetch",
                     )
@@ -728,13 +755,13 @@ class _VDNNSimulation:
                     self.faults.record(
                         "dma-prefetch", transfer[1], rec.y_buf,
                         attempts=attempts, outcome="recovered",
-                        nbytes=rec.nbytes,
+                        nbytes=wire,
                         detail="transient DMA failure, retry succeeded",
                     )
                 if self.trace is not None:
                     self.trace.prefetch(
                         rec.y_buf, self.memory.name,
-                        nbytes=rec.nbytes,
+                        nbytes=wire,
                         label=f"pre[{rec.name}]",
                         layer=index, owner=rec.owner,
                         target_layer=prefetch_target,
@@ -742,7 +769,7 @@ class _VDNNSimulation:
                         wait_pos=self.trace.position(self.compute.name),
                         start=transfer[0], end=transfer[1],
                     )
-                self.prefetch_bytes += rec.nbytes
+                self.prefetch_bytes += wire
                 self.pinned.free(self.host_buffers.pop(rec.owner))
                 self.restored[rec.owner] = True
                 launched_prefetch = True
@@ -911,6 +938,7 @@ def simulate_vdnn(
         prefetch_bytes=sim.prefetch_bytes,
         pinned_peak_bytes=sim.pinned.peak_bytes,
         compute_stall_seconds=sim.stall_seconds,
+        offload_raw_bytes=sim.offload_raw_bytes,
         offloaded_layers=sim.offloaded_layers,
         schedule_trace=sim.trace,
         fault_report=injector.report if injector is not None else None,

@@ -39,14 +39,16 @@ from .policy import TransferPolicy
 
 class StorageRecord:
     """One feature-map storage with every derived fact the executor
-    needs precomputed: liveness, DMA duration on this link, and the
-    tag/buffer strings the allocator and schedule trace use."""
+    needs precomputed: liveness, DMA duration on this link (raw and
+    cDMA-compressed), and the tag/buffer strings the allocator and
+    schedule trace use."""
 
     __slots__ = ("info", "owner", "nbytes", "name", "y_buf", "g_buf",
                  "g_tag", "host_tag", "pre_tag", "demand_tag",
-                 "dma_seconds")
+                 "dma_seconds", "comp_nbytes", "comp_dma_seconds")
 
-    def __init__(self, info: StorageInfo, name: str, dma_seconds: float):
+    def __init__(self, info: StorageInfo, name: str, dma_seconds: float,
+                 comp_nbytes: int, comp_dma_seconds: float):
         self.info = info
         self.owner = info.owner
         self.nbytes = info.nbytes
@@ -58,6 +60,8 @@ class StorageRecord:
         self.pre_tag = f"X[{info.owner}](pre)"
         self.demand_tag = f"X[{info.owner}](demand)"
         self.dma_seconds = dma_seconds
+        self.comp_nbytes = comp_nbytes
+        self.comp_dma_seconds = comp_dma_seconds
 
 
 class ForwardStep:
@@ -147,12 +151,23 @@ class CompiledPlan:
         pcie = system.pcie
 
         self.network_name = network.name
-        self.records: Dict[int, StorageRecord] = {
-            info.owner: StorageRecord(info, network[info.owner].name,
-                                      pcie.dma_time(info.nbytes))
-            for info in liveness.all_storages()
-        }
-        records = self.records
+
+        # ReLU-sparsity compressibility (cDMA): a storage compresses if
+        # any layer writing it — the owner or an in-place ACTV rewriting
+        # the same buffer — is a ReLU output.
+        relu_owners = frozenset(
+            node.storage_index for node in network
+            if node.kind is LayerKind.ACTV)
+        comp = system.compression
+        span = max(1, len(network) - 1)
+        records: Dict[int, StorageRecord] = {}
+        for info in liveness.all_storages():
+            wire = comp.compressed_bytes(
+                info.nbytes, info.owner in relu_owners, info.owner / span)
+            records[info.owner] = StorageRecord(
+                info, network[info.owner].name, pcie.dma_time(info.nbytes),
+                wire, comp.engine_latency + pcie.dma_time(wire))
+        self.records = records
 
         # -- persistent weights ----------------------------------------
         persistent: List[PersistentAlloc] = []
@@ -339,8 +354,8 @@ def _algo_signature(algos: AlgoConfig) -> tuple:
         for index, profile in algos.profiles.items()))
 
 
-#: network -> {(gpu, pcie, algo signature) -> CompiledPlan}.  Plans hold
-#: no network reference, so entries die with their network.
+#: network -> {(gpu, pcie, compression, algo signature) -> CompiledPlan}.
+#: Plans hold no network reference, so entries die with their network.
 _PLANS: "weakref.WeakKeyDictionary[Network, Dict[tuple, CompiledPlan]]" = \
     weakref.WeakKeyDictionary()
 
@@ -348,7 +363,8 @@ _PLANS: "weakref.WeakKeyDictionary[Network, Dict[tuple, CompiledPlan]]" = \
 def compiled_plan(network: Network, system: SystemConfig,
                   algos: AlgoConfig) -> CompiledPlan:
     """The cached plan for this (network, hardware, algo-config) point."""
-    key = (system.gpu, system.pcie, _algo_signature(algos))
+    key = (system.gpu, system.pcie, system.compression,
+           _algo_signature(algos))
     table = _PLANS.get(network)
     if table is None:
         table = {}

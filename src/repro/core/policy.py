@@ -31,6 +31,7 @@ class PolicyKind(enum.Enum):
     ALL = "all"
     CONV = "conv"
     NONE = "none"
+    COMP = "comp"
     CUSTOM = "custom"
 
 
@@ -39,11 +40,14 @@ class TransferPolicy:
     """Which layers offload their input feature maps.
 
     Use the factory classmethods; ``CUSTOM`` policies carry an explicit
-    set of layer indices allowed to offload.
+    set of layer indices allowed to offload, plus the subset of those
+    whose transfers ride the compressing DMA engine.  ``COMP`` offloads
+    everywhere ``ALL`` does but compresses every transfer.
     """
 
     kind: PolicyKind
     offload_layers: FrozenSet[int] = field(default_factory=frozenset)
+    compress_layers: FrozenSet[int] = field(default_factory=frozenset)
 
     # -- factories ------------------------------------------------------
     @classmethod
@@ -59,8 +63,14 @@ class TransferPolicy:
         return cls(PolicyKind.NONE)
 
     @classmethod
-    def custom(cls, offload_layers) -> "TransferPolicy":
-        return cls(PolicyKind.CUSTOM, frozenset(offload_layers))
+    def vdnn_comp(cls) -> "TransferPolicy":
+        return cls(PolicyKind.COMP)
+
+    @classmethod
+    def custom(cls, offload_layers,
+               compress_layers=()) -> "TransferPolicy":
+        return cls(PolicyKind.CUSTOM, frozenset(offload_layers),
+                   frozenset(compress_layers))
 
     # -- queries --------------------------------------------------------
     def wants_offload(self, node: NetworkNode) -> bool:
@@ -75,13 +85,19 @@ class TransferPolicy:
             return False
         if node.kind in (LayerKind.ACTV, LayerKind.DROPOUT, LayerKind.INPUT):
             return False
-        if self.kind is PolicyKind.ALL:
+        if self.kind in (PolicyKind.ALL, PolicyKind.COMP):
             return True
         if self.kind is PolicyKind.CONV:
             return node.kind is LayerKind.CONV
         if self.kind is PolicyKind.NONE:
             return False
         return node.index in self.offload_layers
+
+    def compresses(self, index: int) -> bool:
+        """Whether layer ``index``'s offload DMA uses the cDMA engine."""
+        if self.kind is PolicyKind.COMP:
+            return True
+        return index in self.compress_layers
 
     def offload_set(self, network: Network) -> FrozenSet[int]:
         """All layer indices this policy would like to offload."""

@@ -277,6 +277,89 @@ class _RecomputeSimulation:
         self.gradients.clear()
 
 
+def droppable_count(network: Network,
+                    liveness: Optional[LivenessAnalysis] = None) -> int:
+    """How many storages a checkpoint plan may drop (Chen et al.'s L)."""
+    liveness = liveness or LivenessAnalysis(network)
+    return sum(
+        1 for s in liveness.all_storages()
+        if s.needed_backward
+        and network[s.owner].is_feature_extraction
+        and network[s.owner].kind is not LayerKind.INPUT)
+
+
+@dataclass(frozen=True)
+class RecomputePlan:
+    """A budget-fitted checkpoint plan plus the probes that chose it.
+
+    ``probes`` records every ``(segment_count, fits)`` pair the ladder
+    tried, in order — the recompute analogue of vDNN_dyn's profiling
+    passes.
+    """
+
+    segment_count: int
+    plan: CheckpointPlan
+    result: IterationResult
+    probes: Tuple[Tuple[int, bool], ...]
+
+
+def plan_recompute(
+    network: Network,
+    system: SystemConfig,
+    algos: AlgoConfig,
+    budget_bytes: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+) -> RecomputePlan:
+    """Budgeted segment selection: the most checkpoints that fit.
+
+    Recompute time falls monotonically as checkpoints grow (shorter
+    replays), while memory grows — so the cheapest plan under a budget
+    is the one with the most segments that still fits.  The ladder
+    walks the stride values 1, 2, 3, ... (segment counts descending
+    from "checkpoint everything" toward the sqrt(L) default and past it
+    to a single segment) and adopts the first fitting count; each probe
+    is one content-addressed :func:`simulate_recompute` point.  With no
+    budget the GPU capacity is used, so ``plan.result.trainable``
+    matches the adoption decision.
+    """
+    from .cached import cached_recompute
+
+    liveness = LivenessAnalysis(network)
+    count = droppable_count(network, liveness)
+    budget = system.gpu.memory_bytes if budget_bytes is None \
+        else budget_bytes
+    probes: List[Tuple[int, bool]] = []
+    seen: set = set()
+    adopted: Optional[Tuple[int, IterationResult]] = None
+    for stride in range(1, max(count, 1) + 1):
+        segments = max(1, math.ceil(count / stride))
+        if segments in seen:
+            continue
+        seen.add(segments)
+        result = cached_recompute(network, system, algos, segments,
+                                  use_cache=use_cache)
+        fits = result.max_usage_bytes <= budget
+        probes.append((segments, fits))
+        if fits:
+            adopted = (segments, result)
+            break
+    if adopted is None:
+        # Even the single-checkpoint floor misses the budget; return it
+        # anyway so callers can report the (untrainable) memory floor.
+        result = cached_recompute(network, system, algos, 1,
+                                  use_cache=use_cache)
+        if not probes or probes[-1][0] != 1:
+            probes.append((1, result.max_usage_bytes <= budget))
+        adopted = (1, result)
+    segments, result = adopted
+    return RecomputePlan(
+        segment_count=segments,
+        plan=checkpoint_plan(network, liveness, segments),
+        result=result,
+        probes=tuple(probes),
+    )
+
+
 def simulate_recompute(
     network: Network,
     system: SystemConfig,

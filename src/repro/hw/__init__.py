@@ -1,5 +1,6 @@
 """Hardware models: GPU, host memory, PCIe interconnect."""
 
+from .compression import CDMA_ENGINE, CompressionModel
 from .config import PAPER_SYSTEM, SystemConfig
 from .gpu import (
     GPU_PRESETS,
@@ -28,7 +29,9 @@ from .interconnects import (
 from .pcie import PCIE_GEN3, PCIeLink, TransferMode
 
 __all__ = [
+    "CDMA_ENGINE",
     "ClusterTopology",
+    "CompressionModel",
     "GPU_PRESETS",
     "GPUSpec",
     "HBM_CLASS",

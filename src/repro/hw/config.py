@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .compression import CDMA_ENGINE, CompressionModel
 from .gpu import GPUSpec, TITAN_X, oracular
 from .host import HostSpec, I7_5930K
 from .pcie import PCIeLink, PCIE_GEN3
@@ -16,10 +17,12 @@ class SystemConfig:
     gpu: GPUSpec = field(default_factory=lambda: TITAN_X)
     host: HostSpec = field(default_factory=lambda: I7_5930K)
     pcie: PCIeLink = field(default_factory=lambda: PCIE_GEN3)
+    compression: CompressionModel = field(default_factory=lambda: CDMA_ENGINE)
 
     def with_oracular_gpu(self) -> "SystemConfig":
         """Same system but with a capacity-unlimited GPU (Section V-C)."""
-        return SystemConfig(gpu=oracular(self.gpu), host=self.host, pcie=self.pcie)
+        return SystemConfig(gpu=oracular(self.gpu), host=self.host,
+                            pcie=self.pcie, compression=self.compression)
 
     def with_gpu_memory(self, memory_bytes: int) -> "SystemConfig":
         """Same system with a different GPU memory capacity."""
@@ -31,7 +34,8 @@ class SystemConfig:
             compute_efficiency=self.gpu.compute_efficiency,
             bandwidth_efficiency=self.gpu.bandwidth_efficiency,
         )
-        return SystemConfig(gpu=gpu, host=self.host, pcie=self.pcie)
+        return SystemConfig(gpu=gpu, host=self.host, pcie=self.pcie,
+                            compression=self.compression)
 
 
 #: The paper's testbed.

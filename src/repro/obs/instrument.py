@@ -294,6 +294,26 @@ class Instrumentation:
     def dma_backoff(self, seconds: float) -> None:
         self._push(("backoff", seconds))
 
+    def compression(self, raw_bytes: int, wire_bytes: int) -> None:
+        """One cDMA-compressed offload: raw vs on-the-wire bytes.
+
+        Created lazily (unlike the pre-bound DMA counters) so runs that
+        never compress export an unchanged metric catalog — the golden
+        obs fixtures for the plain policies stay byte-identical.
+        """
+        registry = self.registry
+        registry.counter(
+            "repro_compression_raw_bytes_total",
+            "Uncompressed bytes behind cDMA-compressed offloads").value \
+            += raw_bytes
+        registry.counter(
+            "repro_compression_wire_bytes_total",
+            "Wire bytes actually moved by cDMA-compressed offloads"
+        ).value += wire_bytes
+        registry.counter(
+            "repro_compression_transfers_total",
+            "cDMA-compressed offload transfers").value += 1.0
+
     # ------------------------------------------------------------------
     # Executor
     # ------------------------------------------------------------------
@@ -517,6 +537,9 @@ class NullInstrumentation(Instrumentation):
         pass
 
     def dma_backoff(self, seconds):
+        pass
+
+    def compression(self, raw_bytes, wire_bytes):
         pass
 
     def stall(self, cause, seconds):

@@ -30,7 +30,8 @@ ENV_JOBS = "REPRO_JOBS"
 
 #: Policies a sweep point accepts: the public ``evaluate`` policies plus
 #: ``hybrid`` (sqrt(L) recompute), the admission ladder's last rung.
-POINT_POLICIES = ("all", "conv", "dyn", "base", "none", "hybrid")
+POINT_POLICIES = ("all", "conv", "comp", "dyn", "joint", "base", "none",
+                  "hybrid")
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,10 @@ def point_key(point: SweepPoint) -> str:
     system = point.system or PAPER_SYSTEM
     if point.policy == "dyn":
         return core_cached.dynamic_key(network, system)
+    if point.policy == "joint":
+        from ..core.joint import adopted_joint_key
+
+        return adopted_joint_key(network, system)
     if point.policy == "hybrid":
         return core_cached.recompute_key(
             network, system, AlgoConfig.memory_optimal(network))
@@ -93,6 +98,7 @@ def point_key(point: SweepPoint) -> str:
         return core_cached.baseline_key(network, system, algos)
     policy = {"all": TransferPolicy.vdnn_all,
               "conv": TransferPolicy.vdnn_conv,
+              "comp": TransferPolicy.vdnn_comp,
               "none": TransferPolicy.none}[point.policy]()
     return core_cached.vdnn_key(network, system, policy, algos)
 

@@ -191,8 +191,8 @@ def fig09_timeline(
 
 
 def _sweep_order() -> List[str]:
-    return ["all(m)", "all(p)", "conv(m)", "conv(p)", "dyn",
-            "base(m)", "base(p)"]
+    return ["all(m)", "all(p)", "conv(m)", "conv(p)", "comp(m)",
+            "comp(p)", "dyn", "joint", "base(m)", "base(p)"]
 
 
 def _warm_policy_sweep(
@@ -217,9 +217,10 @@ def _warm_policy_sweep(
     for network in networks:
         points += [
             SweepPoint(network=network, policy=policy, algo=algo, system=system)
-            for policy in ("all", "conv", "base") for algo in ("m", "p")
+            for policy in ("all", "conv", "comp", "base") for algo in ("m", "p")
         ]
         points.append(SweepPoint(network=network, policy="dyn", system=system))
+        points.append(SweepPoint(network=network, policy="joint", system=system))
         if with_oracle:
             points.append(SweepPoint(
                 network=network, policy="base", algo="p",

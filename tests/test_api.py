@@ -39,11 +39,13 @@ class TestComparePolicies:
     def test_returns_paper_column_labels(self, linear_cnn):
         sweep = compare_policies(linear_cnn)
         assert set(sweep) == {"all(m)", "all(p)", "conv(m)", "conv(p)",
-                              "dyn", "base(m)", "base(p)"}
+                              "comp(m)", "comp(p)", "dyn", "joint",
+                              "base(m)", "base(p)"}
 
     def test_dynamic_excludable(self, linear_cnn):
         sweep = compare_policies(linear_cnn, include_dynamic=False)
         assert "dyn" not in sweep
+        assert "joint" not in sweep
 
     def test_memory_ordering_invariant(self, linear_cnn):
         sweep = compare_policies(linear_cnn, include_dynamic=False)

@@ -168,9 +168,10 @@ class TestCommands:
     def test_verify_network_grid_covers_all_policies(self, capsys):
         assert main(["verify", "alexnet"]) == 0
         out = capsys.readouterr().out
-        for point in ("base(m)", "conv(p)", "all(m)", "dyn"):
+        for point in ("base(m)", "conv(p)", "all(m)", "comp(p)", "dyn",
+                      "joint"):
             assert point in out
-        assert "7 schedule(s) verified" in out
+        assert "10 schedule(s) verified" in out
 
     def test_verify_format_json(self, capsys):
         import json
@@ -197,9 +198,10 @@ class TestCommands:
     def test_verify_static_grid(self, capsys):
         assert main(["verify", "alexnet", "--static"]) == 0
         out = capsys.readouterr().out
-        for point in ("base(m)", "conv(p)", "all(m)", "dyn"):
+        for point in ("base(m)", "conv(p)", "all(m)", "comp(p)", "dyn",
+                      "joint"):
             assert point in out
-        assert "7 schedule(s) verified" in out
+        assert "10 schedule(s) verified" in out
 
     def test_verify_hybrid_point(self, capsys):
         assert main(["verify", "alexnet", "--hybrid",

@@ -435,7 +435,7 @@ class TestSweepDrivers:
 
     def test_static_sweep_runs_no_simulation(self, no_simulation):
         reports = verify_zoo_static(names=["alexnet", "overfeat"])
-        assert len(reports) == 14
+        assert len(reports) == 20
         assert all(report.ok for report in reports)
 
     def test_hybrid_skips_simulation_for_clean_points(self, no_simulation):
@@ -443,7 +443,7 @@ class TestSweepDrivers:
         # left to re-verify dynamically — the patched simulators stay
         # untouched.
         reports = verify_zoo(names=["alexnet"], mode="hybrid")
-        assert len(reports) == 7
+        assert len(reports) == 10
         assert all(report.ok for report in reports)
 
     def test_unknown_mode_is_rejected(self):
@@ -457,5 +457,7 @@ class TestSweepDrivers:
             f"{name} base(m)", f"{name} base(p)",
             f"{name} conv(m)", f"{name} conv(p)",
             f"{name} all(m)", f"{name} all(p)",
+            f"{name} comp(m)", f"{name} comp(p)",
             f"{name} dyn",
+            f"{name} joint",
         ]
